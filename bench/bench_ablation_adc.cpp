@@ -1,0 +1,54 @@
+// Ablation: ADC resolution and headroom vs achievable nulling (§8's
+// "better hardware" direction). Sweeps converter bits and the static-signal
+// headroom fraction, reporting the nulling depth after Algorithm 1. With
+// few bits, quantization of the channel estimates bounds the null; past
+// ~12 bits the TX-chain drift floor dominates (Fig. 7-7's regime).
+#include "bench/bench_util.hpp"
+#include "src/core/nulling.hpp"
+#include "src/sim/link.hpp"
+
+using namespace wivi;
+
+namespace {
+
+double mean_nulling_for(int adc_bits, double headroom, int trials) {
+  RVec depths;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(bench::trial_seed(96, adc_bits * 100 + static_cast<int>(headroom * 10) + t));
+    sim::Calibration cal = sim::default_calibration();
+    cal.adc_bits = adc_bits;
+    cal.static_headroom_fraction = headroom;
+    sim::Scene scene(sim::stata_conference_a(), cal, rng);
+    sim::SimulatedMimoLink link(scene, rng.fork());
+    const core::Nuller nuller;
+    depths.push_back(nuller.run(link).nulling_db);
+  }
+  return dsp::mean(depths);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "ADC resolution / headroom vs nulling depth");
+  const int trials = 5;
+
+  bench::section("converter bits (headroom fixed at 0.4 FS)");
+  std::printf("%6s | %26s\n", "bits", "mean nulling depth [dB]");
+  for (const int bits : {6, 8, 10, 12, 14}) {
+    std::printf("%6d | %26.1f\n", bits, mean_nulling_for(bits, 0.4, trials));
+  }
+
+  bench::section("static-signal headroom (12-bit converter)");
+  std::printf("%10s | %26s\n", "fraction", "mean nulling depth [dB]");
+  for (const double headroom : {0.1, 0.2, 0.4, 0.7}) {
+    std::printf("%10.1f | %26.1f\n", headroom,
+                mean_nulling_for(12, headroom, trials));
+  }
+
+  std::printf("\nreading: quantization limits the null at low bit depths;\n"
+              "from ~12 bits the chain-drift floor (Fig. 7-7, ~40 dB over a\n"
+              "capture) dominates and more resolution stops helping -\n"
+              "matching §8's note that finer nulling needs better RF\n"
+              "hardware, not a better converter.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation: nulling vs the narrowband-Doppler baseline (§2.1).
+//
+// Related work "ignores the flash effect and tries to operate in presence
+// of high interference caused by reflections off the wall ... the flash
+// effect limits their detection capabilities". We reproduce the argument:
+// the same Doppler motion detector is run on
+//   (a) Wi-Vi's nulled, gain-boosted capture, and
+//   (b) a no-nulling capture (zero precoder, gains stuck at base because
+//       the flash would rail the ADC otherwise - §4.1.2),
+// for a person behind a hollow wall and behind free space. Without nulling
+// the detector only works without an obstruction - exactly the failure
+// mode §2.1 ascribes to the prior narrowband systems.
+#include "bench/bench_util.hpp"
+#include "src/core/doppler.hpp"
+#include "src/hw/usrp.hpp"
+#include "src/sim/experiment.hpp"
+
+using namespace wivi;
+
+namespace {
+
+struct Outcome {
+  int detections = 0;
+  double mean_ratio = 0.0;
+};
+
+Outcome run(bool nulled, rf::Material material, int trials) {
+  Outcome out;
+  const core::NarrowbandMotionDetector detector;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(bench::trial_seed(95, (nulled ? 1000 : 0) +
+                                      static_cast<int>(material) * 100 + t));
+    sim::Scene scene(sim::room_with_material(material),
+                     sim::default_calibration(), rng);
+    const sim::SubjectParams person = sim::subject(t % 8);
+    scene.add_human(person,
+                    sim::random_walk(scene.interior(), 20.0, 0.01,
+                                     person.walk_speed_mps, rng),
+                    rng());
+    sim::ExperimentRunner::Config cfg;
+    cfg.trace_duration_sec = 8.0;
+    sim::TraceResult trace;
+    if (nulled) {
+      sim::ExperimentRunner runner(scene, cfg, rng.fork());
+      trace = runner.run();
+    } else {
+      // No nulling: zero precoder; the receiver must keep base gains, so
+      // its estimate floor is worse by the foregone TX+RX boost.
+      cfg.estimate_noise_extra_db =
+          hw::kPowerBoostDb + core::Nuller::Config{}.rx_boost_db;
+      sim::ExperimentRunner runner(scene, cfg, rng.fork());
+      const CVec zero_precoder(64, cdouble{0.0, 0.0});
+      trace = runner.run_with_precoder(zero_precoder);
+    }
+    const auto decision = detector.detect(trace.h);
+    out.detections += decision.motion;
+    out.mean_ratio += decision.peak_over_floor / trials;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Nulling vs the narrowband Doppler baseline (§2.1)");
+  const int trials = 6;
+  std::printf("%-24s %-12s | %10s | %12s\n", "obstruction", "nulling",
+              "detected", "peak/floor");
+  for (const rf::Material m :
+       {rf::Material::kFreeSpace, rf::Material::kHollowWall,
+        rf::Material::kConcrete8in}) {
+    for (const bool nulled : {true, false}) {
+      const Outcome o = run(nulled, m, trials);
+      std::printf("%-24s %-12s | %6d/%d   | %12.3f\n",
+                  std::string(rf::info(m).name).c_str(),
+                  nulled ? "Wi-Vi" : "none (baseline)", o.detections, trials,
+                  o.mean_ratio);
+    }
+  }
+  std::printf("\npaper (§2.1): narrowband Doppler radars without flash\n"
+              "removal are demonstrated in free space or through low-\n"
+              "attenuation walls only; Wi-Vi's nulling is what makes the\n"
+              "same Doppler processing work through real walls.\n");
+  return 0;
+}

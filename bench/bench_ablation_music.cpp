@@ -1,0 +1,111 @@
+// Ablation: smoothed MUSIC vs conventional beamforming (Eq. 5.1) on the
+// same emulated arrays (§5.2 footnote 6: MUSIC is a super-resolution
+// technique with sharper peaks and lower side lobes) plus the effect of the
+// smoothing sub-array: without smoothing, coherent two-person reflections
+// fail to resolve.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "src/common/constants.hpp"
+#include "src/common/random.hpp"
+#include "src/core/music.hpp"
+#include "src/dsp/peaks.hpp"
+
+using namespace wivi;
+
+namespace {
+
+CVec two_movers(double vr1, double vr2, std::size_t n, const core::IsarConfig& cfg,
+                Rng& rng) {
+  CVec h(n);
+  const double s1 = kTwoPi * 2.0 * vr1 * cfg.sample_period_sec / cfg.wavelength_m;
+  const double s2 = kTwoPi * 2.0 * vr2 * cfg.sample_period_sec / cfg.wavelength_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p1 = s1 * static_cast<double>(i);
+    const double p2 = 1.1 + s2 * static_cast<double>(i);
+    h[i] = cdouble{std::cos(p1), std::sin(p1)} +
+           0.9 * cdouble{std::cos(p2), std::sin(p2)} +
+           cdouble{0.5, 0.2} + rng.complex_gaussian(1e-4);
+  }
+  return h;
+}
+
+double half_power_width_deg(RSpan spectrum, RSpan angles) {
+  const std::size_t peak = dsp::argmax(spectrum);
+  const double half = spectrum[peak] / 2.0;
+  std::size_t lo = peak;
+  std::size_t hi = peak;
+  while (lo > 0 && spectrum[lo] > half) --lo;
+  while (hi + 1 < spectrum.size() && spectrum[hi] > half) ++hi;
+  return angles[hi] - angles[lo];
+}
+
+int resolved_peaks(RSpan spectrum, RSpan angles, double min_rel_db) {
+  RVec db(spectrum.size());
+  const double hi = *std::max_element(spectrum.begin(), spectrum.end());
+  for (std::size_t i = 0; i < db.size(); ++i)
+    db[i] = 10.0 * std::log10(std::max(spectrum[i] / hi, 1e-12));
+  const auto peaks = dsp::find_peaks(db, {.min_height = min_rel_db,
+                                          .min_distance = 6});
+  int count = 0;
+  for (const auto& p : peaks)
+    if (std::abs(angles[p.index]) > 5.0) ++count;  // exclude the DC spike
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "Smoothed MUSIC vs conventional beamforming");
+  Rng rng(bench::trial_seed(93, 0));
+  core::MusicConfig cfg;
+  const RVec angles = core::angle_grid_deg(1.0);
+
+  bench::section("peak sharpness, single mover at +30 deg");
+  {
+    CVec h(100);
+    const double step =
+        kTwoPi * 2.0 * 0.5 * cfg.isar.sample_period_sec / cfg.isar.wavelength_m;
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      const double p = step * static_cast<double>(i);
+      h[i] = cdouble{std::cos(p), std::sin(p)} + rng.complex_gaussian(1e-4);
+    }
+    const core::SmoothedMusic music(cfg);
+    const RVec spec = music.pseudospectrum(h, angles);
+    const RVec beam = core::beamform_power(h, cfg.isar, angles);
+    std::printf("half-power beam width:  MUSIC %.0f deg   beamforming %.0f deg\n",
+                half_power_width_deg(spec, angles),
+                half_power_width_deg(beam, angles));
+  }
+
+  bench::section("two coherent movers (+53 / -27 deg): who resolves them?");
+  std::printf("%22s | %12s | %12s\n", "estimator", "peaks found", "resolves?");
+  {
+    Rng r2 = rng.fork();
+    const CVec h = two_movers(0.8, -0.45, 100, cfg.isar, r2);
+    const core::SmoothedMusic smoothed(cfg);
+    const RVec s_spec = smoothed.pseudospectrum(h, angles);
+
+    core::MusicConfig unsmoothed_cfg = cfg;
+    unsmoothed_cfg.subarray = 100;  // sub-array == window: no smoothing
+    const core::SmoothedMusic unsmoothed(unsmoothed_cfg);
+    const RVec u_spec = unsmoothed.pseudospectrum(h, angles);
+
+    const RVec beam = core::beamform_power(h, cfg.isar, angles);
+
+    const int n_s = resolved_peaks(s_spec, angles, -12.0);
+    const int n_u = resolved_peaks(u_spec, angles, -12.0);
+    const int n_b = resolved_peaks(beam, angles, -12.0);
+    std::printf("%22s | %12d | %12s\n", "smoothed MUSIC", n_s,
+                n_s >= 2 ? "yes" : "NO");
+    std::printf("%22s | %12d | %12s\n", "MUSIC (no smoothing)", n_u,
+                n_u >= 2 ? "yes" : "NO");
+    std::printf("%22s | %12d | %12s\n", "beamforming (Eq. 5.1)", n_b,
+                n_b >= 2 ? "yes" : "NO");
+  }
+  std::printf("\npaper: smoothing de-correlates reflections bouncing off\n"
+              "       different humans (§5.2); MUSIC gives sharper peaks\n"
+              "       without significant side lobes (footnote 6).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 6-3: gesture decoding. (a) the matched-filter output looks like a
+// BPSK waveform; (b) the peak detector maps peaks/troughs to +1/-1 symbols,
+// and the pair sequence (+1,-1) decodes to bit '0', (-1,+1) to bit '1'.
+#include "bench/bench_util.hpp"
+#include "src/sim/protocols.hpp"
+
+using namespace wivi;
+
+int main() {
+  bench::banner("Fig. 6-3", "Matched filter output and decoded bits");
+
+  sim::GestureTrial trial;
+  trial.room = sim::stata_conference_a();
+  trial.distance_m = 3.0;
+  trial.subject_index = 1;
+  trial.message = {core::Bit::kZero, core::Bit::kOne};
+  trial.seed = bench::trial_seed(61, 0);  // the same trace as bench_fig_6_1
+  const sim::GestureResult r = sim::run_gesture_trial(trial);
+
+  bench::section("(a) matched filter output (sum of both triangle filters)");
+  const RVec& out = r.decoded.matched_output;
+  double peak = 1e-9;
+  for (double v : out) peak = std::max(peak, std::abs(v));
+  for (std::size_t i = 0; i < out.size(); i += 2) {
+    const int bar = static_cast<int>(std::round(out[i] / peak * 24.0));
+    std::string line(49, ' ');
+    line[24] = '|';
+    if (bar > 0) for (int b = 1; b <= bar; ++b) line[24 + static_cast<std::size_t>(b)] = '#';
+    if (bar < 0) for (int b = -1; b >= bar; --b) line[24 + static_cast<std::size_t>(b)] = '#';
+    std::printf("%6.2fs %s\n", static_cast<double>(i) * 0.08, line.c_str());
+  }
+  std::printf("noise sigma (robust): %.3f -> 3 dB gate at %.3f\n",
+              r.decoded.noise_sigma, r.decoded.noise_sigma * 1.413);
+
+  bench::section("(b) mapped symbols and decoded bits");
+  std::printf("%8s  %7s  %9s\n", "time[s]", "symbol", "SNR[dB]");
+  for (const auto& s : r.decoded.symbols)
+    std::printf("%8.2f  %+7d  %9.1f\n", s.time_sec, s.sign, s.snr_db);
+  std::printf("\nbit decisions:\n");
+  for (const auto& b : r.decoded.bits)
+    std::printf("  t=%6.2fs  bit '%d'  (SNR %.1f dB)\n", b.time_sec,
+                static_cast<int>(b.value), b.snr_db);
+  std::printf("\npaper: sequence (+1,-1) -> bit '0', (-1,+1) -> bit '1';\n"
+              "       this trace decodes to '0','1'.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 7-6: gesture detection in different building structures. One subject
+// stands 3 m behind the obstruction and performs the '0' gesture; 8 trials
+// per material. (a) detection accuracy; (b) mean SNR with min/max bars.
+// Paper: 100% for free space / tinted glass / 1.75" wood / 6" hollow wall,
+// 87.5% for 8" concrete; SNR drops as the material gets denser.
+#include <algorithm>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/protocols.hpp"
+
+using namespace wivi;
+
+int main() {
+  bench::banner("Fig. 7-6", "Gesture detection through different materials");
+
+  struct Row {
+    rf::Material material;
+    const char* paper_accuracy;
+  };
+  const Row rows[] = {
+      {rf::Material::kFreeSpace, "100%"},
+      {rf::Material::kGlass, "100%"},
+      {rf::Material::kSolidWoodDoor, "100%"},
+      {rf::Material::kHollowWall, "100%"},
+      {rf::Material::kConcrete8in, "87.5%"},
+  };
+
+  std::printf("%-26s %9s %9s | %8s %8s %8s | %s\n", "material", "detect",
+              "flips", "SNRavg", "SNRmin", "SNRmax", "paper");
+  for (const Row& row : rows) {
+    int detected = 0;
+    int flips = 0;
+    RVec snrs;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+      sim::GestureTrial trial;
+      trial.room = sim::room_with_material(row.material);
+      trial.distance_m = 3.0;
+      trial.subject_index = t % 4;
+      trial.message = {core::Bit::kZero};  // the paper's '0' bit gesture
+      trial.seed = bench::trial_seed(76, static_cast<int>(row.material) * 100 + t);
+      const sim::GestureResult r = sim::run_gesture_trial(trial);
+      detected += r.correct;
+      flips += r.flipped;
+      for (double v : r.snr_zero_db) snrs.push_back(v);
+    }
+    const double acc = 100.0 * detected / trials;
+    if (snrs.empty()) snrs.push_back(0.0);
+    std::printf("%-26s %8.1f%% %9d | %8.1f %8.1f %8.1f | %s\n",
+                std::string(rf::info(row.material).name).c_str(), acc, flips,
+                dsp::mean(snrs), *std::min_element(snrs.begin(), snrs.end()),
+                *std::max_element(snrs.begin(), snrs.end()),
+                row.paper_accuracy);
+  }
+  std::printf("\npaper shape: accuracy and SNR fall with material density;\n"
+              "only the 8\" concrete wall drops below 100%% detection.\n");
+  return 0;
+}

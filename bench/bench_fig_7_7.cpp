@@ -1,0 +1,39 @@
+// Fig. 7-7: CDF of achieved nulling - the reduction in power received along
+// static paths, across experiments in different rooms/materials. Paper:
+// median 40 dB (mean ~42 dB quoted in §4.1), enough for common materials
+// but not reinforced concrete.
+#include "bench/bench_util.hpp"
+#include "src/sim/protocols.hpp"
+
+using namespace wivi;
+
+int main() {
+  bench::banner("Fig. 7-7", "CDF of achieved nulling (static-path reduction)");
+
+  RVec depths;
+  const rf::Material materials[] = {
+      rf::Material::kHollowWall, rf::Material::kHollowWall,  // most trials
+      rf::Material::kGlass, rf::Material::kSolidWoodDoor,
+      rf::Material::kConcrete8in};
+  int trial = 0;
+  for (const rf::Material m : materials) {
+    for (int t = 0; t < 8; ++t, ++trial) {
+      sim::CountingTrial cfg;
+      cfg.room = sim::room_with_material(m);
+      // Half the trials with a person moving during/after nulling (§4.1:
+      // "nulling can be performed in the presence of moving objects").
+      cfg.num_humans = t % 2;
+      cfg.subjects = {t % 8};
+      cfg.duration_sec = 6.0;
+      cfg.seed = bench::trial_seed(77, trial);
+      depths.push_back(sim::run_counting_trial(cfg).effective_nulling_db);
+    }
+  }
+
+  bench::print_cdf("achieved nulling [dB]", depths, 13);
+  std::printf("\npaper: median 40 dB (mean ~42 dB); the CDF spans roughly\n"
+              "       25-55 dB - enough to remove the flash of glass, wood,\n"
+              "       hollow and moderate concrete walls, not reinforced\n"
+              "       concrete (§7.6).\n");
+  return 0;
+}

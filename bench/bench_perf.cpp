@@ -1,0 +1,104 @@
+// Processing-cost microbenchmarks (google-benchmark).
+//
+// Reference point from the paper (§7.1): Matlab post-processing of a
+// 25-second trace took 1.0564 s on a 2012 i7; `FullTraceProcessing/25s`
+// below is the direct analogue in this implementation.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.hpp"
+#include "src/core/nulling.hpp"
+#include "src/core/tracker.hpp"
+#include "src/dsp/fft.hpp"
+#include "src/linalg/eig.hpp"
+#include "src/sim/link.hpp"
+
+using namespace wivi;
+
+namespace {
+
+CVec make_trace(std::size_t n) {
+  Rng rng(404);
+  CVec h(n);
+  const core::IsarConfig isar;
+  const double step =
+      kTwoPi * 2.0 * 0.6 * isar.sample_period_sec / isar.wavelength_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = step * static_cast<double>(i);
+    h[i] = cdouble{std::cos(p), std::sin(p)} + cdouble{0.4, 0.1} +
+           rng.complex_gaussian(1e-4);
+  }
+  return h;
+}
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  CVec x(64);
+  for (auto& v : x) v = rng.complex_gaussian();
+  for (auto _ : state) {
+    dsp::fft(x);
+    dsp::ifft(x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_HermitianEig(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  linalg::CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.gaussian();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const cdouble v = rng.complex_gaussian();
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  for (auto _ : state) {
+    const auto r = linalg::hermitian_eig(a);
+    benchmark::DoNotOptimize(r.values.data());
+  }
+}
+BENCHMARK(BM_HermitianEig)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Pseudospectrum(benchmark::State& state) {
+  const CVec h = make_trace(100);
+  const core::SmoothedMusic music;
+  const RVec angles = core::angle_grid_deg(1.0);
+  for (auto _ : state) {
+    const RVec spec = music.pseudospectrum(h, angles);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_Pseudospectrum);
+
+void BM_FullTraceProcessing(benchmark::State& state) {
+  // The §7.1 reference: smoothed MUSIC over a whole captured trace.
+  const double seconds = static_cast<double>(state.range(0));
+  const CVec h = make_trace(static_cast<std::size_t>(seconds * 312.5));
+  const core::MotionTracker tracker;
+  for (auto _ : state) {
+    const core::AngleTimeImage img = tracker.process(h);
+    benchmark::DoNotOptimize(img.columns.data());
+  }
+  state.SetLabel("paper: 1.0564 s per 25 s trace in Matlab (2012 i7)");
+}
+BENCHMARK(BM_FullTraceProcessing)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void BM_NullingProcedure(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(7);
+    sim::Scene scene(sim::stata_conference_a(), sim::default_calibration(), rng);
+    sim::SimulatedMimoLink link(scene, rng.fork());
+    const core::Nuller nuller;
+    state.ResumeTiming();
+    const auto r = nuller.run(link);
+    benchmark::DoNotOptimize(&r);
+  }
+}
+BENCHMARK(BM_NullingProcedure)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

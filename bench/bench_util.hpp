@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure regeneration harness.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation chapter (DESIGN.md §3) and prints the same rows/series the
+// paper reports, plus the paper's numbers for side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/dsp/stats.hpp"
+
+namespace wivi::bench {
+
+inline void banner(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s - %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+inline void section(const char* name) { std::printf("\n--- %s ---\n", name); }
+
+/// Print an empirical CDF as (value, fraction) rows, the way the paper's
+/// CDF figures read.
+inline void print_cdf(const char* label, RSpan samples, std::size_t rows = 11) {
+  const dsp::Ecdf cdf(samples);
+  std::printf("%s  (n=%zu, median=%.2f, mean=%.2f)\n", label, samples.size(),
+              dsp::median(samples), dsp::mean(samples));
+  std::printf("  %12s  %8s\n", "value", "CDF");
+  for (const auto& row : cdf.tabulate(rows))
+    std::printf("  %12.2f  %8.3f\n", row.value, row.fraction);
+}
+
+/// The fixed trial seeds used across benches: bench results must be
+/// reproducible run-to-run, like a lab notebook.
+inline std::uint64_t trial_seed(int experiment, int trial) {
+  return 0xB1B0'0000ULL + static_cast<std::uint64_t>(experiment) * 1000 +
+         static_cast<std::uint64_t>(trial);
+}
+
+}  // namespace wivi::bench

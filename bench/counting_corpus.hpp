@@ -1,0 +1,41 @@
+// The §7.4 counting corpus shared by bench_fig_7_3 and bench_table_7_1:
+// 80 experiments (20 per human count 0-3), 25 s each, 8 subjects, half in
+// each conference room - exactly the paper's protocol. Seeds are fixed so
+// both benches evaluate the identical corpus.
+#pragma once
+
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/protocols.hpp"
+
+namespace wivi::bench {
+
+struct CountingSample {
+  int count = 0;
+  bool room_a = true;   // which conference room hosted the experiment
+  double variance = 0.0;
+  double nulling_db = 0.0;
+};
+
+inline std::vector<CountingSample> run_counting_corpus(
+    int trials_per_count = 20, double duration_sec = 25.0) {
+  std::vector<CountingSample> corpus;
+  for (int n = 0; n <= 3; ++n) {
+    for (int t = 0; t < trials_per_count; ++t) {
+      sim::CountingTrial trial;
+      const bool room_a = (t % 2 == 0);
+      trial.room = room_a ? sim::stata_conference_a() : sim::stata_conference_b();
+      trial.num_humans = n;
+      // Rotate through the 8-subject pool (different subset per trial, §7.3).
+      trial.subjects = {t % 8, (t + 3) % 8, (t + 5) % 8};
+      trial.duration_sec = duration_sec;
+      trial.seed = trial_seed(74, n * 100 + t);
+      const sim::CountingResult r = sim::run_counting_trial(trial);
+      corpus.push_back({n, room_a, r.spatial_variance, r.effective_nulling_db});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace wivi::bench

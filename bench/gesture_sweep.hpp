@@ -1,0 +1,38 @@
+// The §7.5 gesture distance sweep shared by bench_fig_7_4 and
+// bench_fig_7_5: distances 1..9 m, 8 trials per distance rotating through
+// the gesture subjects, one '0' and one '1' bit per trial. Distances above
+// 6 m run in the larger conference room, <= 6 m alternate rooms (paper
+// §7.5: "experiments with distances larger than 6 meters are conducted in
+// the larger conference room").
+#pragma once
+
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/sim/protocols.hpp"
+
+namespace wivi::bench {
+
+struct GestureSample {
+  double distance_m = 0.0;
+  sim::GestureResult result;
+};
+
+inline std::vector<GestureSample> run_gesture_sweep(int trials_per_distance = 8) {
+  std::vector<GestureSample> sweep;
+  for (int d = 1; d <= 9; ++d) {
+    for (int t = 0; t < trials_per_distance; ++t) {
+      sim::GestureTrial trial;
+      trial.room = (d > 6 || t % 2 == 0) ? sim::stata_conference_b()
+                                         : sim::stata_conference_a();
+      trial.distance_m = d;
+      trial.subject_index = t % 4;  // §7.2: 4 of the 8 subjects gestured
+      trial.message = {core::Bit::kZero, core::Bit::kOne};
+      trial.seed = trial_seed(75, d * 100 + t);
+      sweep.push_back({static_cast<double>(d), sim::run_gesture_trial(trial)});
+    }
+  }
+  return sweep;
+}
+
+}  // namespace wivi::bench

@@ -1,0 +1,60 @@
+// Through-wall gesture messaging (paper §6): a person behind a closed wall,
+// carrying no device whatsoever, sends a binary message to Wi-Vi by
+// stepping forward/backward. Default message 1011; pass any bit string:
+//
+//   ./gesture_messaging 10110 [distance_m] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/protocols.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wivi;
+  const char* bits_str = argc > 1 ? argv[1] : "1011";
+  const double distance = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+
+  sim::GestureTrial trial;
+  trial.room = sim::stata_conference_a();
+  trial.distance_m = distance;
+  trial.subject_index = 1;
+  trial.seed = seed;
+  for (const char* c = bits_str; *c != '\0'; ++c) {
+    if (*c != '0' && *c != '1') {
+      std::fprintf(stderr, "message must be a bit string, got '%s'\n", bits_str);
+      return 1;
+    }
+    trial.message.push_back(*c == '0' ? core::Bit::kZero : core::Bit::kOne);
+  }
+
+  std::printf("Wi-Vi gesture messaging\n=======================\n");
+  std::printf("room     : %s\n", trial.room.name.c_str());
+  std::printf("distance : %.1f m behind the wall\n", distance);
+  std::printf("message  : %s  (%zu bits; '0' = step forward then back,\n",
+              bits_str, trial.message.size());
+  std::printf("            '1' = step backward then forward)\n");
+  const core::GestureProfile profile;
+  std::printf("airtime  : ~%.1f s\n\n",
+              core::message_duration_sec(trial.message.size(), profile));
+
+  const sim::GestureResult r = sim::run_gesture_trial(trial);
+
+  std::printf("decoded  : ");
+  for (const auto& b : r.decoded.bits)
+    std::printf("%d", static_cast<int>(b.value));
+  std::printf("\n");
+  std::printf("result   : %d correct, %d erased, %d flipped\n", r.correct,
+              r.erased, r.flipped);
+  std::printf("per-bit SNR: ");
+  for (const auto& b : r.decoded.bits) std::printf("%.1f dB  ", b.snr_db);
+  std::printf("\n");
+  std::printf("nulling  : %.1f dB of static-path suppression\n",
+              r.effective_nulling_db);
+  if (r.flipped == 0 && r.erased == 0)
+    std::printf("\nmessage received intact through the wall.\n");
+  else if (r.flipped == 0)
+    std::printf("\npartial reception: erasures only, never bit flips (§7.5).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the whole Wi-Vi pipeline in ~60 lines.
+//
+//   1. Build a scene: a closed conference room behind a 6" hollow wall,
+//      with one person walking inside (they never carry any device).
+//   2. Run MIMO nulling to erase the wall flash and all static clutter.
+//   3. Capture the post-nulling channel stream and run smoothed MUSIC.
+//   4. Print the angle-time heat map (the paper's Fig. 5-2) as ASCII art.
+//
+// Build & run:  ./quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/tracker.hpp"
+#include "src/sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wivi;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  Rng rng(seed);
+
+  // --- Scene: the paper's 7x4 m Stata conference room, device 1 m from
+  // the wall, one person moving at will inside the closed room.
+  sim::Scene scene(sim::stata_conference_a(), sim::default_calibration(), rng);
+  const double duration = 8.0;
+  const sim::SubjectParams person = sim::subject(3);
+  scene.add_human(person,
+                  sim::random_walk(scene.interior(), duration + 10.0,
+                                   /*dt=*/0.01, person.walk_speed_mps, rng),
+                  rng());
+
+  // --- Nulling + trace capture.
+  sim::ExperimentRunner::Config cfg;
+  cfg.trace_duration_sec = duration;
+  sim::ExperimentRunner runner(scene, cfg, rng.fork());
+  const sim::TraceResult trace = runner.run();
+
+  std::printf("Wi-Vi quickstart\n================\n");
+  std::printf("scene: %s\n", scene.spec().name.c_str());
+  std::printf("flash effect without nulling: ADC %s\n",
+              trace.nulling.saturates_without_nulling ? "SATURATES" : "ok");
+  std::printf("with nulling at boosted gain:  ADC %s\n",
+              trace.nulling.saturates_with_nulling ? "SATURATES" : "ok");
+  std::printf("achieved nulling: %.1f dB over the capture "
+              "(%.1f dB right after convergence, initial %.1f dB, %d iterations)\n",
+              trace.effective_nulling_db, trace.nulling.nulling_db,
+              trace.nulling.pre_null_power_db -
+                  trace.nulling.initial_residual_power_db,
+              trace.nulling.iterations_used);
+
+  // --- Track.
+  const core::MotionTracker tracker;
+  const core::AngleTimeImage img = tracker.process(trace.h, trace.t0);
+  std::printf("\nA'[theta, n] - one person moving behind the wall:\n%s\n",
+              core::render_ascii(img).c_str());
+
+  const RVec angles = tracker.dominant_angle_trace(img);
+  std::printf("dominant angle per column (NaN = no confident mover):\n");
+  for (std::size_t i = 0; i < angles.size(); ++i)
+    std::printf("%s%+.0f", i ? " " : "", angles[i]);
+  std::printf("\n");
+  return 0;
+}

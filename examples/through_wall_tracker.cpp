@@ -1,0 +1,65 @@
+// Multi-person through-wall tracker (paper §5.2, Fig. 5-3 / 7-2): live-style
+// ASCII rendering of A'[theta, n] with several people moving behind a wall,
+// plus the per-column dominant-angle readout a downstream application (e.g.
+// gaming or elderly monitoring, §1) would consume.
+//
+//   ./through_wall_tracker [num_people 1..3] [material] [seed]
+// materials: hollow (default) | concrete | wood | glass
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/tracker.hpp"
+#include "src/sim/protocols.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wivi;
+  const int people = argc > 1 ? std::atoi(argv[1]) : 2;
+  const char* material_name = argc > 2 ? argv[2] : "hollow";
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 17;
+  if (people < 1 || people > 3) {
+    std::fprintf(stderr, "num_people must be 1..3\n");
+    return 1;
+  }
+
+  rf::Material material = rf::Material::kHollowWall;
+  if (std::strcmp(material_name, "concrete") == 0)
+    material = rf::Material::kConcrete8in;
+  else if (std::strcmp(material_name, "wood") == 0)
+    material = rf::Material::kSolidWoodDoor;
+  else if (std::strcmp(material_name, "glass") == 0)
+    material = rf::Material::kGlass;
+
+  sim::CountingTrial trial;
+  trial.room = sim::room_with_material(material);
+  trial.num_humans = people;
+  trial.subjects = {0, 3, 6};
+  trial.duration_sec = 10.0;
+  trial.seed = seed;
+
+  std::printf("Wi-Vi through-wall tracker\n==========================\n");
+  std::printf("scene: %d person(s) behind %s\n", people,
+              std::string(rf::info(material).name).c_str());
+
+  const sim::CountingResult r = sim::run_counting_trial(trial);
+  std::printf("nulling: %.1f dB of flash suppression\n\n",
+              r.effective_nulling_db);
+  std::printf("%s\n", core::render_ascii(r.image).c_str());
+
+  const core::MotionTracker tracker;
+  const RVec trace = tracker.dominant_angle_trace(r.image);
+  std::printf("motion readout (dominant angle; '+' approaching, '-' receding):\n");
+  int moving_cols = 0;
+  for (std::size_t i = 0; i < trace.size(); i += 5) {
+    if (std::isnan(trace[i])) {
+      std::printf("  t=%5.1fs   (no confident mover)\n", r.image.times_sec[i]);
+    } else {
+      std::printf("  t=%5.1fs   theta=%+4.0f deg  %s\n", r.image.times_sec[i],
+                  trace[i], trace[i] > 0 ? "approaching" : "receding");
+    }
+  }
+  for (double a : trace) moving_cols += !std::isnan(a);
+  std::printf("\nmotion visible in %d of %zu frames\n", moving_cols, trace.size());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Error handling for the Wi-Vi library.
+//
+// Following the Core Guidelines (E.2, I.6) we throw on precondition
+// violations that are plausibly caused by caller input, and keep the check
+// active in release builds: this library is driven by experiment
+// configuration files and sweeps, where a silent out-of-range parameter
+// would corrupt a whole evaluation run.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wivi {
+
+/// Thrown when a Wi-Vi API precondition is violated.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an algorithm reaches a state it cannot recover from
+/// (e.g. eigensolver fails to converge within its iteration budget).
+class ComputeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement failed (" + expr + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace wivi
+
+/// Precondition check that stays on in release builds.
+#define WIVI_REQUIRE(expr, msg)                                         \
+  do {                                                                  \
+    if (!(expr)) ::wivi::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,45 @@
+// Fundamental value types shared across the Wi-Vi library.
+//
+// Everything in the signal path is complex baseband; we standardise on
+// double precision (`cdouble`) because the nulling math subtracts two nearly
+// equal channel estimates and float would throw away most of the nulling
+// depth we are trying to measure.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wivi {
+
+using cdouble = std::complex<double>;
+
+/// A buffer of complex baseband samples (time or frequency domain).
+using CVec = std::vector<cdouble>;
+
+/// A buffer of real-valued samples (power traces, angles, filter taps...).
+using RVec = std::vector<double>;
+
+/// Read-only views used throughout public interfaces (I.13: pass arrays as span).
+using CSpan = std::span<const cdouble>;
+using RSpan = std::span<const double>;
+
+/// Imaginary unit, so expressions read like the paper's equations.
+inline constexpr cdouble kJ{0.0, 1.0};
+
+/// Squared magnitude |z|^2 without the sqrt that std::abs would pay for.
+[[nodiscard]] constexpr double norm2(cdouble z) noexcept {
+  return z.real() * z.real() + z.imag() * z.imag();
+}
+
+/// Mean power of a complex buffer: (1/N) * sum |x[i]|^2. Returns 0 for empty.
+[[nodiscard]] inline double mean_power(CSpan x) noexcept {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (cdouble v : x) acc += norm2(v);
+  return acc / static_cast<double>(x.size());
+}
+
+}  // namespace wivi

@@ -1,0 +1,118 @@
+#include "src/core/counting.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/error.hpp"
+
+namespace wivi::core {
+namespace {
+
+struct ColumnMoments {
+  double weight_sum = 0.0;    // W      = sum w(theta)
+  double centroid = 0.0;      // C      = sum theta w / W
+  double variance = 0.0;      // Eq 5.5 = sum theta^2 w - C^2 W
+};
+
+ColumnMoments column_moments(RSpan column_db, RSpan angles_deg) {
+  WIVI_REQUIRE(column_db.size() == angles_deg.size(),
+               "column/angle size mismatch");
+  double w_sum = 0.0;
+  double tw_sum = 0.0;
+  double ttw_sum = 0.0;
+  for (std::size_t i = 0; i < column_db.size(); ++i) {
+    const double w = std::max(column_db[i], 0.0);
+    const double th = angles_deg[i];
+    w_sum += w;
+    tw_sum += th * w;
+    ttw_sum += th * th * w;
+  }
+  ColumnMoments m;
+  m.weight_sum = w_sum;
+  if (w_sum > 0.0) {
+    m.centroid = tw_sum / w_sum;
+    m.variance = ttw_sum - m.centroid * m.centroid * w_sum;
+  }
+  return m;
+}
+
+}  // namespace
+
+double spatial_centroid(RSpan column_db, RSpan angles_deg) {
+  return column_moments(column_db, angles_deg).centroid;
+}
+
+double spatial_variance_column(RSpan column_db, RSpan angles_deg) {
+  return column_moments(column_db, angles_deg).variance;
+}
+
+double spatial_variance(const AngleTimeImage& img, double cap_db) {
+  WIVI_REQUIRE(img.num_times() > 0, "spatial variance of an empty image");
+  double acc = 0.0;
+  for (std::size_t t = 0; t < img.num_times(); ++t) {
+    acc += spatial_variance_column(img.column_db(t, cap_db), img.angles_deg);
+  }
+  return acc / static_cast<double>(img.num_times());
+}
+
+void VarianceClassifier::train(const std::vector<LabeledVariance>& training_set) {
+  WIVI_REQUIRE(!training_set.empty(), "empty training set");
+  std::map<int, std::pair<double, int>> acc;  // count -> (sum, n)
+  for (const auto& s : training_set) {
+    auto& [sum, n] = acc[s.count];
+    sum += s.variance;
+    ++n;
+  }
+  WIVI_REQUIRE(acc.size() >= 2, "need at least two distinct counts to train");
+
+  std::vector<int> counts;
+  std::vector<double> means;
+  for (const auto& [count, sn] : acc) {
+    counts.push_back(count);
+    means.push_back(sn.first / sn.second);
+  }
+
+  // The spatial-variance model says the means increase with the count, but
+  // crowded rooms saturate (§7.4: separation shrinks as people are added),
+  // so adjacent class means can invert slightly in a finite training set.
+  // Isotonic regression (pool-adjacent-violators) restores monotonicity;
+  // fully pooled neighbours end up sharing a threshold at their common
+  // mean, and ties classify as the lower count.
+  std::vector<double> iso = means;
+  std::vector<double> weight(iso.size(), 1.0);
+  std::vector<std::size_t> span(iso.size(), 1);
+  std::size_t m = 0;  // blocks in use
+  for (std::size_t i = 0; i < means.size(); ++i) {
+    iso[m] = means[i];
+    weight[m] = 1.0;
+    span[m] = 1;
+    ++m;
+    while (m >= 2 && iso[m - 2] > iso[m - 1]) {
+      const double w = weight[m - 2] + weight[m - 1];
+      iso[m - 2] = (iso[m - 2] * weight[m - 2] + iso[m - 1] * weight[m - 1]) / w;
+      weight[m - 2] = w;
+      span[m - 2] += span[m - 1];
+      --m;
+    }
+  }
+  std::vector<double> fitted;
+  for (std::size_t b = 0; b < m; ++b)
+    fitted.insert(fitted.end(), span[b], iso[b]);
+
+  std::vector<double> thresholds;
+  for (std::size_t i = 0; i + 1 < fitted.size(); ++i)
+    thresholds.push_back(0.5 * (fitted[i] + fitted[i + 1]));
+
+  // Commit only after the fit succeeds (strong exception safety).
+  counts_ = std::move(counts);
+  thresholds_ = std::move(thresholds);
+}
+
+int VarianceClassifier::classify(double variance) const {
+  WIVI_REQUIRE(trained(), "classifier has not been trained");
+  std::size_t cls = 0;
+  while (cls < thresholds_.size() && variance > thresholds_[cls]) ++cls;
+  return counts_[cls];
+}
+
+}  // namespace wivi::core

@@ -1,0 +1,64 @@
+// Automatic detection of the number of moving humans (paper §5.2 end, §7.4).
+//
+// Moving humans appear as curved lines in A'[theta, n]; more humans means
+// more spatial spread at any instant. The paper's heuristic: compute the
+// spatial centroid (Eq. 5.4) and spatial variance (Eq. 5.5) of each image
+// column on the 20 log10 A' scale, average over the experiment, and learn
+// per-count thresholds from a training set gathered in a *different* room.
+//
+// Note on Eq. 5.5's scale: the paper's Fig. 7-3 x-axis reads "tens of
+// millions", which pins down the intended normalisation — the theta sums are
+// taken with raw (unnormalised) dB weights; only the centroid inside the
+// variance is weight-normalised. spatial_variance_column() implements
+// exactly that: W * Var_w(theta) where W = sum of dB weights.
+#pragma once
+
+#include <vector>
+
+#include "src/core/tracker.hpp"
+
+namespace wivi::core {
+
+/// Weighted spatial centroid of one image column (Eq. 5.4), using dB
+/// weights clamped to [0, cap_db]. Returns 0 for an all-floor column.
+[[nodiscard]] double spatial_centroid(RSpan column_db, RSpan angles_deg);
+
+/// Unnormalised spatial variance of one column (Eq. 5.5, see header note).
+[[nodiscard]] double spatial_variance_column(RSpan column_db, RSpan angles_deg);
+
+/// Experiment-level spatial variance: Eq. 5.5 averaged over all columns of
+/// the image ("averaged over the duration of the experiment", §5.2).
+[[nodiscard]] double spatial_variance(const AngleTimeImage& img,
+                                      double cap_db = 60.0);
+
+/// Threshold classifier over the scalar spatial variance. Trained on
+/// labelled experiments from one room, tested on another (paper §7.4).
+class VarianceClassifier {
+ public:
+  struct LabeledVariance {
+    int count;        // ground-truth number of moving humans
+    double variance;  // measured spatial variance
+  };
+
+  /// Learn one threshold between each pair of adjacent counts: the midpoint
+  /// of the two class means, after isotonic (pool-adjacent-violators)
+  /// smoothing so that saturation-induced inversions between adjacent
+  /// crowded classes still yield a usable monotone classifier. Requires at
+  /// least two distinct counts.
+  void train(const std::vector<LabeledVariance>& training_set);
+
+  /// Predicted number of moving humans.
+  [[nodiscard]] int classify(double variance) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !counts_.empty(); }
+  [[nodiscard]] const std::vector<double>& thresholds() const noexcept {
+    return thresholds_;
+  }
+  [[nodiscard]] const std::vector<int>& counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<int> counts_;        // distinct class labels, ascending
+  std::vector<double> thresholds_; // counts_.size() - 1 boundaries
+};
+
+}  // namespace wivi::core

@@ -1,0 +1,48 @@
+// Direction-of-arrival estimator family over the ISAR emulated array.
+//
+// Wi-Vi's production estimator is smoothed MUSIC (music.hpp); this module
+// adds the two classical baselines it is evaluated against in the
+// literature the paper builds on (§5.1-§5.2, [35] Stoica & Moses):
+//
+//   * Bartlett - the conventional beamformer of Eq. 5.1 (delegates to
+//     isar.hpp), broad main lobe, strong side lobes;
+//   * Capon (MVDR) - minimum-variance distortionless response,
+//     P(theta) = 1 / (a^H R^{-1} a): sharper than Bartlett, but degrades
+//     on the coherent multi-human reflections unless spatially smoothed.
+//
+// All three share the smoothing front end so they can be compared
+// apples-to-apples (bench_ablation_music).
+#pragma once
+
+#include "src/core/music.hpp"
+#include "src/linalg/cholesky.hpp"
+
+namespace wivi::core {
+
+enum class DoaMethod { kBartlett, kCapon, kMusic };
+
+class DoaEstimator {
+ public:
+  /// Reuses MusicConfig: the ISAR geometry, the smoothing sub-array length
+  /// and (for MUSIC) the model-order rule.
+  DoaEstimator(DoaMethod method, MusicConfig cfg = {});
+
+  [[nodiscard]] DoaMethod method() const noexcept { return method_; }
+
+  /// Spatial spectrum of one window of channel estimates on the grid.
+  /// All methods return a positive spectrum whose peaks mark movers; the
+  /// absolute scale is method-specific.
+  [[nodiscard]] RVec spectrum(CSpan window, RSpan angles_deg) const;
+
+  /// Diagonal loading applied to the Capon correlation matrix, as a
+  /// fraction of the average eigenvalue (keeps R invertible when the
+  /// window is noise-starved). Ignored by the other methods.
+  double capon_loading = 1e-3;
+
+ private:
+  DoaMethod method_;
+  MusicConfig cfg_;
+  SmoothedMusic music_;
+};
+
+}  // namespace wivi::core

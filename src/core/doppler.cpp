@@ -1,0 +1,127 @@
+#include "src/core/doppler.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/dsp/fft.hpp"
+#include "src/dsp/stats.hpp"
+#include "src/dsp/window.hpp"
+
+namespace wivi::core {
+
+double DopplerSpectrogram::motion_energy_ratio(double dc_guard_hz) const {
+  WIVI_REQUIRE(!columns.empty(), "empty spectrogram");
+  double moving = 0.0;
+  double total = 0.0;
+  for (const RVec& col : columns) {
+    for (std::size_t f = 0; f < col.size(); ++f) {
+      total += col[f];
+      if (std::abs(freqs_hz[f]) > dc_guard_hz) moving += col[f];
+    }
+  }
+  return total > 0.0 ? moving / total : 0.0;
+}
+
+double DopplerSpectrogram::peak_over_floor(double dc_guard_hz) const {
+  WIVI_REQUIRE(!columns.empty(), "empty spectrogram");
+  double acc = 0.0;
+  for (const RVec& col : columns) {
+    RVec band;
+    double peak = 0.0;
+    for (std::size_t f = 0; f < col.size(); ++f) {
+      if (std::abs(freqs_hz[f]) <= dc_guard_hz) continue;
+      band.push_back(col[f]);
+      peak = std::max(peak, col[f]);
+    }
+    WIVI_REQUIRE(!band.empty(), "guard band covers the whole spectrum");
+    const double floor_est = std::max(dsp::median(band), 1e-300);
+    acc += peak / floor_est;
+  }
+  return acc / static_cast<double>(columns.size());
+}
+
+double DopplerSpectrogram::mean_radial_speed_mps(double dc_guard_hz,
+                                                 double wavelength_m) const {
+  WIVI_REQUIRE(!columns.empty(), "empty spectrogram");
+  double acc = 0.0;
+  double weight = 0.0;
+  for (const RVec& col : columns) {
+    for (std::size_t f = 0; f < col.size(); ++f) {
+      if (std::abs(freqs_hz[f]) <= dc_guard_hz) continue;
+      acc += std::abs(freqs_hz[f]) * col[f];
+      weight += col[f];
+    }
+  }
+  if (weight <= 0.0) return 0.0;
+  // Round-trip Doppler: f = 2 v / lambda.
+  return wavelength_m * (acc / weight) / 2.0;
+}
+
+DopplerProcessor::DopplerProcessor() : DopplerProcessor(Config{}) {}
+
+DopplerProcessor::DopplerProcessor(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(dsp::is_pow2(static_cast<std::size_t>(cfg_.fft_size)),
+               "STFT size must be a power of two");
+  WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
+  WIVI_REQUIRE(cfg_.sample_rate_hz > 0.0, "sample rate must be positive");
+  window_ = dsp::make_window(dsp::WindowType::kHann,
+                             static_cast<std::size_t>(cfg_.fft_size));
+}
+
+DopplerSpectrogram DopplerProcessor::process(CSpan h, double t0) const {
+  const auto nfft = static_cast<std::size_t>(cfg_.fft_size);
+  WIVI_REQUIRE(h.size() >= nfft, "stream shorter than one STFT window");
+
+  DopplerSpectrogram out;
+  out.freqs_hz.resize(nfft);
+  for (std::size_t f = 0; f < nfft; ++f) {
+    const auto signed_bin =
+        static_cast<double>(f) - static_cast<double>(nfft) / 2.0;
+    out.freqs_hz[f] = signed_bin * cfg_.sample_rate_hz / static_cast<double>(nfft);
+  }
+
+  for (std::size_t n = 0; n + nfft <= h.size();
+       n += static_cast<std::size_t>(cfg_.hop)) {
+    CVec win(h.begin() + static_cast<std::ptrdiff_t>(n),
+             h.begin() + static_cast<std::ptrdiff_t>(n + nfft));
+    if (cfg_.remove_dc) {
+      cdouble mean{0.0, 0.0};
+      for (const cdouble& v : win) mean += v;
+      mean /= static_cast<double>(nfft);
+      for (cdouble& v : win) v -= mean;
+    }
+    dsp::apply_window(win, window_);
+    dsp::fft(win);
+    const CVec shifted = dsp::fftshift(win);
+    RVec power(nfft);
+    for (std::size_t f = 0; f < nfft; ++f) power[f] = norm2(shifted[f]);
+    out.columns.push_back(std::move(power));
+    out.times_sec.push_back(
+        t0 + (static_cast<double>(n) + static_cast<double>(nfft) / 2.0) /
+                 cfg_.sample_rate_hz);
+  }
+  return out;
+}
+
+NarrowbandMotionDetector::NarrowbandMotionDetector()
+    : NarrowbandMotionDetector(Config{}) {}
+
+NarrowbandMotionDetector::NarrowbandMotionDetector(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.dc_guard_hz >= 0.0, "DC guard must be >= 0");
+  WIVI_REQUIRE(cfg_.threshold_peak_over_floor > 1.0,
+               "peak-over-floor threshold must exceed 1");
+}
+
+NarrowbandMotionDetector::Decision NarrowbandMotionDetector::detect(
+    CSpan h) const {
+  const DopplerProcessor proc(cfg_.stft);
+  const DopplerSpectrogram spec = proc.process(h);
+  Decision d;
+  d.peak_over_floor = spec.peak_over_floor(cfg_.dc_guard_hz);
+  d.energy_ratio = spec.motion_energy_ratio(cfg_.dc_guard_hz);
+  d.radial_speed_mps = spec.mean_radial_speed_mps(cfg_.dc_guard_hz);
+  d.motion = d.peak_over_floor > cfg_.threshold_peak_over_floor;
+  return d;
+}
+
+}  // namespace wivi::core

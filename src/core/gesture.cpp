@@ -1,0 +1,142 @@
+#include "src/core/gesture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+#include "src/dsp/matched_filter.hpp"
+#include "src/dsp/peaks.hpp"
+#include "src/dsp/stats.hpp"
+
+namespace wivi::core {
+
+std::vector<GestureStep> encode_message(std::span<const Bit> bits,
+                                        const GestureProfile& profile,
+                                        double t0) {
+  std::vector<GestureStep> steps;
+  steps.reserve(bits.size() * 2);
+  double t = t0;
+  for (Bit b : bits) {
+    const bool first_forward = (b == Bit::kZero);  // '0' = F then B, '1' = B then F
+    steps.push_back({first_forward, t});
+    t += profile.step_duration_sec + profile.intra_bit_pause_sec;
+    steps.push_back({!first_forward, t});
+    t += profile.step_duration_sec + profile.inter_bit_pause_sec;
+  }
+  return steps;
+}
+
+double message_duration_sec(std::size_t num_bits, const GestureProfile& profile) {
+  return static_cast<double>(num_bits) * profile.bit_duration_sec();
+}
+
+GestureDecoder::GestureDecoder() : GestureDecoder(Config{}) {}
+
+GestureDecoder::GestureDecoder(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.dc_exclusion_deg >= 0.0 && cfg_.dc_exclusion_deg < 90.0,
+               "dc exclusion must be in [0, 90)");
+  WIVI_REQUIRE(cfg_.snr_gate_db >= 0.0, "SNR gate must be >= 0 dB");
+}
+
+RVec GestureDecoder::angle_signal(const AngleTimeImage& img) const {
+  // Signed projection: dB excess over the column median, weighted by the
+  // normalised angle. Deliberately NOT clamped at zero - the background
+  // fluctuations must survive so the decoder's noise estimate (and hence
+  // the 3 dB SNR gate) is meaningful even in all-quiet traces.
+  RVec sig(img.num_times(), 0.0);
+  for (std::size_t t = 0; t < img.num_times(); ++t) {
+    const RVec col_db = img.column_db(t);
+    const double baseline = dsp::median(col_db);
+    double acc = 0.0;
+    for (std::size_t a = 0; a < img.num_angles(); ++a) {
+      const double theta = img.angles_deg[a];
+      if (std::abs(theta) <= cfg_.dc_exclusion_deg) continue;
+      acc += (col_db[a] - baseline) * (theta / 90.0);
+    }
+    sig[t] = acc;
+  }
+  return sig;
+}
+
+RVec GestureDecoder::matched_output(RSpan angle_sig,
+                                    double column_period_sec) const {
+  WIVI_REQUIRE(column_period_sec > 0.0, "column period must be positive");
+  const auto len = std::max<std::size_t>(
+      3, static_cast<std::size_t>(
+             std::round(cfg_.profile.step_duration_sec / column_period_sec)));
+  // Forward steps: upright triangle above zero; backward: inverted below.
+  // Correlating with the upright triangle answers both (the inverted filter
+  // is its negation, and the paper sums the two filter outputs, which for a
+  // signed input is equivalent to a single signed correlation).
+  RVec tri = dsp::triangle_template(len, 1.0);
+  // Unit-energy template so the output scale is window-length independent.
+  const double e = std::sqrt(dsp::template_energy(tri));
+  for (auto& v : tri) v /= e;
+  return dsp::matched_filter(angle_sig, tri);
+}
+
+GestureDecoder::Result GestureDecoder::decode(const AngleTimeImage& img) const {
+  Result r;
+  r.angle_signal = angle_signal(img);
+  const double dt = img.num_times() >= 2
+                        ? img.times_sec[1] - img.times_sec[0]
+                        : cfg_.profile.step_duration_sec / 8.0;
+  r.matched_output = matched_output(r.angle_signal, dt);
+
+  // Robust noise scale: median absolute deviation of the matched output.
+  // Gestures are sparse in time, so the MAD tracks the noise, not them.
+  RVec abs_out(r.matched_output.size());
+  for (std::size_t i = 0; i < abs_out.size(); ++i)
+    abs_out[i] = std::abs(r.matched_output[i]);
+  const double mad = dsp::median(abs_out);
+  r.noise_sigma = std::max(1.4826 * mad, 1e-12);
+
+  // Peak detection with the 3 dB SNR gate (amplitude ratio).
+  const double min_height = r.noise_sigma * db_to_amp(cfg_.snr_gate_db);
+  const auto min_dist = static_cast<std::size_t>(std::max(
+      1.0, 0.9 * cfg_.profile.step_duration_sec / dt));
+  const std::vector<dsp::Peak> peaks =
+      dsp::find_signed_peaks(r.matched_output, min_height, min_dist);
+
+  for (const dsp::Peak& p : peaks) {
+    Symbol s;
+    s.time_sec = img.times_sec[p.index];
+    s.sign = p.value >= 0.0 ? +1 : -1;
+    s.snr_db = amp_to_db(std::abs(p.value) / r.noise_sigma);
+    r.symbols.push_back(s);
+  }
+
+  // Pair consecutive opposite-sign symbols into bits: (+,-) => '0',
+  // (-,+) => '1' (Fig. 6-3(b)). The gap limit enforces bit framing.
+  const double max_gap =
+      cfg_.max_pair_gap_sec > 0.0
+          ? cfg_.max_pair_gap_sec
+          : cfg_.profile.step_duration_sec + cfg_.profile.intra_bit_pause_sec +
+                0.5 * cfg_.profile.inter_bit_pause_sec;
+  std::size_t i = 0;
+  while (i < r.symbols.size()) {
+    if (i + 1 < r.symbols.size()) {
+      const Symbol& a = r.symbols[i];
+      const Symbol& b = r.symbols[i + 1];
+      const bool opposite = a.sign * b.sign < 0;
+      const bool close = b.time_sec - a.time_sec <= max_gap;
+      const bool comparable =
+          std::abs(a.snr_db - b.snr_db) <= cfg_.snr_pair_tolerance_db;
+      if (opposite && close && comparable) {
+        DecodedBit bit;
+        bit.value = a.sign > 0 ? Bit::kZero : Bit::kOne;
+        bit.time_sec = 0.5 * (a.time_sec + b.time_sec);
+        bit.snr_db = std::min(a.snr_db, b.snr_db);
+        r.bits.push_back(bit);
+        i += 2;
+        continue;
+      }
+    }
+    ++r.unpaired_symbols;
+    ++i;
+  }
+  return r;
+}
+
+}  // namespace wivi::core

@@ -1,0 +1,131 @@
+// Through-wall gesture-based communication (paper §6).
+//
+// Encoding (§6.1): a '0' bit is a step forward then a step backward; a '1'
+// bit is a step backward then a step forward — Manchester-like, composable,
+// and trivially decodable. A forward step sweeps the spatial angle through
+// a triangle above the zero line, a backward step through an inverted
+// triangle below it (Fig. 6-1).
+//
+// Decoding (§6.2): project the angle-time image onto a signed 1-D angle
+// signal, apply two matched filters (upright and inverted triangle), sum,
+// peak-detect, and pair consecutive opposite-sign symbols into bits. A
+// gesture is decoded only if its matched-filter SNR exceeds 3 dB (Fig. 7-4
+// caption), so failures are erasures, never bit flips (§7.5).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+
+namespace wivi::core {
+
+enum class Bit : int { kZero = 0, kOne = 1 };
+
+/// Physical parameters of the step gestures. Defaults reproduce the paper's
+/// §7.5 micro-measurements: ~2-3 foot steps, ~2.2 s per bit gesture.
+struct GestureProfile {
+  // Defaults keep the raised-cosine peak speed at ~1 m/s, matching the
+  // ISAR assumed speed so a straight-at-the-device step sweeps the full
+  // 0 -> 90 -> 0 degree triangle of Fig. 6-1 (a faster step would push
+  // sin(theta) = v_r / v beyond the visible region).
+  double step_duration_sec = 0.95;   // one step, forward or backward
+  double step_length_m = 0.48;       // ~19 inches
+  double intra_bit_pause_sec = 0.1;  // between the two steps of one bit
+  /// Longer than the intra-bit pause on purpose: the gap difference is the
+  /// framing signal that lets the decoder pair steps into bits without
+  /// cascading after an erased step.
+  double inter_bit_pause_sec = 0.65;
+  /// Humans find stepping backward harder and take smaller backward steps
+  /// (§7.5) - one of the two reasons bit '0' outruns bit '1' in SNR
+  /// (Fig. 7-5). Scale of a backward step relative to a forward one.
+  double backward_step_scale = 0.85;
+  /// Peak speed of the raised-cosine step speed profile; derived so that the
+  /// step covers step_length_m in step_duration_sec.
+  [[nodiscard]] double peak_speed_mps() const noexcept {
+    return 2.0 * step_length_m / step_duration_sec;
+  }
+  [[nodiscard]] double bit_duration_sec() const noexcept {
+    return 2.0 * step_duration_sec + intra_bit_pause_sec + inter_bit_pause_sec;
+  }
+};
+
+/// One encoded step: direction and absolute start time.
+struct GestureStep {
+  bool forward = true;
+  double start_sec = 0.0;
+};
+
+/// Encode a message as a timed step sequence starting at `t0`.
+[[nodiscard]] std::vector<GestureStep> encode_message(
+    std::span<const Bit> bits, const GestureProfile& profile, double t0 = 0.0);
+
+/// Total airtime of an encoded message.
+[[nodiscard]] double message_duration_sec(std::size_t num_bits,
+                                          const GestureProfile& profile);
+
+class GestureDecoder {
+ public:
+  struct Config {
+    GestureProfile profile;
+    /// Columns with |theta| below this are the DC line; excluded (§5.2).
+    double dc_exclusion_deg = 12.0;
+    /// Decode gate: gestures below this matched-filter SNR are erased
+    /// (paper: 3 dB, Fig. 7-4 caption).
+    double snr_gate_db = 3.0;
+    /// Two steps pair into one bit only if closer than this; <= 0 means
+    /// derive from the profile (step + intra pause + half the inter pause),
+    /// so symbols across a bit boundary never pair and an erased step
+    /// produces one unpaired symbol instead of cascading mispairs.
+    double max_pair_gap_sec = 0.0;
+    /// The two steps of one bit are performed from (almost) the same spot,
+    /// so their matched-filter SNRs are within a few dB of each other;
+    /// symbols further apart than this are never paired. This is what keeps
+    /// the decoder's failures erasures instead of flips (§7.5): a weak
+    /// noise blip cannot pair with a strong genuine step.
+    double snr_pair_tolerance_db = 18.0;
+  };
+
+  struct Symbol {
+    double time_sec = 0.0;
+    int sign = 0;        // +1 forward step, -1 backward step
+    double snr_db = 0.0;
+  };
+
+  struct DecodedBit {
+    Bit value = Bit::kZero;
+    double time_sec = 0.0;
+    double snr_db = 0.0;  // the weaker of the two constituent steps
+  };
+
+  struct Result {
+    std::vector<DecodedBit> bits;
+    std::vector<Symbol> symbols;       // all gated symbols, time order
+    std::size_t unpaired_symbols = 0;  // halves that found no partner
+    RVec angle_signal;                 // intermediate, for figures
+    RVec matched_output;               // Fig. 6-3(a)
+    double noise_sigma = 0.0;          // robust noise scale of matched output
+  };
+
+  GestureDecoder();  // default Config
+  explicit GestureDecoder(Config cfg);
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Signed 1-D angle signal from the image: positive-angle energy minus
+  /// negative-angle energy, per column (the projection Fig. 6-1 plots).
+  [[nodiscard]] RVec angle_signal(const AngleTimeImage& img) const;
+
+  /// Sum of the two triangle matched filters (Fig. 6-3(a)).
+  /// `column_period_sec` is the image's time step.
+  [[nodiscard]] RVec matched_output(RSpan angle_sig,
+                                    double column_period_sec) const;
+
+  /// Full decode of an angle-time image.
+  [[nodiscard]] Result decode(const AngleTimeImage& img) const;
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace wivi::core

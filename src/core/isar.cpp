@@ -1,0 +1,48 @@
+#include "src/core/isar.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::core {
+
+double element_spacing_m(const IsarConfig& cfg) noexcept {
+  return 2.0 * cfg.assumed_speed_mps * cfg.sample_period_sec;
+}
+
+CVec steering_vector(const IsarConfig& cfg, double theta_deg, std::size_t m) {
+  WIVI_REQUIRE(m > 0, "steering vector length must be positive");
+  WIVI_REQUIRE(theta_deg >= -90.0 && theta_deg <= 90.0,
+               "theta must be in [-90, 90] degrees");
+  const double sin_theta = std::sin(theta_deg * kPi / 180.0);
+  const double phase_step =
+      kTwoPi * element_spacing_m(cfg) * sin_theta / cfg.wavelength_m;
+  CVec a(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double phi = phase_step * static_cast<double>(i);
+    a[i] = {std::cos(phi), std::sin(phi)};
+  }
+  return a;
+}
+
+RVec angle_grid_deg(double step_deg) {
+  WIVI_REQUIRE(step_deg > 0.0, "angle step must be positive");
+  RVec grid;
+  for (double t = -90.0; t <= 90.0 + 1e-9; t += step_deg) grid.push_back(t);
+  return grid;
+}
+
+RVec beamform_power(CSpan window, const IsarConfig& cfg, RSpan angles_deg) {
+  WIVI_REQUIRE(!window.empty(), "beamform: empty window");
+  RVec out(angles_deg.size(), 0.0);
+  for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
+    const CVec a = steering_vector(cfg, angles_deg[ai], window.size());
+    cdouble acc{0.0, 0.0};
+    for (std::size_t i = 0; i < window.size(); ++i)
+      acc += window[i] * std::conj(a[i]);
+    out[ai] = norm2(acc) / static_cast<double>(window.size());
+  }
+  return out;
+}
+
+}  // namespace wivi::core

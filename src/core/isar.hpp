@@ -1,0 +1,47 @@
+// Inverse synthetic aperture radar: time samples as antenna arrays
+// (paper §5.1, Fig. 5-1, Eq. 5.1).
+//
+// Consecutive channel estimates h[n]..h[n+w] are treated as one antenna
+// array whose element spacing is Delta = 2 v T (v = assumed human speed,
+// T = channel sample period; the factor 2 accounts for the round trip,
+// paper footnote 2 of §5.1). Beam steering over that array gives
+//   A[theta, n] = sum_i h[n+i] * conj(a_i(theta)),
+//   a_i(theta)  = exp(j 2 pi i Delta sin(theta) / lambda),
+// which peaks at sin(theta) = v_radial / v: a person walking straight at
+// the device (v_r = +1 m/s) shows at +90 degrees, walking away at -90.
+#pragma once
+
+#include "src/common/constants.hpp"
+#include "src/common/types.hpp"
+
+namespace wivi::core {
+
+struct IsarConfig {
+  double wavelength_m = kWavelength;
+  /// Assumed target speed v (paper default 1 m/s, §5.1).
+  double assumed_speed_mps = kAssumedHumanSpeed;
+  /// Channel-estimate sample period T (312.5 Hz stream, paper §7.1).
+  double sample_period_sec = 1.0 / kChannelSampleRateHz;
+  /// Emulated array size w (paper §7.1: 100).
+  int window = kEmulatedArraySize;
+};
+
+/// Emulated element spacing Delta = 2 v T.
+[[nodiscard]] double element_spacing_m(const IsarConfig& cfg) noexcept;
+
+/// Steering vector a(theta) of length `m` for the emulated array.
+[[nodiscard]] CVec steering_vector(const IsarConfig& cfg, double theta_deg,
+                                   std::size_t m);
+
+/// Uniform angle grid [-90, 90] with the given step (181 angles at 1 deg),
+/// the grid all evaluation figures use.
+[[nodiscard]] RVec angle_grid_deg(double step_deg = 1.0);
+
+/// Eq. 5.1: beamformed power |A[theta, n]|^2 for one window of channel
+/// samples, evaluated on the given angle grid. This is the conventional
+/// (non-MUSIC) beamformer, kept both as the pedagogical baseline and for
+/// the MUSIC-vs-beamforming ablation (paper §5.2 footnote 6).
+[[nodiscard]] RVec beamform_power(CSpan window, const IsarConfig& cfg,
+                                  RSpan angles_deg);
+
+}  // namespace wivi::core

@@ -1,0 +1,96 @@
+#include "src/core/music.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+#include "src/linalg/eig.hpp"
+
+namespace wivi::core {
+
+SmoothedMusic::SmoothedMusic(MusicConfig cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.subarray >= 2, "sub-array must have at least 2 elements");
+  WIVI_REQUIRE(cfg_.max_sources >= 1, "max_sources must be >= 1");
+  WIVI_REQUIRE(cfg_.max_sources < cfg_.subarray,
+               "max_sources must leave room for noise eigenvectors");
+  WIVI_REQUIRE(cfg_.signal_threshold_db > 0.0, "signal threshold must be positive");
+}
+
+linalg::CMatrix SmoothedMusic::smoothed_correlation(CSpan window) const {
+  const auto wp = static_cast<std::size_t>(cfg_.subarray);
+  WIVI_REQUIRE(window.size() >= wp,
+               "window shorter than the smoothing sub-array");
+  const std::size_t num_subarrays = window.size() - wp + 1;
+  linalg::CMatrix r(wp, wp);
+  for (std::size_t s = 0; s < num_subarrays; ++s) {
+    const CSpan sub = window.subspan(s, wp);
+    // Accumulate the rank-one term sub * sub^H without materialising it.
+    for (std::size_t i = 0; i < wp; ++i)
+      for (std::size_t j = 0; j < wp; ++j)
+        r(i, j) += sub[i] * std::conj(sub[j]);
+  }
+  r *= cdouble{1.0 / static_cast<double>(num_subarrays), 0.0};
+  return r;
+}
+
+int SmoothedMusic::estimate_model_order(RSpan eigenvalues) const {
+  WIVI_REQUIRE(eigenvalues.size() >= 2, "need at least two eigenvalues");
+  // Noise floor: median of the smallest half of the (descending)
+  // eigenvalues — robust even when several strong sources leak into the
+  // lower half.
+  const std::size_t n = eigenvalues.size();
+  const std::size_t half = n / 2;
+  RVec tail(eigenvalues.begin() + static_cast<std::ptrdiff_t>(half),
+            eigenvalues.end());
+  std::sort(tail.begin(), tail.end());
+  const double floor = std::max(tail[tail.size() / 2], 1e-300);
+  const double threshold = floor * from_db(cfg_.signal_threshold_db);
+
+  int order = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (eigenvalues[i] > threshold)
+      ++order;
+    else
+      break;  // eigenvalues are sorted; the first miss ends the signal set
+  }
+  order = std::clamp(order, 1, cfg_.max_sources);
+  // Keep at least one noise eigenvector for the null-space projection.
+  order = std::min(order, static_cast<int>(n) - 1);
+  return order;
+}
+
+RVec SmoothedMusic::pseudospectrum(CSpan window, RSpan angles_deg,
+                                   int* model_order_out) const {
+  const linalg::CMatrix r = smoothed_correlation(window);
+  const linalg::EigResult eig = linalg::hermitian_eig(r);
+  const int order = estimate_model_order(eig.values);
+  if (model_order_out != nullptr) *model_order_out = order;
+
+  const std::size_t wp = r.rows();
+  const std::size_t num_noise = wp - static_cast<std::size_t>(order);
+
+  // Pre-extract the noise eigenvectors (columns order .. wp-1).
+  std::vector<CVec> noise;
+  noise.reserve(num_noise);
+  for (std::size_t j = static_cast<std::size_t>(order); j < wp; ++j)
+    noise.push_back(eig.vectors.column(j));
+
+  RVec spectrum(angles_deg.size(), 0.0);
+  for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
+    CVec a = steering_vector(cfg_.isar, angles_deg[ai], wp);
+    // Unit-norm steering so the pseudospectrum scale is grid-independent.
+    const double inv_norm = 1.0 / std::sqrt(static_cast<double>(wp));
+    for (auto& v : a) v *= inv_norm;
+    double proj = 0.0;
+    for (const CVec& u : noise) {
+      cdouble dot{0.0, 0.0};
+      for (std::size_t i = 0; i < wp; ++i) dot += std::conj(a[i]) * u[i];
+      proj += norm2(dot);
+    }
+    spectrum[ai] = 1.0 / std::max(proj, 1e-12);
+  }
+  return spectrum;
+}
+
+}  // namespace wivi::core

@@ -1,0 +1,58 @@
+// Smoothed MUSIC over the emulated ISAR array (paper §5.2, Eqs. 5.2-5.3).
+//
+// Reflections from multiple humans are correlated (they all reflect the
+// same transmitted signal), which defeats plain MUSIC; spatial smoothing
+// (Shan, Wax & Kailath 1985) de-correlates them by averaging correlation
+// matrices over overlapping sub-arrays of size w' < w before the eigen
+// decomposition. The pseudospectrum
+//   A'[theta] = 1 / sum_j |a(theta)^H u_j|^2        (noise eigenvectors u_j)
+// spikes at the moving humans' spatial angles and at the DC (theta = 0)
+// residual from imperfect nulling.
+#pragma once
+
+#include "src/core/isar.hpp"
+#include "src/linalg/cmatrix.hpp"
+
+namespace wivi::core {
+
+struct MusicConfig {
+  IsarConfig isar;
+  /// Sub-array length w' used for spatial smoothing. Must be <= the window
+  /// passed to pseudospectrum(); 32 trades angular resolution against
+  /// de-correlation across the w = 100 window.
+  int subarray = 32;
+  /// Largest number of signal eigenvectors we will ever attribute to
+  /// sources (humans + DC). A closed conference room holds at most a few.
+  int max_sources = 16;
+  /// An eigenvalue is "signal" if it exceeds the noise-floor estimate by
+  /// this many dB (the floor is the mean of the smallest half of the
+  /// eigenvalues).
+  double signal_threshold_db = 12.0;
+};
+
+class SmoothedMusic {
+ public:
+  explicit SmoothedMusic(MusicConfig cfg = {});
+
+  [[nodiscard]] const MusicConfig& config() const noexcept { return cfg_; }
+
+  /// Eq. 5.2 with spatial smoothing: average of sub-array correlation
+  /// matrices (w' x w').
+  [[nodiscard]] linalg::CMatrix smoothed_correlation(CSpan window) const;
+
+  /// Number of signal eigenvectors given descending eigenvalues.
+  /// At least 1 (the DC always exists), at most cfg.max_sources, and always
+  /// leaves at least one noise eigenvector.
+  [[nodiscard]] int estimate_model_order(RSpan eigenvalues) const;
+
+  /// Eq. 5.3: the MUSIC pseudospectrum of one window of channel estimates
+  /// on the given angle grid. If `model_order_out` is non-null it receives
+  /// the estimated number of signal eigenvectors.
+  [[nodiscard]] RVec pseudospectrum(CSpan window, RSpan angles_deg,
+                                    int* model_order_out = nullptr) const;
+
+ private:
+  MusicConfig cfg_;
+};
+
+}  // namespace wivi::core

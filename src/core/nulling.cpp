@@ -1,0 +1,136 @@
+#include "src/core/nulling.hpp"
+
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::core {
+namespace {
+
+/// Combined power (dB) of the used-subcarrier average of a per-subcarrier
+/// channel vector.
+double combined_power_db(const phy::OfdmModem& modem, CSpan h) {
+  const cdouble c = modem.combine_subcarriers(h);
+  return to_db(norm2(c));
+}
+
+}  // namespace
+
+Nuller::Nuller() : Nuller(Config{}) {}
+
+Nuller::Nuller(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.symbols_per_estimate >= 1, "need at least one symbol per estimate");
+  WIVI_REQUIRE(cfg_.max_iterations >= 0, "max_iterations must be >= 0");
+  WIVI_REQUIRE(cfg_.tx_boost_db >= 0.0 && cfg_.rx_boost_db >= 0.0,
+               "gain boosts must be non-negative");
+}
+
+CVec Nuller::measure(phy::SubcarrierLink& link, CSpan x0, CSpan x1,
+                     bool* saturated) const {
+  const phy::OfdmModem& modem = link.modem();
+  const auto n = static_cast<std::size_t>(modem.num_subcarriers());
+  CVec acc(n, cdouble{0.0, 0.0});
+  bool any_saturated = false;
+  const CVec ref = modem.preamble(cfg_.preamble_seed);
+  for (int s = 0; s < cfg_.symbols_per_estimate; ++s) {
+    const CVec y = link.transceive(x0, x1);
+    any_saturated = any_saturated || link.last_rx_saturated();
+    const CVec h = modem.estimate_channel(y, ref);
+    for (std::size_t k = 0; k < n; ++k) acc[k] += h[k];
+  }
+  // Normalise to propagation units: divide out both gains so estimates made
+  // at different gain settings are comparable (Alg. 1 mixes them).
+  const double gain = db_to_amp(link.tx_gain_db()) * db_to_amp(link.rx_gain_db());
+  const double scale = 1.0 / (gain * static_cast<double>(cfg_.symbols_per_estimate));
+  for (auto& v : acc) v *= scale;
+  if (saturated != nullptr) *saturated = any_saturated;
+  return acc;
+}
+
+Nuller::Result Nuller::run(phy::SubcarrierLink& link) const {
+  const phy::OfdmModem& modem = link.modem();
+  const auto n = static_cast<std::size_t>(modem.num_subcarriers());
+  const CVec x = modem.preamble(cfg_.preamble_seed);
+  const CVec zero(n, cdouble{0.0, 0.0});
+  const double base_tx = link.tx_gain_db();
+  const double base_rx = link.rx_gain_db();
+
+  Result r;
+
+  // --- Flash-effect witness: both antennas at boosted gain, no precoding.
+  link.set_tx_gain_db(base_tx + cfg_.tx_boost_db);
+  (void)measure(link, x, x, &r.saturates_without_nulling);
+  link.set_tx_gain_db(base_tx);
+
+  // --- Phase 1: initial nulling (standard MIMO channel sounding).
+  r.h1 = measure(link, x, zero);
+  r.h2 = measure(link, zero, x);
+
+  r.p.assign(n, cdouble{0.0, 0.0});
+  for (int k : modem.used_subcarriers()) {
+    const auto i = static_cast<std::size_t>(k);
+    WIVI_REQUIRE(norm2(r.h2[i]) > 0.0, "h2 estimate is zero; cannot precode");
+    r.p[i] = -r.h1[i] / r.h2[i];
+  }
+
+  // Pre-null static power: what the RX sees with both antennas active and
+  // no precoding. (Reflections combine linearly, so h = h1 + h2.)
+  {
+    CVec h_sum(n, cdouble{0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) h_sum[k] = r.h1[k] + r.h2[k];
+    r.pre_null_power_db = combined_power_db(modem, h_sum);
+  }
+
+  // --- Phase 2: power boosting. Safe because the channel is nulled.
+  link.set_tx_gain_db(base_tx + cfg_.tx_boost_db);
+  link.set_rx_gain_db(base_rx + cfg_.rx_boost_db);
+
+  // --- Phase 3: iterative nulling.
+  auto transmit_nulled = [&](bool* sat) {
+    CVec x1(n);
+    for (std::size_t k = 0; k < n; ++k) x1[k] = r.p[k] * x[k];
+    return measure(link, x, x1, sat);
+  };
+
+  CVec hres = transmit_nulled(&r.saturates_with_nulling);
+  double residual_db = combined_power_db(modem, hres);
+  r.initial_residual_power_db = residual_db;
+  r.residual_trajectory_db.push_back(residual_db);
+
+  for (int i = 0; i < cfg_.max_iterations; ++i) {
+    // Alg. 1: even iterations refine h1 (Eq. 4.2), odd refine h2 (Eq. 4.3).
+    for (int k : modem.used_subcarriers()) {
+      const auto s = static_cast<std::size_t>(k);
+      if (i % 2 == 0) {
+        r.h1[s] = hres[s] + r.h1[s];
+      } else {
+        if (norm2(r.h1[s]) == 0.0) continue;
+        r.h2[s] = (cdouble{1.0, 0.0} - hres[s] / r.h1[s]) * r.h2[s];
+      }
+      if (norm2(r.h2[s]) > 0.0) r.p[s] = -r.h1[s] / r.h2[s];
+    }
+    bool sat = false;
+    hres = transmit_nulled(&sat);
+    const double new_db = combined_power_db(modem, hres);
+    r.residual_trajectory_db.push_back(new_db);
+    r.iterations_used = i + 1;
+    if (residual_db - new_db < cfg_.min_improvement_db) {
+      residual_db = std::min(residual_db, new_db);
+      break;
+    }
+    residual_db = new_db;
+  }
+
+  r.residual_power_db = residual_db;
+  r.nulling_db = r.pre_null_power_db - r.residual_power_db;
+  return r;
+}
+
+double lemma_4_1_1_residual(double initial_residual, double error_ratio,
+                            int iterations) {
+  WIVI_REQUIRE(iterations >= 0, "iterations must be >= 0");
+  return initial_residual * std::pow(error_ratio, iterations);
+}
+
+}  // namespace wivi::core

@@ -1,0 +1,101 @@
+// MIMO interference nulling to eliminate the flash effect (paper §4, Alg. 1).
+//
+// Three phases, exactly as the paper's Algorithm 1:
+//   1. Initial nulling — estimate h1, h2 from separate preambles, precode the
+//      second antenna with p = -h1/h2 so static reflections cancel at the RX.
+//   2. Power boosting — raise TX (and optionally RX) gain; safe only because
+//      the channel is already nulled, so the ADC no longer saturates.
+//   3. Iterative nulling — the combined residual h_res is re-measured and
+//      attributed alternately to h1 (even iterations, Eq. 4.2) and h2 (odd
+//      iterations, Eq. 4.3); converges geometrically (Lemma 4.1.1).
+//
+// Everything is per subcarrier (paper §7.1) against the abstract
+// phy::SubcarrierLink, so the same code would drive real radios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/hw/usrp.hpp"
+#include "src/phy/link.hpp"
+
+namespace wivi::core {
+
+class Nuller {
+ public:
+  struct Config {
+    /// OFDM symbols averaged per channel estimate; each estimate spans a few
+    /// milliseconds, short relative to human motion (paper §4.1 last bullet).
+    int symbols_per_estimate = 8;
+    /// Power boost after initial nulling (paper: 12 dB, USRP linear range).
+    double tx_boost_db = hw::kPowerBoostDb;
+    /// Extra RX gain after nulling ("we can also boost the receive gain
+    /// without saturating", §4.1.2 footnote).
+    double rx_boost_db = 20.0;
+    /// Iterative-nulling cap; convergence is geometric so few are needed.
+    int max_iterations = 12;
+    /// Stop early once an iteration improves the residual by less than this.
+    double min_improvement_db = 0.5;
+    /// Preamble PRN seed (must match on TX and RX, as on a real device).
+    std::uint64_t preamble_seed = 0x5Fee1DEA;
+  };
+
+  struct Result {
+    /// Final per-subcarrier channel estimates and precoder (zeros on unused
+    /// subcarriers). The precoder is what stage-2 operation transmits.
+    CVec h1;
+    CVec h2;
+    CVec p;
+
+    /// Received static-path power before nulling (both antennas transmitting
+    /// x, no precoding), in dB relative to the estimation reference.
+    double pre_null_power_db = 0.0;
+    /// Residual static-path power after the final iteration (same reference).
+    double residual_power_db = 0.0;
+    /// Achieved nulling = pre_null_power_db - residual_power_db (Fig. 7-7).
+    double nulling_db = 0.0;
+
+    /// Residual after initial nulling only (ablation: what iterative nulling
+    /// buys on top of stage 1).
+    double initial_residual_power_db = 0.0;
+
+    /// Residual power per iterative-nulling iteration, for checking the
+    /// Lemma 4.1.1 geometric decay.
+    std::vector<double> residual_trajectory_db;
+    int iterations_used = 0;
+
+    /// Flash effect witness: did the ADC saturate when both antennas
+    /// transmitted at boosted gain *without* nulling?
+    bool saturates_without_nulling = false;
+    /// And with nulling in place at the same gain?
+    bool saturates_with_nulling = false;
+  };
+
+  Nuller();  // default Config
+  explicit Nuller(Config cfg);
+
+  /// Run the full three-phase procedure. Leaves the link at boosted TX/RX
+  /// gain with the precoder ready for stage-2 (tracking) operation.
+  [[nodiscard]] Result run(phy::SubcarrierLink& link) const;
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+ private:
+  /// Average per-subcarrier channel estimate over symbols_per_estimate
+  /// symbols, transmitting `x0`/`x1`; normalised to propagation units
+  /// (TX/RX gains divided out) so estimates from different gain settings
+  /// are directly comparable.
+  [[nodiscard]] CVec measure(phy::SubcarrierLink& link, CSpan x0, CSpan x1,
+                             bool* saturated = nullptr) const;
+
+  Config cfg_;
+};
+
+/// Predicted residual magnitude after `iterations` of iterative nulling
+/// given the initial residual and the relative estimate error |Δ2 / h2|
+/// (Lemma 4.1.1): |h_res^(i)| = |h_res^(0)| * ratio^i.
+[[nodiscard]] double lemma_4_1_1_residual(double initial_residual,
+                                          double error_ratio, int iterations);
+
+}  // namespace wivi::core

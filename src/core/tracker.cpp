@@ -1,0 +1,143 @@
+#include "src/core/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+#include "src/dsp/stats.hpp"
+
+namespace wivi::core {
+
+RVec AngleTimeImage::column_db(std::size_t t, double cap_db) const {
+  WIVI_REQUIRE(t < columns.size(), "image column out of range");
+  const RVec& col = columns[t];
+  // Reference = column median, not minimum: MUSIC pushes deeper nulls at
+  // non-source angles as SNR grows, so a min-referenced scale would inflate
+  // the whole column with source strength; the median is a stable floor.
+  const double floor_ref = std::max(dsp::median(col), 1e-300);
+  RVec out(col.size());
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    const double db = amp_to_db(std::sqrt(col[i] / floor_ref));
+    out[i] = std::clamp(db, 0.0, cap_db);
+  }
+  return out;
+}
+
+double AngleTimeImage::global_min() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const RVec& col : columns)
+    lo = std::min(lo, *std::min_element(col.begin(), col.end()));
+  return lo;
+}
+
+double AngleTimeImage::global_max() const {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const RVec& col : columns)
+    hi = std::max(hi, *std::max_element(col.begin(), col.end()));
+  return hi;
+}
+
+MotionTracker::MotionTracker() : MotionTracker(Config{}) {}
+
+MotionTracker::MotionTracker(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
+  WIVI_REQUIRE(cfg_.angle_step_deg > 0.0, "angle step must be positive");
+}
+
+double MotionTracker::column_period_sec() const noexcept {
+  return static_cast<double>(cfg_.hop) * cfg_.music.isar.sample_period_sec;
+}
+
+AngleTimeImage MotionTracker::process(CSpan h, double t0) const {
+  const auto w = static_cast<std::size_t>(cfg_.music.isar.window);
+  WIVI_REQUIRE(h.size() >= w, "channel stream shorter than one ISAR window");
+
+  AngleTimeImage img;
+  img.angles_deg = angle_grid_deg(cfg_.angle_step_deg);
+  const SmoothedMusic music(cfg_.music);
+  const double T = cfg_.music.isar.sample_period_sec;
+
+  for (std::size_t n = 0; n + w <= h.size();
+       n += static_cast<std::size_t>(cfg_.hop)) {
+    int order = 0;
+    img.columns.push_back(
+        music.pseudospectrum(h.subspan(n, w), img.angles_deg, &order));
+    img.model_orders.push_back(order);
+    img.times_sec.push_back(t0 + (static_cast<double>(n) +
+                                  static_cast<double>(w) / 2.0) *
+                                     T);
+  }
+  return img;
+}
+
+RVec MotionTracker::dominant_angle_trace(const AngleTimeImage& img,
+                                         double dc_exclusion_deg,
+                                         double min_peak_db) const {
+  RVec trace(img.num_times(), std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t t = 0; t < img.num_times(); ++t) {
+    const RVec col_db = img.column_db(t);
+    const double baseline = dsp::median(col_db);
+    double best_db = -1.0;
+    std::size_t best_idx = 0;
+    for (std::size_t a = 0; a < img.num_angles(); ++a) {
+      if (std::abs(img.angles_deg[a]) <= dc_exclusion_deg) continue;
+      if (col_db[a] > best_db) {
+        best_db = col_db[a];
+        best_idx = a;
+      }
+    }
+    if (best_db - baseline >= min_peak_db) trace[t] = img.angles_deg[best_idx];
+  }
+  return trace;
+}
+
+std::string render_ascii(const AngleTimeImage& img, std::size_t max_cols,
+                         std::size_t max_rows) {
+  WIVI_REQUIRE(img.num_times() > 0 && img.num_angles() > 0,
+               "cannot render an empty image");
+  static constexpr char kShades[] = " .:-=+*#%@";
+  constexpr std::size_t kNumShades = sizeof(kShades) - 1;
+
+  const std::size_t cols = std::min(max_cols, img.num_times());
+  const std::size_t rows = std::min(max_rows, img.num_angles());
+  std::string out;
+  out.reserve((rows + 2) * (cols + 16));
+
+  // Convert each selected column to dB once.
+  std::vector<RVec> cols_db(cols);
+  double hi = 0.0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t t = c * (img.num_times() - 1) / std::max<std::size_t>(cols - 1, 1);
+    cols_db[c] = img.column_db(t);
+    hi = std::max(hi, *std::max_element(cols_db[c].begin(), cols_db[c].end()));
+  }
+  if (hi <= 0.0) hi = 1.0;
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Top row = +90 degrees, bottom = -90 (the paper's y-axis).
+    const std::size_t a =
+        (rows - 1 - r) * (img.num_angles() - 1) / std::max<std::size_t>(rows - 1, 1);
+    const double angle = img.angles_deg[a];
+    char label[8];
+    std::snprintf(label, sizeof(label), "%+4.0f ", angle);
+    out += label;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = cols_db[c][a] / hi;  // 0..1
+      const auto shade = static_cast<std::size_t>(
+          std::clamp(v, 0.0, 1.0) * static_cast<double>(kNumShades - 1) + 0.5);
+      out += kShades[shade];
+    }
+    out += '\n';
+  }
+  char footer[96];
+  std::snprintf(footer, sizeof(footer),
+                "     time %.2fs .. %.2fs  (angle +90 top / -90 bottom)\n",
+                img.times_sec.front(), img.times_sec.back());
+  out += footer;
+  return out;
+}
+
+}  // namespace wivi::core

@@ -1,0 +1,72 @@
+// Motion tracking pipeline: nulled channel-estimate stream -> angle-time
+// image A'[theta, n] (the heat maps of Figs. 5-2, 5-3, 7-2).
+#pragma once
+
+#include <vector>
+
+#include "src/core/music.hpp"
+
+namespace wivi::core {
+
+/// A'[theta, n] sampled on an angle grid at successive window positions.
+/// Values are the raw (linear) MUSIC pseudospectrum; consumers convert to
+/// dB with the normalisation that suits them.
+struct AngleTimeImage {
+  RVec angles_deg;                 // row coordinates
+  RVec times_sec;                  // column coordinates (window centres)
+  std::vector<RVec> columns;       // columns[t][a] = A'[angle a, time t]
+  std::vector<int> model_orders;   // MUSIC model order per column
+
+  [[nodiscard]] std::size_t num_times() const noexcept { return columns.size(); }
+  [[nodiscard]] std::size_t num_angles() const noexcept { return angles_deg.size(); }
+
+  /// Column t in dB relative to the column's minimum (all values >= 0),
+  /// clamped at `cap_db`. This is the "20 log10 A'" scale of Eq. 5.4.
+  [[nodiscard]] RVec column_db(std::size_t t, double cap_db = 60.0) const;
+
+  /// Global minimum / maximum over all columns (linear).
+  [[nodiscard]] double global_min() const;
+  [[nodiscard]] double global_max() const;
+};
+
+class MotionTracker {
+ public:
+  struct Config {
+    MusicConfig music;
+    /// Samples between successive window positions (image time resolution).
+    int hop = 25;
+    /// Angle grid step in degrees (paper sums theta over [-90, 90]).
+    double angle_step_deg = 1.0;
+  };
+
+  MotionTracker();  // default Config
+  explicit MotionTracker(Config cfg);
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Time step between image columns.
+  [[nodiscard]] double column_period_sec() const noexcept;
+
+  /// Run smoothed MUSIC over sliding windows of the channel stream.
+  /// `t0` is the absolute time of h.front().
+  [[nodiscard]] AngleTimeImage process(CSpan h, double t0 = 0.0) const;
+
+  /// Dominant non-DC angle per column: the angle of the strongest
+  /// pseudospectrum peak outside +/- dc_exclusion_deg, or NaN when that
+  /// peak is less than min_peak_db above the column's median level (no
+  /// confident mover).
+  [[nodiscard]] RVec dominant_angle_trace(const AngleTimeImage& img,
+                                          double dc_exclusion_deg = 12.0,
+                                          double min_peak_db = 6.0) const;
+
+ private:
+  Config cfg_;
+};
+
+/// Render an angle-time image as an ASCII heat map (examples and debug
+/// output; the paper's Figs. 5-2/5-3/7-2 are exactly this, in colour).
+[[nodiscard]] std::string render_ascii(const AngleTimeImage& img,
+                                       std::size_t max_cols = 72,
+                                       std::size_t max_rows = 31);
+
+}  // namespace wivi::core

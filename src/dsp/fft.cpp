@@ -1,0 +1,72 @@
+#include "src/dsp/fft.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+namespace {
+
+void bit_reverse_permute(CVec& x) {
+  const std::size_t n = x.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void transform(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cdouble wlen{std::cos(ang), std::sin(ang)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = x[i + k];
+        const cdouble v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= scale;
+  }
+}
+
+}  // namespace
+
+void fft(CVec& x) { transform(x, /*inverse=*/false); }
+
+void ifft(CVec& x) { transform(x, /*inverse=*/true); }
+
+CVec fft_copy(CSpan x) {
+  CVec out(x.begin(), x.end());
+  fft(out);
+  return out;
+}
+
+CVec ifft_copy(CSpan x) {
+  CVec out(x.begin(), x.end());
+  ifft(out);
+  return out;
+}
+
+CVec fftshift(CSpan x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  const std::size_t half = (n + 1) / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+}  // namespace wivi::dsp

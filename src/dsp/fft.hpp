@@ -1,0 +1,30 @@
+// In-place radix-2 FFT/IFFT.
+//
+// The OFDM PHY only ever needs power-of-two sizes (64 subcarriers, paper
+// §7.1), so a plain iterative Cooley-Tukey is exact and dependency-free.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace wivi::dsp {
+
+/// True iff n is a power of two (and > 0).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// In-place forward DFT. `x.size()` must be a power of two.
+/// Convention: X[k] = sum_n x[n] * exp(-j 2 pi k n / N), no scaling.
+void fft(CVec& x);
+
+/// In-place inverse DFT with 1/N scaling, so ifft(fft(x)) == x.
+void ifft(CVec& x);
+
+/// Out-of-place convenience overloads.
+[[nodiscard]] CVec fft_copy(CSpan x);
+[[nodiscard]] CVec ifft_copy(CSpan x);
+
+/// Rotate so the zero-frequency bin sits in the middle (plot ordering).
+[[nodiscard]] CVec fftshift(CSpan x);
+
+}  // namespace wivi::dsp

@@ -1,0 +1,97 @@
+#include "src/dsp/fir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+namespace {
+
+/// Normalised sinc: sin(pi x) / (pi x).
+double sinc(double x) noexcept {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = kPi * x;
+  return std::sin(px) / px;
+}
+
+template <typename T>
+std::vector<T> convolve_impl(std::span<const T> x, RSpan taps, ConvMode mode) {
+  WIVI_REQUIRE(!x.empty() && !taps.empty(), "convolve: empty input");
+  const std::size_t nx = x.size();
+  const std::size_t nt = taps.size();
+  const std::size_t nfull = nx + nt - 1;
+  std::vector<T> full(nfull, T{});
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t k = 0; k < nt; ++k) full[i + k] += x[i] * taps[k];
+  }
+  if (mode == ConvMode::kFull) return full;
+  // kSame: centre slice of length nx.
+  const std::size_t start = (nt - 1) / 2;
+  std::vector<T> same(full.begin() + static_cast<std::ptrdiff_t>(start),
+                      full.begin() + static_cast<std::ptrdiff_t>(start + nx));
+  return same;
+}
+
+}  // namespace
+
+RVec design_lowpass(std::size_t num_taps, double cutoff_norm, WindowType window) {
+  WIVI_REQUIRE(num_taps >= 3, "lowpass needs at least 3 taps");
+  WIVI_REQUIRE(cutoff_norm > 0.0 && cutoff_norm < 0.5,
+               "cutoff must be in (0, 0.5) of the sample rate");
+  const RVec w = make_window(window, num_taps);
+  RVec taps(num_taps);
+  const double centre = static_cast<double>(num_taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const double t = static_cast<double>(i) - centre;
+    taps[i] = 2.0 * cutoff_norm * sinc(2.0 * cutoff_norm * t) * w[i];
+    sum += taps[i];
+  }
+  // Unity DC gain.
+  for (auto& v : taps) v /= sum;
+  return taps;
+}
+
+CVec convolve(CSpan x, RSpan taps, ConvMode mode) {
+  return convolve_impl<cdouble>(x, taps, mode);
+}
+
+RVec convolve(RSpan x, RSpan taps, ConvMode mode) {
+  return convolve_impl<double>(x, taps, mode);
+}
+
+CVec block_average(CSpan x, std::size_t factor) {
+  WIVI_REQUIRE(factor > 0, "block_average factor must be positive");
+  const std::size_t nout = x.size() / factor;
+  CVec out(nout);
+  for (std::size_t i = 0; i < nout; ++i) {
+    cdouble acc{0.0, 0.0};
+    for (std::size_t k = 0; k < factor; ++k) acc += x[i * factor + k];
+    out[i] = acc / static_cast<double>(factor);
+  }
+  return out;
+}
+
+RVec moving_average(RSpan x, std::size_t w) {
+  WIVI_REQUIRE(w % 2 == 1, "moving_average window must be odd");
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  const auto half = static_cast<std::ptrdiff_t>(w / 2);
+  RVec out(x.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    int count = 0;
+    for (std::ptrdiff_t k = -half; k <= half; ++k) {
+      const std::ptrdiff_t idx = i + k;
+      if (idx >= 0 && idx < n) {
+        acc += x[static_cast<std::size_t>(idx)];
+        ++count;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = acc / count;
+  }
+  return out;
+}
+
+}  // namespace wivi::dsp

@@ -1,0 +1,33 @@
+// FIR filtering: design (windowed sinc) and application, plus the moving
+// average / decimation used to turn raw channel estimates into the 312.5 Hz
+// estimate stream the smoothed-MUSIC stage consumes (paper §7.1).
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/dsp/window.hpp"
+
+namespace wivi::dsp {
+
+/// Design a linear-phase low-pass FIR via the windowed-sinc method.
+/// `cutoff_norm` is the cutoff as a fraction of the sample rate in (0, 0.5).
+[[nodiscard]] RVec design_lowpass(std::size_t num_taps, double cutoff_norm,
+                                  WindowType window = WindowType::kHamming);
+
+/// Convolution modes (numpy naming).
+enum class ConvMode { kFull, kSame };
+
+/// Convolve complex data with real taps.
+[[nodiscard]] CVec convolve(CSpan x, RSpan taps, ConvMode mode);
+
+/// Convolve real data with real taps.
+[[nodiscard]] RVec convolve(RSpan x, RSpan taps, ConvMode mode);
+
+/// Average consecutive non-overlapping blocks of `factor` samples
+/// (the "averaged into an antenna array" step of paper §7.1);
+/// output length is x.size() / factor (remainder dropped).
+[[nodiscard]] CVec block_average(CSpan x, std::size_t factor);
+
+/// Simple moving average of odd length `w`, same-size output.
+[[nodiscard]] RVec moving_average(RSpan x, std::size_t w);
+
+}  // namespace wivi::dsp

@@ -1,0 +1,44 @@
+#include "src/dsp/matched_filter.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+
+RVec matched_filter(RSpan x, RSpan templ) {
+  WIVI_REQUIRE(!x.empty() && !templ.empty(), "matched_filter: empty input");
+  const auto nx = static_cast<std::ptrdiff_t>(x.size());
+  const auto nt = static_cast<std::ptrdiff_t>(templ.size());
+  const std::ptrdiff_t half = nt / 2;
+  RVec out(x.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < nx; ++i) {
+    double acc = 0.0;
+    for (std::ptrdiff_t k = 0; k < nt; ++k) {
+      const std::ptrdiff_t idx = i + k - half;
+      if (idx >= 0 && idx < nx)
+        acc += x[static_cast<std::size_t>(idx)] * templ[static_cast<std::size_t>(k)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+double template_energy(RSpan templ) noexcept {
+  double acc = 0.0;
+  for (double v : templ) acc += v * v;
+  return acc;
+}
+
+RVec triangle_template(std::size_t n, double amplitude) {
+  WIVI_REQUIRE(n >= 3, "triangle template needs at least 3 samples");
+  RVec t(n);
+  const double centre = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double frac = 1.0 - std::abs(static_cast<double>(i) - centre) / centre;
+    t[i] = amplitude * frac;
+  }
+  return t;
+}
+
+}  // namespace wivi::dsp

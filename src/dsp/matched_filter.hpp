@@ -1,0 +1,26 @@
+// Matched filtering.
+//
+// The gesture decoder (paper §6.2) applies two matched filters — a triangle
+// above the zero line and an inverted triangle below it — to the angle
+// signal, then sums their outputs. The filters here are generic; the
+// gesture-specific templates live in core/gesture.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace wivi::dsp {
+
+/// Correlate `x` against `templ` (matched filter = convolution with the
+/// time-reversed template). Output has x.size() samples; output[i] is the
+/// correlation of the template centred at x[i]. Zero padding at edges.
+[[nodiscard]] RVec matched_filter(RSpan x, RSpan templ);
+
+/// Normalised template energy; correlating a template against itself at
+/// perfect alignment yields exactly this value.
+[[nodiscard]] double template_energy(RSpan templ) noexcept;
+
+/// Symmetric triangle pulse of `n` samples, peak `amplitude` at the centre,
+/// zero at both ends. The paper's forward-step signature (Fig. 6-1).
+[[nodiscard]] RVec triangle_template(std::size_t n, double amplitude = 1.0);
+
+}  // namespace wivi::dsp

@@ -1,0 +1,60 @@
+#include "src/dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+namespace {
+
+/// Greedy non-maximum suppression: keep the tallest peaks, drop any within
+/// min_distance of an already kept peak, return index-sorted.
+std::vector<Peak> suppress(std::vector<Peak> peaks, std::size_t min_distance) {
+  std::sort(peaks.begin(), peaks.end(), [](const Peak& a, const Peak& b) {
+    return std::abs(a.value) > std::abs(b.value);
+  });
+  std::vector<Peak> kept;
+  for (const Peak& p : peaks) {
+    const bool clash = std::any_of(kept.begin(), kept.end(), [&](const Peak& q) {
+      const std::size_t d = p.index > q.index ? p.index - q.index : q.index - p.index;
+      return d < min_distance;
+    });
+    if (!clash) kept.push_back(p);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Peak& a, const Peak& b) { return a.index < b.index; });
+  return kept;
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(RSpan x, const PeakOptions& opts) {
+  std::vector<Peak> raw;
+  const double sign = opts.negative ? -1.0 : 1.0;
+  for (std::size_t i = 1; i + 1 < x.size(); ++i) {
+    const double prev = sign * x[i - 1];
+    const double cur = sign * x[i];
+    const double next = sign * x[i + 1];
+    if (cur > prev && cur >= next && cur >= opts.min_height)
+      raw.push_back({i, x[i]});
+  }
+  return suppress(std::move(raw), std::max<std::size_t>(opts.min_distance, 1));
+}
+
+std::vector<Peak> find_signed_peaks(RSpan x, double min_height,
+                                    std::size_t min_distance) {
+  PeakOptions pos{.min_height = min_height, .min_distance = 1, .negative = false};
+  PeakOptions neg{.min_height = min_height, .min_distance = 1, .negative = true};
+  std::vector<Peak> all = find_peaks(x, pos);
+  for (const Peak& p : find_peaks(x, neg)) all.push_back(p);
+  return suppress(std::move(all), std::max<std::size_t>(min_distance, 1));
+}
+
+std::size_t argmax(RSpan x) {
+  WIVI_REQUIRE(!x.empty(), "argmax of empty range");
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+}  // namespace wivi::dsp

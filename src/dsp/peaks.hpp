@@ -1,0 +1,38 @@
+// Peak detection for the gesture decoder (paper §6.2: "a standard peak
+// detector") and for locating MUSIC pseudospectrum maxima.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace wivi::dsp {
+
+struct Peak {
+  std::size_t index = 0;
+  double value = 0.0;
+};
+
+struct PeakOptions {
+  /// Only report peaks with value >= min_height (after sign handling).
+  double min_height = 0.0;
+  /// Suppress peaks closer than this many samples to a larger peak.
+  std::size_t min_distance = 1;
+  /// If true, detect troughs (local minima of x) as negative-valued peaks.
+  bool negative = false;
+};
+
+/// Local maxima of `x` subject to the options, sorted by index.
+[[nodiscard]] std::vector<Peak> find_peaks(RSpan x, const PeakOptions& opts);
+
+/// Both maxima above +min_height and minima below -min_height, merged and
+/// index-sorted; this is the symbol detector shape the gesture decoder needs
+/// (Fig. 6-3(b): +1 / -1 mapped symbols).
+[[nodiscard]] std::vector<Peak> find_signed_peaks(RSpan x, double min_height,
+                                                  std::size_t min_distance);
+
+/// Index of the global maximum (first if ties). Requires non-empty input.
+[[nodiscard]] std::size_t argmax(RSpan x);
+
+}  // namespace wivi::dsp

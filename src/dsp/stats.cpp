@@ -1,0 +1,88 @@
+#include "src/dsp/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+
+double mean(RSpan x) {
+  WIVI_REQUIRE(!x.empty(), "mean of empty range");
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(RSpan x) {
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size());
+}
+
+double stddev(RSpan x) { return std::sqrt(variance(x)); }
+
+double median(RSpan x) { return percentile(x, 50.0); }
+
+double percentile(RSpan x, double p) {
+  WIVI_REQUIRE(!x.empty(), "percentile of empty range");
+  WIVI_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  RVec sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Ecdf::Ecdf(RSpan samples) : sorted_(samples.begin(), samples.end()) {
+  WIVI_REQUIRE(!sorted_.empty(), "Ecdf needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double v) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), v);
+  return static_cast<double>(std::distance(sorted_.begin(), it)) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  WIVI_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  return percentile(sorted_, q * 100.0);
+}
+
+double Ecdf::min() const { return sorted_.front(); }
+double Ecdf::max() const { return sorted_.back(); }
+
+std::vector<Ecdf::Row> Ecdf::tabulate(std::size_t num_rows) const {
+  WIVI_REQUIRE(num_rows >= 2, "tabulate needs >= 2 rows");
+  std::vector<Row> rows;
+  rows.reserve(num_rows);
+  const double lo = min();
+  const double hi = max();
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const double v =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(num_rows - 1);
+    rows.push_back({v, (*this)(v)});
+  }
+  return rows;
+}
+
+Histogram Histogram::build(RSpan x, double lo, double hi, std::size_t bins) {
+  WIVI_REQUIRE(bins > 0 && hi > lo, "histogram needs bins > 0 and hi > lo");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  for (double v : x) {
+    if (v < lo || v >= hi) continue;
+    const auto idx =
+        static_cast<std::size_t>((v - lo) / (hi - lo) * static_cast<double>(bins));
+    ++h.counts[std::min(idx, bins - 1)];
+  }
+  return h;
+}
+
+}  // namespace wivi::dsp

@@ -1,0 +1,58 @@
+// Descriptive statistics and empirical CDFs.
+//
+// The evaluation chapter reports its results almost entirely as CDFs
+// (Figs. 7-3, 7-5, 7-7), medians and means; this module computes them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace wivi::dsp {
+
+[[nodiscard]] double mean(RSpan x);
+[[nodiscard]] double variance(RSpan x);  // population variance
+[[nodiscard]] double stddev(RSpan x);
+[[nodiscard]] double median(RSpan x);
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] double percentile(RSpan x, double p);
+
+/// Empirical CDF over a sample set; evaluate and tabulate.
+class Ecdf {
+ public:
+  explicit Ecdf(RSpan samples);
+
+  /// Fraction of samples <= v.
+  [[nodiscard]] double operator()(double v) const;
+
+  /// Value below which a fraction q of samples fall (inverse CDF), q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evenly spaced (value, fraction) rows, ready for printing a CDF figure.
+  struct Row {
+    double value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<Row> tabulate(std::size_t num_rows) const;
+
+ private:
+  RVec sorted_;
+};
+
+/// Histogram with uniform bins over [lo, hi].
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  [[nodiscard]] static Histogram build(RSpan x, double lo, double hi,
+                                       std::size_t bins);
+};
+
+}  // namespace wivi::dsp

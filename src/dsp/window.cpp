@@ -1,0 +1,49 @@
+#include "src/dsp/window.hpp"
+
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::dsp {
+
+RVec make_window(WindowType type, std::size_t n) {
+  WIVI_REQUIRE(n > 0, "window length must be positive");
+  RVec w(n, 1.0);
+  if (n == 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;  // in [0, 1]
+    switch (type) {
+      case WindowType::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+      case WindowType::kTriangular:
+        w[i] = 1.0 - std::abs(2.0 * t - 1.0);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(CVec& x, RSpan window) {
+  WIVI_REQUIRE(x.size() == window.size(), "window/buffer size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] *= window[i];
+}
+
+double window_gain(RSpan window) noexcept {
+  double acc = 0.0;
+  for (double v : window) acc += v;
+  return acc;
+}
+
+}  // namespace wivi::dsp

@@ -1,0 +1,19 @@
+// Window functions used by the spectral-analysis stages.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace wivi::dsp {
+
+enum class WindowType { kRectangular, kHann, kHamming, kBlackman, kTriangular };
+
+/// Generate an n-point window of the given type (symmetric form).
+[[nodiscard]] RVec make_window(WindowType type, std::size_t n);
+
+/// Multiply a complex buffer by a real window element-wise.
+void apply_window(CVec& x, RSpan window);
+
+/// Sum of window coefficients (for amplitude normalisation).
+[[nodiscard]] double window_gain(RSpan window) noexcept;
+
+}  // namespace wivi::dsp

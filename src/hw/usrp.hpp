@@ -1,0 +1,26 @@
+// USRP N210 front-end characteristics used by the hardware emulation.
+//
+// These are the device limits the paper calls out explicitly: the ~20 mW
+// linear transmit range ("the linear transmit power range for USRPs is
+// around 20 mW (i.e., beyond this power the signal starts being clipped)",
+// paper §7.5) and the 12 dB in-band power boost after nulling (§4.1.2
+// footnote: "we boost the power by 12 dB ... limited by the need to stay
+// within the linear range").
+#pragma once
+
+namespace wivi::hw {
+
+/// Linear transmit power ceiling [W]; beyond this the PA clips.
+inline constexpr double kUsrpLinearTxPowerWatts = 0.020;
+
+/// Wi-Fi regulatory power for comparison [W] (paper §7.5: 100 mW).
+inline constexpr double kWifiMaxTxPowerWatts = 0.100;
+
+/// Effective ADC resolution. The N210's converter is 14-bit; effective
+/// number of bits after front-end noise is lower — 12 is the value we use.
+inline constexpr int kUsrpAdcBits = 12;
+
+/// Power boost applied after initial nulling (paper §4.1.2).
+inline constexpr double kPowerBoostDb = 12.0;
+
+}  // namespace wivi::hw

@@ -1,0 +1,72 @@
+#include "src/linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::linalg {
+
+Cholesky::Cholesky(const CMatrix& a) : l_(a.rows(), a.cols()) {
+  WIVI_REQUIRE(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const double fro = a.frobenius_norm();
+  WIVI_REQUIRE(a.hermitian_defect() <= 1e-9 * std::max(fro, 1.0),
+               "Cholesky input is not Hermitian");
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Diagonal entry.
+    double d = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) d -= norm2(l_(j, k));
+    if (d <= 0.0 || !std::isfinite(d))
+      throw ComputeError("Cholesky: matrix is not positive definite");
+    const double ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    // Column below the diagonal.
+    for (std::size_t i = j + 1; i < n; ++i) {
+      cdouble s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * std::conj(l_(j, k));
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+CVec Cholesky::forward(CSpan b) const {
+  const std::size_t n = l_.rows();
+  WIVI_REQUIRE(b.size() == n, "Cholesky solve: size mismatch");
+  CVec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cdouble s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+CVec Cholesky::backward(CSpan y) const {
+  const std::size_t n = l_.rows();
+  CVec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    cdouble s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= std::conj(l_(k, ii)) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+CVec Cholesky::solve(CSpan b) const { return backward(forward(b)); }
+
+double Cholesky::inverse_quadratic_form(CSpan b) const {
+  const CVec y = forward(b);
+  double acc = 0.0;
+  for (const cdouble& v : y) acc += norm2(v);
+  return acc;
+}
+
+double Cholesky::log_determinant() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i).real());
+  return 2.0 * acc;
+}
+
+CVec solve_hpd(const CMatrix& a, CSpan b) { return Cholesky(a).solve(b); }
+
+}  // namespace wivi::linalg

@@ -1,0 +1,42 @@
+// Cholesky factorisation and linear solves for Hermitian positive-definite
+// matrices - the numerical backbone of the Capon/MVDR spectrum estimator
+// (core/doa.hpp), which needs R^{-1} a(theta) for every steering vector.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/linalg/cmatrix.hpp"
+
+namespace wivi::linalg {
+
+/// Lower-triangular Cholesky factor of a Hermitian positive-definite
+/// matrix: A = L L^H. Throws InvalidArgument for non-square/non-Hermitian
+/// input and ComputeError if A is not (numerically) positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const CMatrix& a);
+
+  [[nodiscard]] const CMatrix& lower() const noexcept { return l_; }
+
+  /// Solve A x = b.
+  [[nodiscard]] CVec solve(CSpan b) const;
+
+  /// The quadratic form b^H A^{-1} b (real and positive for Hermitian
+  /// positive-definite A); computed stably as ||L^{-1} b||^2.
+  [[nodiscard]] double inverse_quadratic_form(CSpan b) const;
+
+  /// log(det A) = 2 sum log L_ii (useful for information criteria).
+  [[nodiscard]] double log_determinant() const noexcept;
+
+ private:
+  /// Forward substitution: solve L y = b.
+  [[nodiscard]] CVec forward(CSpan b) const;
+  /// Back substitution: solve L^H x = y.
+  [[nodiscard]] CVec backward(CSpan y) const;
+
+  CMatrix l_;
+};
+
+/// Convenience: solve A x = b for Hermitian positive-definite A.
+[[nodiscard]] CVec solve_hpd(const CMatrix& a, CSpan b);
+
+}  // namespace wivi::linalg

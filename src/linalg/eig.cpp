@@ -1,0 +1,108 @@
+#include "src/linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/error.hpp"
+
+namespace wivi::linalg {
+namespace {
+
+/// One (p, q) complex Jacobi rotation: zero a(p, q) with the unitary
+///   G_pp = c, G_pq = -s, G_qp = s*e^{-j phi}, G_qq = c*e^{-j phi},
+/// where a_pq = |a_pq| e^{j phi}; A <- G^H A G, V <- V G.
+void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const cdouble apq = a(p, q);
+  const double g = std::abs(apq);
+  if (g == 0.0) return;
+  const cdouble phase = apq / g;  // e^{j phi}
+  const double alpha = a(p, p).real();
+  const double beta = a(q, q).real();
+  // Smaller-magnitude root of  g t^2 + (alpha - beta) t - g = 0.
+  const double diff = alpha - beta;
+  const double t =
+      (diff >= 0.0 ? 1.0 : -1.0) * 2.0 * g /
+      (std::abs(diff) + std::sqrt(diff * diff + 4.0 * g * g));
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+  const cdouble conj_phase = std::conj(phase);
+
+  const std::size_t n = a.rows();
+  // Update rows/columns p and q for k != p, q, keeping A exactly Hermitian.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == p || k == q) continue;
+    const cdouble akp = a(k, p);
+    const cdouble akq = a(k, q);
+    const cdouble new_kp = c * akp + s * conj_phase * akq;
+    const cdouble new_kq = -s * akp + c * conj_phase * akq;
+    a(k, p) = new_kp;
+    a(p, k) = std::conj(new_kp);
+    a(k, q) = new_kq;
+    a(q, k) = std::conj(new_kq);
+  }
+  const double new_pp = c * c * alpha + 2.0 * c * s * g + s * s * beta;
+  a(p, p) = new_pp;
+  a(q, q) = alpha + beta - new_pp;
+  a(p, q) = 0.0;
+  a(q, p) = 0.0;
+
+  // Accumulate eigenvectors: V <- V G.
+  for (std::size_t k = 0; k < n; ++k) {
+    const cdouble vkp = v(k, p);
+    const cdouble vkq = v(k, q);
+    v(k, p) = c * vkp + s * conj_phase * vkq;
+    v(k, q) = -s * vkp + c * conj_phase * vkq;
+  }
+}
+
+}  // namespace
+
+EigResult hermitian_eig(const CMatrix& a_in, const EigOptions& opts) {
+  WIVI_REQUIRE(a_in.rows() == a_in.cols(), "hermitian_eig needs a square matrix");
+  const double fro = a_in.frobenius_norm();
+  WIVI_REQUIRE(a_in.hermitian_defect() <= 1e-9 * std::max(fro, 1.0),
+               "hermitian_eig input is not Hermitian");
+
+  const std::size_t n = a_in.rows();
+  CMatrix a = a_in;
+  CMatrix v = CMatrix::identity(n);
+
+  // Force exact Hermitian symmetry before sweeping (averages tiny defects).
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = a(i, i).real();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const cdouble avg = 0.5 * (a(i, j) + std::conj(a(j, i)));
+      a(i, j) = avg;
+      a(j, i) = std::conj(avg);
+    }
+  }
+
+  const double target = opts.tolerance * std::max(fro, 1e-300);
+  bool converged = n == 1;
+  for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
+    for (std::size_t p = 0; p + 1 < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) rotate(a, v, p, q);
+    converged = std::sqrt(a.offdiag_norm2()) <= target;
+  }
+  if (!converged) throw ComputeError("hermitian_eig: Jacobi sweeps exhausted");
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  RVec diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i).real();
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  EigResult result;
+  result.values.resize(n);
+  result.vectors = CMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+}  // namespace wivi::linalg

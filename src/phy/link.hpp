@@ -1,0 +1,48 @@
+// Abstract 2-TX / 1-RX MIMO link.
+//
+// core::Nuller drives this interface and nothing else, so the nulling
+// algorithm is exactly what would run against real radios through a UHD
+// backend; sim::SimulatedMimoLink is the offline implementation used here.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/phy/ofdm.hpp"
+
+namespace wivi::phy {
+
+class SubcarrierLink {
+ public:
+  virtual ~SubcarrierLink() = default;
+
+  SubcarrierLink(const SubcarrierLink&) = delete;
+  SubcarrierLink& operator=(const SubcarrierLink&) = delete;
+
+  [[nodiscard]] virtual const OfdmModem& modem() const = 0;
+
+  /// Transmit one OFDM symbol (frequency domain) on each TX chain
+  /// simultaneously and return the received symbol (frequency domain) after
+  /// the RX chain and ADC. Advances the link clock by one symbol.
+  [[nodiscard]] virtual CVec transceive(CSpan tx0_freq, CSpan tx1_freq) = 0;
+
+  /// Did the ADC rail on the most recent transceive()? The flash effect in
+  /// one bit: before nulling + boost this is typically true at high gain.
+  [[nodiscard]] virtual bool last_rx_saturated() const = 0;
+
+  /// TX digital gain applied identically to both chains (dB). The nulling
+  /// power-boost stage raises this by hw::kPowerBoostDb.
+  virtual void set_tx_gain_db(double gain_db) = 0;
+  [[nodiscard]] virtual double tx_gain_db() const = 0;
+
+  /// RX gain ahead of the ADC (dB). Can be boosted after nulling (§4.1.2
+  /// footnote) without saturating.
+  virtual void set_rx_gain_db(double gain_db) = 0;
+  [[nodiscard]] virtual double rx_gain_db() const = 0;
+
+  /// Absolute link time [s]; advances by one OFDM symbol per transceive.
+  [[nodiscard]] virtual double now() const = 0;
+
+ protected:
+  SubcarrierLink() = default;
+};
+
+}  // namespace wivi::phy

@@ -1,0 +1,100 @@
+#include "src/phy/ofdm.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/dsp/fft.hpp"
+
+namespace wivi::phy {
+
+OfdmModem::OfdmModem() : OfdmModem(Config{}) {}
+
+OfdmModem::OfdmModem(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(dsp::is_pow2(static_cast<std::size_t>(cfg_.num_subcarriers)),
+               "subcarrier count must be a power of two");
+  WIVI_REQUIRE(cfg_.cyclic_prefix >= 0 && cfg_.cyclic_prefix < cfg_.num_subcarriers,
+               "cyclic prefix must be in [0, N)");
+  WIVI_REQUIRE(cfg_.guard_carriers >= 0 &&
+                   2 * cfg_.guard_carriers + 1 < cfg_.num_subcarriers,
+               "guard carriers leave no usable band");
+  WIVI_REQUIRE(cfg_.bandwidth_hz > 0.0, "bandwidth must be positive");
+
+  // FFT bin layout: bin 0 = DC, bins 1..N/2-1 positive frequencies,
+  // bins N/2..N-1 negative. Guards sit at the extremes of both half-bands.
+  const int n = cfg_.num_subcarriers;
+  const int half = n / 2;
+  for (int k = 1; k < half - cfg_.guard_carriers; ++k) used_.push_back(k);
+  for (int k = half + cfg_.guard_carriers; k < n; ++k) used_.push_back(k);
+}
+
+double OfdmModem::symbol_duration_sec() const noexcept {
+  return static_cast<double>(symbol_length()) / cfg_.bandwidth_hz;
+}
+
+double OfdmModem::subcarrier_offset_hz(int bin) const {
+  WIVI_REQUIRE(bin >= 0 && bin < cfg_.num_subcarriers, "subcarrier bin out of range");
+  const int n = cfg_.num_subcarriers;
+  const int signed_bin = bin < n / 2 ? bin : bin - n;
+  return static_cast<double>(signed_bin) * cfg_.bandwidth_hz /
+         static_cast<double>(n);
+}
+
+CVec OfdmModem::preamble(std::uint64_t seed) const {
+  Rng rng(seed);
+  CVec freq(static_cast<std::size_t>(cfg_.num_subcarriers), cdouble{0.0, 0.0});
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (int k : used_) {
+    const double re = rng.uniform() < 0.5 ? -inv_sqrt2 : inv_sqrt2;
+    const double im = rng.uniform() < 0.5 ? -inv_sqrt2 : inv_sqrt2;
+    freq[static_cast<std::size_t>(k)] = {re, im};
+  }
+  return freq;
+}
+
+CVec OfdmModem::modulate(CSpan freq) const {
+  WIVI_REQUIRE(freq.size() == static_cast<std::size_t>(cfg_.num_subcarriers),
+               "modulate: wrong symbol size");
+  CVec body = dsp::ifft_copy(freq);
+  const double scale = std::sqrt(static_cast<double>(cfg_.num_subcarriers));
+  for (auto& v : body) v *= scale;
+  CVec out;
+  out.reserve(static_cast<std::size_t>(symbol_length()));
+  // Cyclic prefix: last CP samples of the body.
+  out.insert(out.end(), body.end() - cfg_.cyclic_prefix, body.end());
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+CVec OfdmModem::demodulate(CSpan time) const {
+  WIVI_REQUIRE(time.size() == static_cast<std::size_t>(symbol_length()),
+               "demodulate: wrong symbol size");
+  CVec body(time.begin() + cfg_.cyclic_prefix, time.end());
+  dsp::fft(body);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(cfg_.num_subcarriers));
+  for (auto& v : body) v *= scale;
+  return body;
+}
+
+CVec OfdmModem::estimate_channel(CSpan rx_freq, CSpan tx_freq) const {
+  WIVI_REQUIRE(rx_freq.size() == tx_freq.size() &&
+                   rx_freq.size() == static_cast<std::size_t>(cfg_.num_subcarriers),
+               "estimate_channel: size mismatch");
+  CVec h(rx_freq.size(), cdouble{0.0, 0.0});
+  for (int k : used_) {
+    const auto i = static_cast<std::size_t>(k);
+    h[i] = rx_freq[i] / tx_freq[i];
+  }
+  return h;
+}
+
+cdouble OfdmModem::combine_subcarriers(CSpan per_subcarrier) const {
+  WIVI_REQUIRE(per_subcarrier.size() ==
+                   static_cast<std::size_t>(cfg_.num_subcarriers),
+               "combine_subcarriers: size mismatch");
+  cdouble acc{0.0, 0.0};
+  for (int k : used_) acc += per_subcarrier[static_cast<std::size_t>(k)];
+  return acc / static_cast<double>(used_.size());
+}
+
+}  // namespace wivi::phy

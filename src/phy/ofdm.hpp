@@ -1,0 +1,67 @@
+// Wi-Fi-style OFDM modem: 64 subcarriers including DC (paper §7.1), cyclic
+// prefix, known preamble, and per-subcarrier channel estimation.
+//
+// Wi-Vi's nulling procedure runs per subcarrier and then combines the
+// subcarrier channel estimates to improve SNR (paper §7.1); this modem
+// provides exactly those primitives.
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace wivi::phy {
+
+class OfdmModem {
+ public:
+  struct Config {
+    int num_subcarriers = 64;   // must be a power of two
+    int cyclic_prefix = 16;     // samples
+    int guard_carriers = 5;     // unused carriers at each band edge
+    double bandwidth_hz = 5e6;  // paper §7.1: reduced to 5 MHz for real time
+  };
+
+  OfdmModem();  // default Config
+  explicit OfdmModem(Config cfg);
+
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+  [[nodiscard]] int num_subcarriers() const noexcept { return cfg_.num_subcarriers; }
+  [[nodiscard]] int symbol_length() const noexcept {
+    return cfg_.num_subcarriers + cfg_.cyclic_prefix;
+  }
+  [[nodiscard]] double symbol_duration_sec() const noexcept;
+
+  /// Indices (0-based FFT bins) of data-bearing subcarriers: DC and the
+  /// band-edge guards are excluded.
+  [[nodiscard]] const std::vector<int>& used_subcarriers() const noexcept {
+    return used_;
+  }
+
+  /// Baseband frequency offset of FFT bin k relative to the carrier.
+  [[nodiscard]] double subcarrier_offset_hz(int bin) const;
+
+  /// Deterministic unit-power QPSK preamble on the used subcarriers
+  /// (frequency domain). Same seed -> same preamble, as on a real device.
+  [[nodiscard]] CVec preamble(std::uint64_t seed = 0x5Fee1DEA) const;
+
+  /// Frequency domain -> time domain symbol with cyclic prefix. Power
+  /// preserving: mean |time|^2 == mean |freq|^2 over the FFT body.
+  [[nodiscard]] CVec modulate(CSpan freq) const;
+
+  /// Time domain (with cyclic prefix) -> frequency domain.
+  [[nodiscard]] CVec demodulate(CSpan time) const;
+
+  /// Per-subcarrier channel estimate H[k] = Y[k]/X[k] on used subcarriers
+  /// (zero elsewhere).
+  [[nodiscard]] CVec estimate_channel(CSpan rx_freq, CSpan tx_freq) const;
+
+  /// Combine per-subcarrier estimates into a single complex channel value
+  /// by averaging the used subcarriers (paper §7.1).
+  [[nodiscard]] cdouble combine_subcarriers(CSpan per_subcarrier) const;
+
+ private:
+  Config cfg_;
+  std::vector<int> used_;
+};
+
+}  // namespace wivi::phy

@@ -1,0 +1,47 @@
+#include "src/rf/antenna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::rf {
+
+Antenna Antenna::isotropic(Vec2 position) {
+  Antenna a;
+  a.position_ = position;
+  a.directional_ = false;
+  return a;
+}
+
+Antenna Antenna::directional(Vec2 position, Vec2 boresight, double gain_dbi,
+                             double exponent, double back_lobe_db) {
+  WIVI_REQUIRE(boresight.norm() > 0.0, "boresight must be a nonzero vector");
+  WIVI_REQUIRE(exponent > 0.0, "pattern exponent must be positive");
+  WIVI_REQUIRE(back_lobe_db < 0.0, "back lobe must be below boresight");
+  Antenna a;
+  a.position_ = position;
+  a.boresight_ = boresight.normalized();
+  a.directional_ = true;
+  a.boresight_gain_dbi_ = gain_dbi;
+  a.exponent_ = exponent;
+  a.back_lobe_db_ = back_lobe_db;
+  return a;
+}
+
+double Antenna::gain_dbi_toward(Vec2 target) const {
+  if (!directional_) return 0.0;
+  const Vec2 dir = (target - position_).normalized();
+  if (dir.norm() == 0.0) return boresight_gain_dbi_;  // degenerate: on top of us
+  const double cos_theta = std::max(dir.dot(boresight_), 0.0);
+  const double rel = std::pow(cos_theta, exponent_);  // power-pattern value
+  const double rel_db = std::max(to_db(rel), back_lobe_db_);
+  return boresight_gain_dbi_ + rel_db;
+}
+
+double Antenna::amplitude_gain_toward(Vec2 target) const {
+  return db_to_amp(gain_dbi_toward(target));
+}
+
+}  // namespace wivi::rf

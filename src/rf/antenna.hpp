@@ -1,0 +1,44 @@
+// Antenna gain models.
+//
+// Wi-Vi uses LP0965 directional antennas (6 dBi, paper §7.1) pointed at the
+// wall; the direct TX->RX coupling is attenuated because it leaves/enters
+// through the pattern's side, which is what makes nulling of the direct
+// path easy (paper §4.1 bullet list).
+#pragma once
+
+#include "src/rf/geometry.hpp"
+
+namespace wivi::rf {
+
+class Antenna {
+ public:
+  /// Isotropic radiator (0 dBi everywhere).
+  [[nodiscard]] static Antenna isotropic(Vec2 position);
+
+  /// Directional antenna modelled as a cosine-power pattern:
+  /// G(theta) = boresight_gain * max(cos theta, 0)^exponent, floored at
+  /// back_lobe_db below boresight. The default exponent gives roughly the
+  /// LP0965's ~80 degree half-power beamwidth.
+  [[nodiscard]] static Antenna directional(Vec2 position, Vec2 boresight,
+                                           double gain_dbi = 6.0,
+                                           double exponent = 4.0,
+                                           double back_lobe_db = -20.0);
+
+  [[nodiscard]] Vec2 position() const noexcept { return position_; }
+
+  /// Amplitude gain (sqrt of power gain) toward a target point.
+  [[nodiscard]] double amplitude_gain_toward(Vec2 target) const;
+
+  /// Power gain in dBi toward a target point.
+  [[nodiscard]] double gain_dbi_toward(Vec2 target) const;
+
+ private:
+  Vec2 position_;
+  Vec2 boresight_{1.0, 0.0};
+  bool directional_ = false;
+  double boresight_gain_dbi_ = 0.0;
+  double exponent_ = 1.0;
+  double back_lobe_db_ = -20.0;
+};
+
+}  // namespace wivi::rf

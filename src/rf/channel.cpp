@@ -1,0 +1,90 @@
+#include "src/rf/channel.hpp"
+
+#include "src/common/constants.hpp"
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::rf {
+
+ChannelModel::Config::Config()
+    : carrier_hz(kCarrierFrequencyHz), direct_extra_isolation_db(10.0) {}
+
+ChannelModel::ChannelModel(Antenna tx0, Antenna tx1, Antenna rx, Config cfg)
+    : tx0_(tx0), tx1_(tx1), rx_(rx), cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.carrier_hz > 0.0, "carrier frequency must be positive");
+}
+
+void ChannelModel::add_wall(Wall wall) { walls_.push_back(wall); }
+
+void ChannelModel::add_static_scatterer(ScatterPoint s) { statics_.push_back(s); }
+
+void ChannelModel::add_moving_body(const MovingBody* body) {
+  WIVI_REQUIRE(body != nullptr, "moving body must not be null");
+  bodies_.push_back(body);
+}
+
+const Antenna& ChannelModel::tx(int index) const {
+  WIVI_REQUIRE(index == 0 || index == 1, "tx index must be 0 or 1");
+  return index == 0 ? tx0_ : tx1_;
+}
+
+double ChannelModel::wall_losses(Vec2 p, Vec2 q) const {
+  double amp = 1.0;
+  for (const Wall& w : walls_) amp *= w.traversal_amplitude(p, q);
+  return amp;
+}
+
+cdouble ChannelModel::direct_path(const Antenna& tx, double freq_hz) const {
+  const double d = distance(tx.position(), rx_.position());
+  if (d <= 0.0) return {0.0, 0.0};
+  const double lambda = kSpeedOfLight / freq_hz;
+  double amp = tx.amplitude_gain_toward(rx_.position()) *
+               rx_.amplitude_gain_toward(tx.position()) *
+               friis_amplitude(d, lambda) *
+               wall_losses(tx.position(), rx_.position()) *
+               db_to_amp(-cfg_.direct_extra_isolation_db);
+  return amp * phase_factor(d, freq_hz);
+}
+
+cdouble ChannelModel::reflected_path(const Antenna& tx, const ScatterPoint& s,
+                                     double freq_hz) const {
+  const double d1 = distance(tx.position(), s.pos);
+  const double d2 = distance(s.pos, rx_.position());
+  if (d1 <= 0.0 || d2 <= 0.0) return {0.0, 0.0};
+  const double lambda = kSpeedOfLight / freq_hz;
+  const double amp = tx.amplitude_gain_toward(s.pos) *
+                     rx_.amplitude_gain_toward(s.pos) *
+                     reflection_amplitude(d1, d2, s.rcs_m2, lambda) *
+                     wall_losses(tx.position(), s.pos) *
+                     wall_losses(s.pos, rx_.position());
+  return amp * phase_factor(d1 + d2, freq_hz);
+}
+
+cdouble ChannelModel::static_response(int tx_index, double baseband_offset_hz) const {
+  const Antenna& t = tx(tx_index);
+  const double f = cfg_.carrier_hz + baseband_offset_hz;
+  cdouble h = direct_path(t, f);
+  for (const ScatterPoint& s : statics_) h += reflected_path(t, s, f);
+  return h;
+}
+
+cdouble ChannelModel::moving_response(int tx_index, double t,
+                                      double baseband_offset_hz) const {
+  const Antenna& ant = tx(tx_index);
+  const double f = cfg_.carrier_hz + baseband_offset_hz;
+  cdouble h{0.0, 0.0};
+  for (const MovingBody* body : bodies_) {
+    for (const ScatterPoint& s : body->scatter_points(t)) {
+      h += reflected_path(ant, s, f);
+    }
+  }
+  return h;
+}
+
+cdouble ChannelModel::response(int tx_index, double t,
+                               double baseband_offset_hz) const {
+  return static_response(tx_index, baseband_offset_hz) +
+         moving_response(tx_index, t, baseband_offset_hz);
+}
+
+}  // namespace wivi::rf

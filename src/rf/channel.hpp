@@ -1,0 +1,86 @@
+// Time-varying multipath channel between Wi-Vi's antennas and the scene.
+//
+// The channel from TX k to the RX at time t and frequency f is the linear
+// superposition (the physical fact Wi-Vi's nulling relies on, paper §1.1):
+//
+//   h_k(t, f) = direct coupling
+//             + sum over static scatterers  (wall flash, furniture, floor)
+//             + sum over moving-body scatter points (humans)
+//
+// each term = antenna gains * path amplitude * wall losses * phase(f, length).
+#pragma once
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/rf/antenna.hpp"
+#include "src/rf/geometry.hpp"
+#include "src/rf/propagation.hpp"
+
+namespace wivi::rf {
+
+/// One reflecting point with its radar cross section.
+struct ScatterPoint {
+  Vec2 pos;
+  double rcs_m2 = 1.0;
+};
+
+/// Anything that moves and reflects RF. Humans (sim::HumanBody) implement
+/// this; so could the iRobot Create the paper footnotes.
+class MovingBody {
+ public:
+  virtual ~MovingBody() = default;
+  /// The body's reflecting points at absolute time t [s].
+  [[nodiscard]] virtual std::vector<ScatterPoint> scatter_points(double t) const = 0;
+};
+
+class ChannelModel {
+ public:
+  struct Config {
+    double carrier_hz;
+    /// Extra isolation on the direct TX->RX path beyond what the antenna
+    /// patterns provide (cable layout, shielding).
+    double direct_extra_isolation_db;
+    Config();
+  };
+
+  ChannelModel(Antenna tx0, Antenna tx1, Antenna rx, Config cfg = {});
+
+  void add_wall(Wall wall);
+  void add_static_scatterer(ScatterPoint s);
+  /// Non-owning: bodies must outlive the channel model.
+  void add_moving_body(const MovingBody* body);
+
+  [[nodiscard]] int num_tx() const noexcept { return 2; }
+  [[nodiscard]] const Antenna& tx(int index) const;
+  [[nodiscard]] const Antenna& rx() const noexcept { return rx_; }
+
+  /// Full channel TX k -> RX at time t and baseband frequency offset df
+  /// (subcarrier offset from the carrier).
+  [[nodiscard]] cdouble response(int tx_index, double t,
+                                 double baseband_offset_hz = 0.0) const;
+
+  /// Static-only part (direct + static scatterers): what nulling cancels.
+  [[nodiscard]] cdouble static_response(int tx_index,
+                                        double baseband_offset_hz = 0.0) const;
+
+  /// Moving-only part: what survives nulling.
+  [[nodiscard]] cdouble moving_response(int tx_index, double t,
+                                        double baseband_offset_hz = 0.0) const;
+
+ private:
+  [[nodiscard]] cdouble reflected_path(const Antenna& tx, const ScatterPoint& s,
+                                       double freq_hz) const;
+  [[nodiscard]] cdouble direct_path(const Antenna& tx, double freq_hz) const;
+  [[nodiscard]] double wall_losses(Vec2 p, Vec2 q) const;
+
+  Antenna tx0_;
+  Antenna tx1_;
+  Antenna rx_;
+  Config cfg_;
+  std::vector<Wall> walls_;
+  std::vector<ScatterPoint> statics_;
+  std::vector<const MovingBody*> bodies_;
+};
+
+}  // namespace wivi::rf

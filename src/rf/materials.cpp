@@ -1,0 +1,33 @@
+#include "src/rf/materials.hpp"
+
+#include "src/common/error.hpp"
+
+namespace wivi::rf {
+
+const std::array<MaterialInfo, kNumMaterials>& material_table() {
+  static const std::array<MaterialInfo, kNumMaterials> kTable = {{
+      {Material::kFreeSpace, "Free Space", 0.0},
+      {Material::kGlass, "Glass", 3.0},
+      {Material::kSolidWoodDoor, "Solid Wood Door 1.75\"", 6.0},
+      {Material::kHollowWall, "Interior Hollow Wall 6\"", 9.0},
+      {Material::kConcrete8in, "Concrete Wall 8\"", 13.0},
+      {Material::kConcrete18in, "Concrete Wall 18\"", 18.0},
+      {Material::kReinforcedConcrete, "Reinforced Concrete", 40.0},
+  }};
+  return kTable;
+}
+
+const MaterialInfo& info(Material m) {
+  for (const auto& row : material_table()) {
+    if (row.material == m) return row;
+  }
+  throw InvalidArgument("unknown material");
+}
+
+double one_way_attenuation_db(Material m) { return info(m).one_way_attenuation_db; }
+
+double two_way_attenuation_db(Material m) {
+  return 2.0 * one_way_attenuation_db(m);
+}
+
+}  // namespace wivi::rf

@@ -1,0 +1,46 @@
+// Building materials and their one-way RF attenuation at 2.4 GHz.
+//
+// Table 4.1 of the paper, reproduced verbatim, plus the 8-inch concrete wall
+// of the Fairchild building used in the Fig. 7-6 experiments (the paper's
+// table lists an 18-inch concrete wall; the 8-inch value is interpolated
+// between the table's glass-to-concrete range consistent with the relative
+// SNR ordering the paper measures: free space > glass > wood > hollow >
+// 8-inch concrete).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace wivi::rf {
+
+enum class Material {
+  kFreeSpace,        // no obstruction (Fig. 7-6 control)
+  kGlass,            // "Glass" - 3 dB (also the Fig. 7-6 "tinted glass")
+  kSolidWoodDoor,    // "Solid Wood Door 1.75 inch" - 6 dB
+  kHollowWall,       // "Interior Hollow Wall 6 inch" - 9 dB
+  kConcrete8in,      // 8 inch concrete (Fairchild building, Fig. 7-6) - 13 dB
+  kConcrete18in,     // "Concrete Wall 18 inch" - 18 dB
+  kReinforcedConcrete,  // "Reinforced Concrete" - 40 dB
+};
+
+inline constexpr int kNumMaterials = 7;
+
+struct MaterialInfo {
+  Material material;
+  std::string_view name;
+  double one_way_attenuation_db;  // at 2.4 GHz (paper Table 4.1)
+};
+
+/// The full table, in enum order.
+[[nodiscard]] const std::array<MaterialInfo, kNumMaterials>& material_table();
+
+[[nodiscard]] const MaterialInfo& info(Material m);
+
+/// One-way attenuation in dB.
+[[nodiscard]] double one_way_attenuation_db(Material m);
+
+/// Two-way (through-wall round trip) attenuation in dB; through-wall
+/// systems traverse the obstacle twice (paper §4).
+[[nodiscard]] double two_way_attenuation_db(Material m);
+
+}  // namespace wivi::rf

@@ -1,0 +1,41 @@
+#include "src/rf/propagation.hpp"
+
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::rf {
+
+double friis_amplitude(double distance_m, double wavelength_m) {
+  WIVI_REQUIRE(distance_m > 0.0, "friis distance must be positive");
+  WIVI_REQUIRE(wavelength_m > 0.0, "wavelength must be positive");
+  return wavelength_m / (2.0 * kTwoPi * distance_m);
+}
+
+double reflection_amplitude(double d_tx_m, double d_rx_m, double rcs_m2,
+                            double wavelength_m) {
+  WIVI_REQUIRE(d_tx_m > 0.0 && d_rx_m > 0.0, "reflection distances must be positive");
+  WIVI_REQUIRE(rcs_m2 >= 0.0, "radar cross section must be >= 0");
+  const double four_pi = 2.0 * kTwoPi;
+  return wavelength_m * std::sqrt(rcs_m2) /
+         (std::pow(four_pi, 1.5) * d_tx_m * d_rx_m);
+}
+
+cdouble phase_factor(double path_length_m, double freq_hz) {
+  const double phase = -kTwoPi * freq_hz * path_length_m / kSpeedOfLight;
+  return {std::cos(phase), std::sin(phase)};
+}
+
+int Wall::traversals(Vec2 p, Vec2 q) const noexcept {
+  return segments_intersect(p, q, a, b) ? 1 : 0;
+}
+
+double Wall::traversal_amplitude(Vec2 p, Vec2 q) const {
+  const int n = traversals(p, q);
+  if (n == 0) return 1.0;
+  return db_to_amp(-one_way_attenuation_db(material) * n);
+}
+
+}  // namespace wivi::rf

@@ -1,0 +1,48 @@
+// Free-space and radar-equation propagation, plus wall traversal.
+//
+// Channel amplitudes follow the standard link budgets:
+//   direct path (Friis):      |h| = lambda / (4 pi d)
+//   reflected path (radar eq): |h| = lambda * sqrt(rcs) / ((4 pi)^{3/2} d1 d2)
+// (antenna gains are applied separately by the channel model), and every
+// path is rotated by exp(-j 2 pi f d / c). Traversing a wall multiplies by
+// the material's one-way attenuation once per crossing — which is exactly
+// the double-traversal penalty the paper's §4 is about.
+#pragma once
+
+#include "src/common/types.hpp"
+#include "src/rf/geometry.hpp"
+#include "src/rf/materials.hpp"
+
+namespace wivi::rf {
+
+/// Amplitude gain of a line-of-sight path of length d at wavelength lambda.
+[[nodiscard]] double friis_amplitude(double distance_m, double wavelength_m);
+
+/// Amplitude gain of a TX -> scatterer -> RX path (radar equation),
+/// excluding antenna gains and wall losses. `rcs_m2` is the scatterer's
+/// radar cross section.
+[[nodiscard]] double reflection_amplitude(double d_tx_m, double d_rx_m,
+                                          double rcs_m2, double wavelength_m);
+
+/// Carrier phase rotation accumulated over a path of the given length:
+/// exp(-j 2 pi f d / c).
+[[nodiscard]] cdouble phase_factor(double path_length_m, double freq_hz);
+
+/// A wall is a finite segment of a given material. Wi-Vi points at one wall;
+/// rooms may add more for clutter bookkeeping.
+struct Wall {
+  Vec2 a;
+  Vec2 b;
+  Material material = Material::kHollowWall;
+
+  /// Number of times the straight path p->q crosses this wall (0 or 1 for a
+  /// segment).
+  [[nodiscard]] int traversals(Vec2 p, Vec2 q) const noexcept;
+
+  /// Amplitude factor for the path p->q through this wall.
+  [[nodiscard]] double traversal_amplitude(Vec2 p, Vec2 q) const;
+
+  [[nodiscard]] Vec2 midpoint() const noexcept { return (a + b) * 0.5; }
+};
+
+}  // namespace wivi::rf

@@ -1,0 +1,100 @@
+#include "src/sim/experiment.hpp"
+
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::sim {
+
+ExperimentRunner::ExperimentRunner(Scene& scene, Config cfg, Rng rng)
+    : scene_(scene), cfg_(cfg), rng_(rng) {
+  WIVI_REQUIRE(cfg_.trace_duration_sec > 0.0, "trace duration must be positive");
+  WIVI_REQUIRE(cfg_.sample_rate_hz > 0.0, "sample rate must be positive");
+  WIVI_REQUIRE(cfg_.num_pilot_bins >= 1, "need at least one pilot bin");
+}
+
+CVec ExperimentRunner::capture(SimulatedMimoLink& link, const CVec& p,
+                               double* static_residual_power_out) const {
+  const phy::OfdmModem& modem = link.modem();
+  const auto& used = modem.used_subcarriers();
+
+  // Pilot bins spread evenly across the used band.
+  std::vector<int> pilots;
+  const auto stride =
+      std::max<std::size_t>(1, used.size() / static_cast<std::size_t>(
+                                                 cfg_.num_pilot_bins));
+  for (std::size_t i = stride / 2; i < used.size() &&
+       pilots.size() < static_cast<std::size_t>(cfg_.num_pilot_bins);
+       i += stride)
+    pilots.push_back(used[i]);
+
+  const double est_noise =
+      from_db(scene_.calibration().estimate_noise_floor_db +
+              cfg_.estimate_noise_extra_db);
+  const auto n = static_cast<std::size_t>(
+      std::round(cfg_.trace_duration_sec * cfg_.sample_rate_hz));
+  const double t0 = link.now();
+  Rng noise_rng = rng_;
+
+  CVec h(n);
+  double static_power_acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = t0 + static_cast<double>(i) / cfg_.sample_rate_hz;
+    const cdouble c0 = link.chain_response(0, t);
+    const cdouble c1 = link.chain_response(1, t);
+    cdouble acc{0.0, 0.0};
+    cdouble stat_acc{0.0, 0.0};
+    for (int k : pilots) {
+      const auto ki = static_cast<std::size_t>(k);
+      const double df = modem.subcarrier_offset_hz(k);
+      const cdouble s1 = scene_.channel().static_response(0, df);
+      const cdouble s2 = scene_.channel().static_response(1, df);
+      const cdouble m1 = scene_.channel().moving_response(0, t, df);
+      const cdouble m2 = scene_.channel().moving_response(1, t, df);
+      acc += (s1 + m1) * c0 + p[ki] * (s2 + m2) * c1;
+      stat_acc += s1 * c0 + p[ki] * s2 * c1;
+    }
+    acc /= static_cast<double>(pilots.size());
+    stat_acc /= static_cast<double>(pilots.size());
+    static_power_acc += norm2(stat_acc);
+    h[i] = acc + noise_rng.complex_gaussian(est_noise);
+  }
+  if (static_residual_power_out != nullptr)
+    *static_residual_power_out = static_power_acc / static_cast<double>(n);
+  return h;
+}
+
+TraceResult ExperimentRunner::run() {
+  SimulatedMimoLink link(scene_, rng_.fork());
+  const core::Nuller nuller(cfg_.nuller);
+
+  TraceResult result;
+  result.nulling = nuller.run(link);
+  result.t0 = link.now();
+  result.sample_rate_hz = cfg_.sample_rate_hz;
+  double static_residual = 0.0;
+  result.h = capture(link, result.nulling.p, &static_residual);
+  result.effective_nulling_db =
+      result.nulling.pre_null_power_db - to_db(static_residual);
+  return result;
+}
+
+TraceResult ExperimentRunner::run_with_precoder(const CVec& p,
+                                                core::Nuller::Result nulling) {
+  SimulatedMimoLink link(scene_, rng_.fork());
+  WIVI_REQUIRE(p.size() ==
+                   static_cast<std::size_t>(link.modem().num_subcarriers()),
+               "precoder size mismatch");
+  TraceResult result;
+  result.nulling = std::move(nulling);
+  result.t0 = link.now();
+  result.sample_rate_hz = cfg_.sample_rate_hz;
+  double static_residual = 0.0;
+  result.h = capture(link, p, &static_residual);
+  result.effective_nulling_db =
+      result.nulling.pre_null_power_db - to_db(static_residual);
+  return result;
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,74 @@
+// End-to-end experiment runner: nulling over the full PHY, then capture of
+// the post-nulling channel-estimate stream the tracking stages consume.
+//
+// The paper's pipeline (§7.1): nulling runs in real time in the UHD driver;
+// the received samples over 0.32 s windows are averaged into w = 100 point
+// arrays, i.e. a 312.5 Hz channel-estimate stream, which smoothed MUSIC
+// post-processes. We run the nulling stage sample-exact through the
+// simulated link, then synthesise the estimate stream directly from the
+// same channel model (see DESIGN.md §1, last substitution row): each
+// estimate is
+//   h[n] = mean_k( h1(f_k, t_n) c0(t_n) + p[k] h2(f_k, t_n) c1(t_n) ) + noise
+// over a pilot subset of subcarriers k, with the chain responses c_i taken
+// from the same link, so the residual statics and drift are consistent with
+// what nulling achieved.
+#pragma once
+
+#include "src/core/nulling.hpp"
+#include "src/sim/link.hpp"
+
+namespace wivi::sim {
+
+struct TraceResult {
+  /// Post-nulling channel-estimate stream at `sample_rate_hz`.
+  CVec h;
+  /// Absolute time of h.front().
+  double t0 = 0.0;
+  double sample_rate_hz = 0.0;
+  /// The nulling stage's outcome (precoder, depth, convergence).
+  core::Nuller::Result nulling;
+  /// The Fig. 7-7 metric: reduction of static-path power sustained over the
+  /// whole capture (chain drift slowly re-opens the null, so this is lower
+  /// than the instantaneous post-convergence depth in `nulling.nulling_db`).
+  double effective_nulling_db = 0.0;
+};
+
+class ExperimentRunner {
+ public:
+  struct Config {
+    /// Trace length (paper §7.4: 25 s per counting experiment, "excluding
+    /// the time required for iterative nulling").
+    double trace_duration_sec = 25.0;
+    double sample_rate_hz = kChannelSampleRateHz;
+    /// Pilot subcarriers used when synthesising estimates.
+    int num_pilot_bins = 4;
+    /// Extra estimate-noise penalty in dB. The no-nulling baseline cannot
+    /// boost TX or RX gain (the flash would saturate the ADC, §4.1.2), so
+    /// its RX-referred noise floor is higher by the foregone boost; set
+    /// this to tx_boost + rx_boost when capturing with a zero precoder.
+    double estimate_noise_extra_db = 0.0;
+    core::Nuller::Config nuller;
+  };
+
+  ExperimentRunner(Scene& scene, Config cfg, Rng rng);
+
+  /// Null, then record. Deterministic for a given scene + seed.
+  [[nodiscard]] TraceResult run();
+
+  /// Capture a trace with a caller-supplied precoder instead of running the
+  /// Nuller (ablations: e.g. p = 0 to show the un-nulled flash).
+  [[nodiscard]] TraceResult run_with_precoder(const CVec& p,
+                                              core::Nuller::Result nulling = {});
+
+ private:
+  /// Record the estimate stream; `static_residual_power_out` receives the
+  /// mean power of the static-only (nulled) component over the capture.
+  [[nodiscard]] CVec capture(SimulatedMimoLink& link, const CVec& p,
+                             double* static_residual_power_out) const;
+
+  Scene& scene_;
+  Config cfg_;
+  Rng rng_;
+};
+
+}  // namespace wivi::sim

@@ -1,0 +1,135 @@
+#include "src/sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+#include "src/hw/usrp.hpp"
+#include "src/rf/noise.hpp"
+
+namespace wivi::sim {
+
+SimulatedMimoLink::SimulatedMimoLink(const Scene& scene, Rng rng,
+                                     phy::OfdmModem::Config ofdm)
+    : scene_(scene),
+      modem_(ofdm),
+      adc_(scene.calibration().adc_bits, scene.calibration().adc_full_scale),
+      rng_(rng) {
+  const Calibration& cal = scene_.calibration();
+  noise_power_ = from_db(cal.rx_noise_floor_db);
+  imperfection_seed_ = rng_();
+  for (auto& chain : drift_phases_)
+    for (auto& phase : chain) phase = rng_.uniform(0.0, kTwoPi);
+
+  // PA linear ceiling: sized so the nominal +12 dB power boost stays linear
+  // (paper §4.1.2 footnote) but pushing much further would clip. Derived
+  // from the actual preamble peak amplitude, as one would calibrate a PA.
+  const CVec pre = modem_.modulate(modem_.preamble());
+  double peak = 0.0;
+  for (cdouble v : pre) peak = std::max(peak, std::abs(v));
+  tx_clip_amplitude_ = peak * db_to_amp(hw::kPowerBoostDb) * 1.05;
+
+  // RX gain calibration: place the static (flash-dominated) signal at the
+  // configured fraction of ADC full scale at base gains, the way an
+  // operator sets the USRP RX gain to just avoid clipping. Measured on the
+  // actual received waveform for both antennas transmitting the preamble.
+  const CVec x = modem_.preamble();
+  CVec y(static_cast<std::size_t>(modem_.num_subcarriers()), cdouble{0.0, 0.0});
+  for (int k : modem_.used_subcarriers()) {
+    const auto i = static_cast<std::size_t>(k);
+    const double df = modem_.subcarrier_offset_hz(k);
+    y[i] = (scene_.channel().static_response(0, df) +
+            scene_.channel().static_response(1, df)) *
+           x[i];
+  }
+  const CVec y_time = modem_.modulate(y);
+  double rx_peak = 0.0;
+  for (cdouble v : y_time) rx_peak = std::max(rx_peak, std::abs(v));
+  WIVI_REQUIRE(rx_peak > 0.0, "scene has no static paths to calibrate against");
+  const double target = cal.static_headroom_fraction * cal.adc_full_scale;
+  rx_gain_db_ = amp_to_db(target / rx_peak);
+}
+
+void SimulatedMimoLink::set_tx_gain_db(double gain_db) { tx_gain_db_ = gain_db; }
+void SimulatedMimoLink::set_rx_gain_db(double gain_db) { rx_gain_db_ = gain_db; }
+void SimulatedMimoLink::advance(double seconds) {
+  WIVI_REQUIRE(seconds >= 0.0, "cannot rewind the link clock");
+  now_sec_ += seconds;
+}
+
+cdouble SimulatedMimoLink::gain_change_perturbation(int chain,
+                                                    double gain_db) const {
+  // Deterministic per (chain, quantized gain): the amplifier settles to a
+  // slightly different complex response at each operating point.
+  const auto q = static_cast<std::int64_t>(std::llround(gain_db * 2.0));
+  Rng h(imperfection_seed_ ^ (static_cast<std::uint64_t>(chain + 1) * 0x9E37u) ^
+        static_cast<std::uint64_t>(q * 0x85EBCA6B
+        ));
+  const double sigma = scene_.calibration().chain_gain_change_sigma;
+  return cdouble{1.0, 0.0} + h.complex_gaussian(sigma * sigma);
+}
+
+cdouble SimulatedMimoLink::drift(int chain, double t) const {
+  // Bounded quasi-random drift: three incommensurate slow sinusoids per
+  // quadrature, RMS ~= chain_drift_sigma.
+  static constexpr double kPeriods[3] = {7.3, 13.7, 29.1};
+  const double s = scene_.calibration().chain_drift_sigma / std::sqrt(3.0);
+  double re = 0.0;
+  double im = 0.0;
+  for (int k = 0; k < 3; ++k) {
+    const double ph = kTwoPi * t / kPeriods[k] + drift_phases_[chain][k];
+    re += s * std::sin(ph);
+    im += s * std::cos(1.37 * ph + 0.7);
+  }
+  return cdouble{1.0 + re, im};
+}
+
+cdouble SimulatedMimoLink::chain_response(int chain, double t) const {
+  WIVI_REQUIRE(chain == 0 || chain == 1, "chain index must be 0 or 1");
+  return gain_change_perturbation(chain, tx_gain_db_) * drift(chain, t);
+}
+
+CVec SimulatedMimoLink::transceive(CSpan tx0_freq, CSpan tx1_freq) {
+  const auto n = static_cast<std::size_t>(modem_.num_subcarriers());
+  WIVI_REQUIRE(tx0_freq.size() == n && tx1_freq.size() == n,
+               "transceive: symbol size mismatch");
+  const double t = now_sec_;
+
+  // TX chains: modulate, amplify, clip.
+  const hw::TxChain tx_chain(tx_gain_db_, tx_clip_amplitude_);
+  const hw::TxChain::Result t0 = tx_chain.process(modem_.modulate(tx0_freq));
+  const hw::TxChain::Result t1 = tx_chain.process(modem_.modulate(tx1_freq));
+  last_tx_clipped_ = t0.clipped_count + t1.clipped_count > 0;
+
+  // What actually left each PA, back in the frequency domain (clipping is a
+  // time-domain nonlinearity, so this is not simply gain * input).
+  const CVec f0 = modem_.demodulate(t0.samples);
+  const CVec f1 = modem_.demodulate(t1.samples);
+
+  // Per-subcarrier RF channel x chain response, superimposed at the RX.
+  const cdouble c0 = chain_response(0, t);
+  const cdouble c1 = chain_response(1, t);
+  CVec y(n, cdouble{0.0, 0.0});
+  for (int k : modem_.used_subcarriers()) {
+    const auto i = static_cast<std::size_t>(k);
+    const double df = modem_.subcarrier_offset_hz(k);
+    const cdouble h0 = scene_.channel().response(0, t, df);
+    const cdouble h1 = scene_.channel().response(1, t, df);
+    y[i] = h0 * c0 * f0[i] + h1 * c1 * f1[i];
+  }
+
+  // To time domain; thermal noise enters ahead of the RX gain stage.
+  CVec y_time = modem_.modulate(y);
+  rf::add_awgn(y_time, noise_power_, rng_);
+
+  const hw::RxChain rx_chain(rx_gain_db_);
+  const hw::Adc::Result digitized = adc_.convert(rx_chain.process(y_time));
+  last_saturated_ = digitized.saturated();
+
+  now_sec_ += modem_.symbol_duration_sec();
+  return modem_.demodulate(digitized.samples);
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,77 @@
+// Simulated 2TX/1RX MIMO link: the offline stand-in for three clock-locked
+// USRP N210s (paper §7.1).
+//
+// Signal path per transceive():
+//   freq symbols -> OFDM modulate -> TX chain (gain + PA clip)
+//   -> per-subcarrier RF channel (static + moving paths) x chain response
+//   -> superposition + AWGN -> RX gain -> ADC (quantize + saturate)
+//   -> OFDM demodulate -> freq symbols
+//
+// Two hardware imperfections bound the achievable nulling (Fig. 7-7) and
+// motivate iterative nulling (paper §4.1.3):
+//   * a small deterministic chain-response shift whenever the commanded TX
+//     gain changes (amplifier operating point), and
+//   * a slow bounded LO/chain drift over tens of seconds.
+#pragma once
+
+#include <memory>
+
+#include "src/common/random.hpp"
+#include "src/hw/adc.hpp"
+#include "src/hw/chains.hpp"
+#include "src/phy/link.hpp"
+#include "src/sim/room.hpp"
+
+namespace wivi::sim {
+
+class SimulatedMimoLink final : public phy::SubcarrierLink {
+ public:
+  /// `rng` seeds the noise and imperfection streams for this link instance.
+  SimulatedMimoLink(const Scene& scene, Rng rng,
+                    phy::OfdmModem::Config ofdm = {});
+
+  // --- phy::SubcarrierLink -------------------------------------------
+  [[nodiscard]] const phy::OfdmModem& modem() const override { return modem_; }
+  [[nodiscard]] CVec transceive(CSpan tx0_freq, CSpan tx1_freq) override;
+  [[nodiscard]] bool last_rx_saturated() const override { return last_saturated_; }
+  void set_tx_gain_db(double gain_db) override;
+  [[nodiscard]] double tx_gain_db() const override { return tx_gain_db_; }
+  void set_rx_gain_db(double gain_db) override;
+  [[nodiscard]] double rx_gain_db() const override { return rx_gain_db_; }
+  [[nodiscard]] double now() const override { return now_sec_; }
+
+  // --- Simulation-side accessors --------------------------------------
+  /// Relative TX chain response (gain-change perturbation x slow drift) of
+  /// chain 0/1 at time t; the experiment runner folds this into the
+  /// tracking trace so the post-nulling residual is consistent.
+  [[nodiscard]] cdouble chain_response(int chain, double t) const;
+
+  /// Did the PA clip on the most recent transceive()?
+  [[nodiscard]] bool last_tx_clipped() const { return last_tx_clipped_; }
+
+  [[nodiscard]] const hw::Adc& adc() const { return adc_; }
+  [[nodiscard]] double noise_power() const { return noise_power_; }
+
+  /// Advance the link clock without transmitting (idle time).
+  void advance(double seconds);
+
+ private:
+  [[nodiscard]] cdouble gain_change_perturbation(int chain, double gain_db) const;
+  [[nodiscard]] cdouble drift(int chain, double t) const;
+
+  const Scene& scene_;
+  phy::OfdmModem modem_;
+  hw::Adc adc_;
+  double tx_gain_db_ = 0.0;
+  double rx_gain_db_ = 0.0;
+  double tx_clip_amplitude_ = 1e9;
+  double noise_power_ = 0.0;
+  double now_sec_ = 0.0;
+  bool last_saturated_ = false;
+  bool last_tx_clipped_ = false;
+  mutable Rng rng_;
+  std::uint64_t imperfection_seed_ = 0;
+  double drift_phases_[2][3] = {};
+};
+
+}  // namespace wivi::sim

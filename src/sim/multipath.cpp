@@ -1,0 +1,24 @@
+#include "src/sim/multipath.hpp"
+
+#include "src/common/error.hpp"
+
+namespace wivi::sim {
+
+GhostReflection::GhostReflection(const rf::MovingBody* source, double mirror_x,
+                                 double rcs_scale)
+    : source_(source), mirror_x_(mirror_x), rcs_scale_(rcs_scale) {
+  WIVI_REQUIRE(source != nullptr, "ghost needs a source body");
+  WIVI_REQUIRE(rcs_scale > 0.0 && rcs_scale < 1.0,
+               "reflection RCS scale must be in (0, 1)");
+}
+
+std::vector<rf::ScatterPoint> GhostReflection::scatter_points(double t) const {
+  std::vector<rf::ScatterPoint> pts = source_->scatter_points(t);
+  for (auto& p : pts) {
+    p.pos.x = 2.0 * mirror_x_ - p.pos.x;
+    p.rcs_m2 *= rcs_scale_;
+  }
+  return pts;
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,36 @@
+// First-order indoor multipath: ghost images of moving bodies.
+//
+// Paper §7.3: "our experiments are conducted in multipath-rich indoor
+// environments ... Wi-Vi works in the presence of multipath effects
+// because the direct path from a moving human to Wi-Vi is much stronger
+// than indirect paths which bounce off the internal walls of the room."
+//
+// We model the dominant indirect paths with the image method: a reflection
+// off a side wall is equivalent to a scatterer mirrored across that wall,
+// attenuated by the wall's reflection loss. The ghosts inherit the source
+// body's motion, so they add exactly the kind of correlated clutter the
+// smoothed-MUSIC stage must (and does) tolerate.
+#pragma once
+
+#include "src/rf/channel.hpp"
+
+namespace wivi::sim {
+
+class GhostReflection final : public rf::MovingBody {
+ public:
+  /// Mirror `source` across the vertical plane x = mirror_x, scaling each
+  /// scatter point's RCS by `rcs_scale` (reflection loss; ~ -12 dB power
+  /// for painted sheetrock at grazing incidence).
+  GhostReflection(const rf::MovingBody* source, double mirror_x,
+                  double rcs_scale = 0.06);
+
+  [[nodiscard]] std::vector<rf::ScatterPoint> scatter_points(
+      double t) const override;
+
+ private:
+  const rf::MovingBody* source_;
+  double mirror_x_;
+  double rcs_scale_;
+};
+
+}  // namespace wivi::sim

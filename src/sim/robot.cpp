@@ -1,0 +1,38 @@
+#include "src/sim/robot.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace wivi::sim {
+
+Robot::Robot(rf::Trajectory trajectory, double rcs_m2)
+    : trajectory_(std::move(trajectory)), rcs_m2_(rcs_m2) {
+  WIVI_REQUIRE(rcs_m2 > 0.0, "robot RCS must be positive");
+}
+
+std::vector<rf::ScatterPoint> Robot::scatter_points(double t) const {
+  return {{trajectory_.position(t), rcs_m2_}};
+}
+
+rf::Trajectory patrol(rf::Vec2 a, rf::Vec2 b, double speed_mps,
+                      double duration_sec, double dt) {
+  WIVI_REQUIRE(speed_mps > 0.0, "patrol speed must be positive");
+  WIVI_REQUIRE(duration_sec > 0.0 && dt > 0.0, "duration and dt must be positive");
+  const double leg = rf::distance(a, b);
+  WIVI_REQUIRE(leg > 0.0, "patrol endpoints must differ");
+  const double leg_time = leg / speed_mps;
+  const auto n = static_cast<std::size_t>(std::ceil(duration_sec / dt)) + 1;
+  std::vector<rf::Vec2> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const double phase = std::fmod(t, 2.0 * leg_time);
+    const double frac = phase < leg_time ? phase / leg_time
+                                         : 2.0 - phase / leg_time;
+    samples.push_back(a + (b - a) * frac);
+  }
+  return rf::Trajectory(std::move(samples), dt);
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,38 @@
+// Non-human moving bodies.
+//
+// Paper §5 footnote 1: "our system is general, and can capture other moving
+// bodies. For example, we have successfully experimented with tracking an
+// iRobot Create robot." A robot is a single compact scatterer with a much
+// smaller RCS than a torso and perfectly rigid motion (no limb fuzz), which
+// makes its angle trace noticeably crisper than a human's.
+#pragma once
+
+#include "src/rf/channel.hpp"
+#include "src/rf/geometry.hpp"
+
+namespace wivi::sim {
+
+class Robot final : public rf::MovingBody {
+ public:
+  /// iRobot Create-class platform: low, round, mostly plastic over a metal
+  /// chassis - RCS around 0.05 m^2 at 2.4 GHz.
+  explicit Robot(rf::Trajectory trajectory, double rcs_m2 = 0.05);
+
+  [[nodiscard]] const rf::Trajectory& trajectory() const noexcept {
+    return trajectory_;
+  }
+
+  [[nodiscard]] std::vector<rf::ScatterPoint> scatter_points(
+      double t) const override;
+
+ private:
+  rf::Trajectory trajectory_;
+  double rcs_m2_;
+};
+
+/// Straight back-and-forth patrol segment between `a` and `b` at constant
+/// speed - the canonical robot test drive.
+[[nodiscard]] rf::Trajectory patrol(rf::Vec2 a, rf::Vec2 b, double speed_mps,
+                                    double duration_sec, double dt);
+
+}  // namespace wivi::sim

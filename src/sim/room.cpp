@@ -1,0 +1,117 @@
+#include "src/sim/room.hpp"
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+
+namespace wivi::sim {
+
+RoomSpec stata_conference_a() {
+  return {"Stata conference room A (7x4 m, 6\" hollow wall)", 7.0, 4.0,
+          rf::Material::kHollowWall, 5};
+}
+
+RoomSpec stata_conference_b() {
+  return {"Stata conference room B (11x7 m, 6\" hollow wall)", 11.0, 7.0,
+          rf::Material::kHollowWall, 7};
+}
+
+RoomSpec fairchild_room() {
+  return {"Fairchild room (8\" concrete wall)", 7.0, 5.0,
+          rf::Material::kConcrete8in, 5};
+}
+
+RoomSpec room_with_material(rf::Material m) {
+  RoomSpec spec = stata_conference_a();
+  spec.wall_material = m;
+  spec.name = std::string("Material test room: ") + std::string(rf::info(m).name);
+  return spec;
+}
+
+Scene::Scene(RoomSpec spec, const Calibration& cal, Rng& rng)
+    : spec_(std::move(spec)), cal_(cal) {
+  const double wall_y_pos = cal_.device_standoff_m;
+  const double half_sep = cal_.tx_separation_m / 2.0;
+  const rf::Vec2 boresight{0.0, 1.0};
+
+  // 3-antenna MIMO device: two TX flanking one RX, all facing the wall
+  // (paper §3.1), LP0965-class directional elements at 6 dBi.
+  const auto tx0 =
+      rf::Antenna::directional({-half_sep, 0.0}, boresight, /*gain_dbi=*/6.0);
+  const auto tx1 =
+      rf::Antenna::directional({+half_sep, 0.0}, boresight, /*gain_dbi=*/6.0);
+  const auto rx = rf::Antenna::directional({0.0, 0.05}, boresight, 6.0);
+
+  channel_ = std::make_unique<rf::ChannelModel>(tx0, tx1, rx);
+
+  if (spec_.wall_material != rf::Material::kFreeSpace) {
+    // The imaged wall spans the room width (plus margin so oblique paths
+    // still traverse it).
+    const double half_w = spec_.width_m / 2.0 + 2.0;
+    channel_->add_wall(
+        {{-half_w, wall_y_pos}, {+half_w, wall_y_pos}, spec_.wall_material});
+
+    // The flash: strong specular reflection off the wall's front face.
+    // Placed epsilon in front of the wall so the reflected path is not
+    // itself wall-attenuated. One dominant specular point plus two dimmer
+    // off-axis glints.
+    const double eps = 0.01;
+    channel_->add_static_scatterer({{0.0, wall_y_pos - eps}, cal_.wall_flash_rcs});
+    channel_->add_static_scatterer(
+        {{-1.2, wall_y_pos - eps}, cal_.wall_flash_rcs * 0.15});
+    channel_->add_static_scatterer(
+        {{+1.2, wall_y_pos - eps}, cal_.wall_flash_rcs * 0.15});
+  }
+
+  // Clutter in front of the wall: the table the radio sits on, the radio
+  // case, the floor bounce (paper §4.1: nulling removes these too).
+  channel_->add_static_scatterer({{0.25, 0.35}, cal_.front_clutter_rcs});
+  channel_->add_static_scatterer({{-0.4, 0.6}, cal_.front_clutter_rcs * 0.5});
+
+  // Furniture inside the closed room ("standard furniture: tables, chairs,
+  // boards", §7.2), randomly placed per scene.
+  const Rect inside = interior();
+  for (int i = 0; i < spec_.num_furniture; ++i) {
+    const rf::Vec2 pos{rng.uniform(inside.xmin, inside.xmax),
+                       rng.uniform(inside.ymin, inside.ymax)};
+    channel_->add_static_scatterer({pos, cal_.furniture_rcs * rng.uniform(0.5, 1.5)});
+  }
+}
+
+rf::Vec2 Scene::toward_device(rf::Vec2 from) const noexcept {
+  return (device_position() - from).normalized();
+}
+
+Rect Scene::interior() const noexcept {
+  const double margin = 0.4;
+  const double wall_y_pos = cal_.device_standoff_m;
+  return {-spec_.width_m / 2.0 + margin, spec_.width_m / 2.0 - margin,
+          wall_y_pos + margin, wall_y_pos + spec_.depth_m - margin};
+}
+
+double Scene::wall_y() const noexcept { return cal_.device_standoff_m; }
+
+HumanBody& Scene::add_human(const SubjectParams& params,
+                            rf::Trajectory trajectory, std::uint64_t seed) {
+  humans_.push_back(
+      std::make_unique<HumanBody>(params, std::move(trajectory), seed));
+  channel_->add_moving_body(humans_.back().get());
+  add_ghosts_for(humans_.back().get());
+  return *humans_.back();
+}
+
+void Scene::add_body(const rf::MovingBody* body) {
+  WIVI_REQUIRE(body != nullptr, "body must not be null");
+  channel_->add_moving_body(body);
+  add_ghosts_for(body);
+}
+
+void Scene::add_ghosts_for(const rf::MovingBody* body) {
+  if (!spec_.multipath_ghosts) return;
+  // First-order images across the two side walls of the room.
+  for (const double mirror_x : {-spec_.width_m / 2.0, +spec_.width_m / 2.0}) {
+    ghosts_.push_back(std::make_unique<GhostReflection>(body, mirror_x));
+    channel_->add_moving_body(ghosts_.back().get());
+  }
+}
+
+}  // namespace wivi::sim

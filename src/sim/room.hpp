@@ -1,0 +1,90 @@
+// Rooms and scenes: the paper's experimental environments.
+//
+// Geometry convention (top view): the Wi-Vi device sits at the origin with
+// its boresight along +y; the imaged wall is the segment y = standoff
+// (paper §7.3: "we position Wi-Vi one meter away from a wall that has
+// neither a door nor a window"); the closed room lies behind it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.hpp"
+#include "src/rf/channel.hpp"
+#include "src/sim/calibration.hpp"
+#include "src/sim/human.hpp"
+#include "src/sim/multipath.hpp"
+
+namespace wivi::sim {
+
+struct RoomSpec {
+  std::string name;
+  double width_m = 7.0;   // x extent of the room
+  double depth_m = 4.0;   // y extent behind the wall
+  rf::Material wall_material = rf::Material::kHollowWall;
+  int num_furniture = 5;  // static clutter scatterers inside
+  /// Generate first-order ghost reflections of moving bodies off the
+  /// room's side walls (§7.3's multipath-rich environment).
+  bool multipath_ghosts = true;
+};
+
+/// The paper's rooms (§7.2): two Stata conference rooms with 6" hollow
+/// walls (7x4 m and 11x7 m) and the Fairchild building's 8" concrete wall.
+[[nodiscard]] RoomSpec stata_conference_a();
+[[nodiscard]] RoomSpec stata_conference_b();
+[[nodiscard]] RoomSpec fairchild_room();
+/// A room like Stata A but with a different wall material (Fig. 7-6 sweep).
+[[nodiscard]] RoomSpec room_with_material(rf::Material m);
+
+/// A fully wired scene: antennas, wall, clutter, and any number of humans.
+/// Owns the bodies; the channel model references them.
+class Scene {
+ public:
+  Scene(RoomSpec spec, const Calibration& cal, Rng& rng);
+
+  Scene(const Scene&) = delete;
+  Scene& operator=(const Scene&) = delete;
+
+  [[nodiscard]] const RoomSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const Calibration& calibration() const noexcept { return cal_; }
+
+  [[nodiscard]] rf::ChannelModel& channel() noexcept { return *channel_; }
+  [[nodiscard]] const rf::ChannelModel& channel() const noexcept {
+    return *channel_;
+  }
+
+  /// Device (RX antenna) position — the reference point for angles.
+  [[nodiscard]] rf::Vec2 device_position() const noexcept { return {0.0, 0.0}; }
+
+  /// Wall-facing unit vector from inside the room toward the device.
+  [[nodiscard]] rf::Vec2 toward_device(rf::Vec2 from) const noexcept;
+
+  /// Walkable interior of the closed room (with a margin off the walls).
+  [[nodiscard]] Rect interior() const noexcept;
+
+  /// y-coordinate of the imaged wall.
+  [[nodiscard]] double wall_y() const noexcept;
+
+  /// Add a human; the scene keeps ownership, the channel model tracks it
+  /// (plus side-wall ghost reflections when the room enables multipath).
+  HumanBody& add_human(const SubjectParams& params, rf::Trajectory trajectory,
+                       std::uint64_t seed);
+
+  /// Add any other moving body (e.g. sim::Robot); non-owning - the body
+  /// must outlive the scene. Ghosts are added like for humans.
+  void add_body(const rf::MovingBody* body);
+
+  [[nodiscard]] std::size_t num_humans() const noexcept { return humans_.size(); }
+
+ private:
+  void add_ghosts_for(const rf::MovingBody* body);
+
+  RoomSpec spec_;
+  Calibration cal_;
+  std::unique_ptr<rf::ChannelModel> channel_;
+  std::vector<std::unique_ptr<HumanBody>> humans_;
+  std::vector<std::unique_ptr<rf::MovingBody>> ghosts_;
+};
+
+}  // namespace wivi::sim

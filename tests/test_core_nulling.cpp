@@ -1,0 +1,203 @@
+// Tests for the nulling engine (paper §4, Alg. 1) against a controlled mock
+// link with known channels and imperfections. The full hardware path is
+// covered in test_sim / test_integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/db.hpp"
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/core/nulling.hpp"
+#include "src/phy/link.hpp"
+
+namespace wivi::core {
+namespace {
+
+/// Minimal flat-fading 2x1 link: y[k] = c0 h1 x0[k] + c1 h2 x1[k] + noise.
+/// The chain responses c0/c1 take a small deterministic hit whenever the TX
+/// gain changes, which is exactly the imperfection iterative nulling is
+/// designed to clean up.
+class MockLink final : public phy::SubcarrierLink {
+ public:
+  MockLink(cdouble h1, cdouble h2, double noise_power,
+           double gain_change_sigma, std::uint64_t seed)
+      : h1_(h1),
+        h2_(h2),
+        noise_power_(noise_power),
+        gain_change_sigma_(gain_change_sigma),
+        rng_(seed) {}
+
+  const phy::OfdmModem& modem() const override { return modem_; }
+
+  CVec transceive(CSpan x0, CSpan x1) override {
+    const auto n = static_cast<std::size_t>(modem_.num_subcarriers());
+    const double g = db_to_amp(tx_gain_db_) * db_to_amp(rx_gain_db_);
+    CVec y(n, cdouble{0.0, 0.0});
+    for (int k : modem_.used_subcarriers()) {
+      const auto i = static_cast<std::size_t>(k);
+      y[i] = g * (c0_ * h1_ * x0[i] + c1_ * h2_ * x1[i]) +
+             rng_.complex_gaussian(noise_power_);
+    }
+    now_ += modem_.symbol_duration_sec();
+    return y;
+  }
+
+  bool last_rx_saturated() const override { return false; }
+
+  void set_tx_gain_db(double gain_db) override {
+    if (gain_db != tx_gain_db_ && gain_change_sigma_ > 0.0) {
+      // Operating-point shift on both chains.
+      c0_ = cdouble{1.0, 0.0} +
+            rng_.complex_gaussian(gain_change_sigma_ * gain_change_sigma_);
+      c1_ = cdouble{1.0, 0.0} +
+            rng_.complex_gaussian(gain_change_sigma_ * gain_change_sigma_);
+    }
+    tx_gain_db_ = gain_db;
+  }
+  double tx_gain_db() const override { return tx_gain_db_; }
+  void set_rx_gain_db(double gain_db) override { rx_gain_db_ = gain_db; }
+  double rx_gain_db() const override { return rx_gain_db_; }
+  double now() const override { return now_; }
+
+  cdouble c0() const { return c0_; }
+  cdouble c1() const { return c1_; }
+
+ private:
+  phy::OfdmModem modem_;
+  cdouble h1_;
+  cdouble h2_;
+  cdouble c0_{1.0, 0.0};
+  cdouble c1_{1.0, 0.0};
+  double noise_power_;
+  double gain_change_sigma_;
+  double tx_gain_db_ = 0.0;
+  double rx_gain_db_ = 0.0;
+  double now_ = 0.0;
+  Rng rng_;
+};
+
+TEST(Nulling, IdealLinkNullsToNumericalNoise) {
+  MockLink link({0.02, -0.013}, {0.017, 0.009}, /*noise=*/0.0,
+                /*gain_change=*/0.0, 1);
+  const Nuller nuller;
+  const Nuller::Result r = nuller.run(link);
+  // Perfect estimates: residual is numerical-precision deep.
+  EXPECT_GT(r.nulling_db, 100.0);
+}
+
+TEST(Nulling, EstimatesChannelsAccuratelyUnderNoise) {
+  const cdouble h1{0.02, -0.013};
+  const cdouble h2{0.017, 0.009};
+  MockLink link(h1, h2, 1e-12, 0.0, 2);
+  const Nuller nuller;
+  const Nuller::Result r = nuller.run(link);
+  const phy::OfdmModem modem;
+  const cdouble e1 = modem.combine_subcarriers(r.h1);
+  const cdouble e2 = modem.combine_subcarriers(r.h2);
+  EXPECT_LT(std::abs(e1 - h1) / std::abs(h1), 0.01);
+  EXPECT_LT(std::abs(e2 - h2) / std::abs(h2), 0.01);
+}
+
+TEST(Nulling, PrecoderSatisfiesNullCondition) {
+  MockLink link({0.02, -0.013}, {0.017, 0.009}, 1e-13, 0.0, 3);
+  const Nuller nuller;
+  const Nuller::Result r = nuller.run(link);
+  const phy::OfdmModem modem;
+  for (int k : modem.used_subcarriers()) {
+    const auto i = static_cast<std::size_t>(k);
+    // h1 + p h2 ~ 0 with the final refined estimates.
+    const cdouble res = r.h1[i] + r.p[i] * r.h2[i];
+    EXPECT_LT(std::abs(res), 1e-9);
+  }
+}
+
+TEST(Nulling, IterativeNullingRecoversFromGainChangePerturbation) {
+  // With a 1.5% operating-point shift at the power boost, initial nulling
+  // alone leaves ~ -36 dB of flash; iterative nulling must dig well deeper
+  // (paper §4.1.3).
+  MockLink link({0.02, -0.013}, {0.017, 0.009}, 1e-14, 0.015, 4);
+  const Nuller nuller;
+  const Nuller::Result r = nuller.run(link);
+  EXPECT_GT(r.iterations_used, 0);
+  // Final residual is at least 15 dB below the post-boost initial residual.
+  EXPECT_LT(r.residual_power_db, r.initial_residual_power_db - 15.0);
+}
+
+TEST(Nulling, ResidualTrajectoryIsMonotoneDecreasing) {
+  MockLink link({0.02, -0.013}, {0.017, 0.009}, 1e-14, 0.015, 5);
+  const Nuller nuller;
+  const Nuller::Result r = nuller.run(link);
+  ASSERT_GE(r.residual_trajectory_db.size(), 2u);
+  for (std::size_t i = 1; i < r.residual_trajectory_db.size(); ++i) {
+    // Once the residual reaches the numerical floor it may bounce around;
+    // only require monotone descent above it.
+    if (r.residual_trajectory_db[i - 1] < -150.0) break;
+    EXPECT_LE(r.residual_trajectory_db[i], r.residual_trajectory_db[i - 1] + 1.0)
+        << "iteration " << i;
+  }
+}
+
+TEST(Nulling, Lemma411GeometricDecayFormula) {
+  // |h_res^(i)| = |h_res^(0)| * ratio^i.
+  EXPECT_DOUBLE_EQ(lemma_4_1_1_residual(1.0, 0.1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(lemma_4_1_1_residual(1.0, 0.1, 3), 1e-3);
+  EXPECT_NEAR(lemma_4_1_1_residual(0.5, 0.2, 2), 0.02, 1e-12);
+}
+
+TEST(Nulling, Lemma411RateMatchesSimulatedIterations) {
+  // Inject a pure, known relative error in h2 and no other impairment;
+  // the per-iteration residual shrink must match |Delta2 / h2| within a
+  // factor accounted for by the first-order Taylor approximation.
+  const double rel_err = 0.02;
+  MockLink link({0.02, 0.0}, {0.017, 0.0}, 0.0, 0.0, 6);
+  Nuller::Config cfg;
+  cfg.max_iterations = 4;
+  cfg.min_improvement_db = 0.0;  // run all iterations
+  const Nuller nuller(cfg);
+  // Run once cleanly to grab internal machinery via the public result; here
+  // we exercise the formula itself against the observed trajectory of a
+  // perturbed run instead (MockLink with gain-change sigma ~ rel_err).
+  MockLink perturbed({0.02, 0.0}, {0.017, 0.0}, 0.0, rel_err, 7);
+  const Nuller::Result r = nuller.run(perturbed);
+  ASSERT_GE(r.residual_trajectory_db.size(), 3u);
+  const double drop_db =
+      r.residual_trajectory_db[0] - r.residual_trajectory_db.back();
+  // Geometric decay at ratio ~rel_err predicts >= 30 dB per iteration pair;
+  // we only require clear exponential improvement, not exact match.
+  EXPECT_GT(drop_db, 25.0);
+}
+
+TEST(Nulling, PowerBoostIsAppliedToLink) {
+  MockLink link({0.02, -0.01}, {0.015, 0.01}, 1e-13, 0.0, 8);
+  Nuller::Config cfg;
+  cfg.tx_boost_db = 12.0;
+  cfg.rx_boost_db = 20.0;
+  const Nuller nuller(cfg);
+  (void)nuller.run(link);
+  EXPECT_DOUBLE_EQ(link.tx_gain_db(), 12.0);
+  EXPECT_DOUBLE_EQ(link.rx_gain_db(), 20.0);
+}
+
+TEST(Nulling, NoiseBoundsAchievableDepth) {
+  // Estimation noise must cost nulling depth relative to a noiseless run.
+  MockLink clean({0.02, -0.013}, {0.017, 0.009}, 0.0, 0.0, 9);
+  MockLink noisy({0.02, -0.013}, {0.017, 0.009}, 1e-6, 0.0, 9);
+  const Nuller nuller;
+  const Nuller::Result rc = nuller.run(clean);
+  const Nuller::Result rn = nuller.run(noisy);
+  EXPECT_GT(rn.nulling_db, 10.0);
+  EXPECT_LT(rn.nulling_db, rc.nulling_db - 20.0);
+}
+
+TEST(Nulling, ConfigValidation) {
+  Nuller::Config bad;
+  bad.symbols_per_estimate = 0;
+  EXPECT_THROW(Nuller{bad}, InvalidArgument);
+  Nuller::Config neg;
+  neg.tx_boost_db = -1.0;
+  EXPECT_THROW(Nuller{neg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wivi::core

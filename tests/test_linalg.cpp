@@ -1,0 +1,189 @@
+// Unit tests for wivi::linalg - complex matrices and the Hermitian Jacobi
+// eigensolver that powers smoothed MUSIC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/linalg/cmatrix.hpp"
+#include "src/linalg/eig.hpp"
+
+namespace wivi::linalg {
+namespace {
+
+CMatrix random_hermitian(std::size_t n, Rng& rng) {
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.gaussian();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const cdouble v = rng.complex_gaussian();
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+// ------------------------------------------------------------- CMatrix ---
+
+TEST(CMatrix, IdentityTimesVectorIsVector) {
+  const CMatrix id = CMatrix::identity(4);
+  const CVec x = {{1, 2}, {3, -1}, {0, 0}, {-2, 5}};
+  const CVec y = id * CSpan(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-15);
+}
+
+TEST(CMatrix, OuterProductIsRankOneHermitian) {
+  const CVec x = {{1, 1}, {2, -1}, {0, 3}};
+  const CMatrix m = CMatrix::outer(x);
+  EXPECT_NEAR(m.hermitian_defect(), 0.0, 1e-15);
+  // Diagonal = |x_i|^2.
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(m(i, i).real(), norm2(x[i]), 1e-15);
+  // m * x == ||x||^2 x (x is the only eigenvector with nonzero eigenvalue).
+  double e = 0.0;
+  for (const auto& v : x) e += norm2(v);
+  const CVec mx = m * CSpan(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(std::abs(mx[i] - e * x[i]), 0.0, 1e-12);
+}
+
+TEST(CMatrix, ProductMatchesHandComputation) {
+  CMatrix a(2, 2);
+  a(0, 0) = {1, 0};
+  a(0, 1) = {0, 1};
+  a(1, 0) = {2, 0};
+  a(1, 1) = {0, 0};
+  CMatrix b(2, 2);
+  b(0, 0) = {0, 1};
+  b(0, 1) = {1, 0};
+  b(1, 0) = {1, 0};
+  b(1, 1) = {0, -1};
+  const CMatrix c = a * b;
+  EXPECT_NEAR(std::abs(c(0, 0) - cdouble{0, 2}), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c(0, 1) - cdouble{2, 0}), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c(1, 0) - cdouble{0, 2}), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(c(1, 1) - cdouble{2, 0}), 0.0, 1e-15);
+}
+
+TEST(CMatrix, HermitianTransposeConjugates) {
+  CMatrix a(2, 3);
+  a(0, 2) = {1, 2};
+  const CMatrix h = a.hermitian();
+  EXPECT_EQ(h.rows(), 3u);
+  EXPECT_EQ(h.cols(), 2u);
+  EXPECT_NEAR(std::abs(h(2, 0) - cdouble{1, -2}), 0.0, 1e-15);
+}
+
+TEST(CMatrix, SizeMismatchThrows) {
+  CMatrix a(2, 3);
+  CMatrix b(2, 3);
+  EXPECT_THROW((void)(a * b), InvalidArgument);
+  CMatrix c(2, 2);
+  EXPECT_THROW(c += a, InvalidArgument);
+}
+
+TEST(CMatrix, AtChecksBounds) {
+  CMatrix a(2, 2);
+  EXPECT_THROW((void)a.at(2, 0), InvalidArgument);
+  EXPECT_NO_THROW((void)a.at(1, 1));
+}
+
+// ----------------------------------------------------------------- Eig ---
+
+TEST(Eig, DiagonalMatrixReturnsSortedDiagonal) {
+  CMatrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  const EigResult r = hermitian_eig(a);
+  EXPECT_DOUBLE_EQ(r.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(r.values[1], 3.0);
+  EXPECT_DOUBLE_EQ(r.values[2], 1.0);
+}
+
+TEST(Eig, TwoByTwoKnownEigenvalues) {
+  // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+  CMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = {0.0, 1.0};
+  a(1, 0) = {0.0, -1.0};
+  a(1, 1) = 2.0;
+  const EigResult r = hermitian_eig(a);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-12);
+}
+
+TEST(Eig, RejectsNonHermitian) {
+  CMatrix a(2, 2);
+  a(0, 1) = {1.0, 0.0};
+  a(1, 0) = {5.0, 0.0};  // != conj(a(0,1))
+  EXPECT_THROW((void)hermitian_eig(a), InvalidArgument);
+}
+
+TEST(Eig, RejectsNonSquare) {
+  EXPECT_THROW((void)hermitian_eig(CMatrix(2, 3)), InvalidArgument);
+}
+
+// Property sweep over sizes: reconstruction, orthonormality, trace.
+class EigProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigProperty, ReconstructsAndIsUnitary) {
+  Rng rng(GetParam() * 7919 + 1);
+  const std::size_t n = GetParam();
+  const CMatrix a = random_hermitian(n, rng);
+  const EigResult r = hermitian_eig(a);
+
+  // Eigenvalues are sorted descending.
+  for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_GE(r.values[i], r.values[i + 1]);
+
+  // Trace is preserved.
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += a(i, i).real();
+  double eig_sum = 0.0;
+  for (double v : r.values) eig_sum += v;
+  EXPECT_NEAR(trace, eig_sum, 1e-9 * std::max(1.0, std::abs(trace)));
+
+  // Columns are orthonormal: V^H V = I.
+  const CMatrix vhv = r.vectors.hermitian() * r.vectors;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expected = i == j ? 1.0 : 0.0;
+      ASSERT_NEAR(std::abs(vhv(i, j)), expected, 1e-9);
+    }
+  }
+
+  // A v_j = lambda_j v_j.
+  for (std::size_t j = 0; j < n; ++j) {
+    const CVec v = r.vectors.column(j);
+    const CVec av = a * CSpan(v);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_NEAR(std::abs(av[i] - r.values[j] * v[i]), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 50));
+
+TEST(Eig, RankOnePlusNoiseSeparatesSubspaces) {
+  // The MUSIC use case in miniature: R = s s^H + sigma^2 I must yield one
+  // dominant eigenvalue ~ ||s||^2 + sigma^2 and a flat noise floor.
+  Rng rng(42);
+  const std::size_t n = 16;
+  CVec s(n);
+  for (auto& v : s) v = rng.complex_gaussian();
+  CMatrix r = CMatrix::outer(s);
+  const double sigma2 = 0.01;
+  for (std::size_t i = 0; i < n; ++i) r(i, i) += sigma2;
+
+  const EigResult e = hermitian_eig(r);
+  double s_energy = 0.0;
+  for (const auto& v : s) s_energy += norm2(v);
+  EXPECT_NEAR(e.values[0], s_energy + sigma2, 1e-9);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_NEAR(e.values[i], sigma2, 1e-9);
+}
+
+}  // namespace
+}  // namespace wivi::linalg

@@ -1,0 +1,141 @@
+// Unit tests for wivi::phy - OFDM modem and channel estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/phy/ofdm.hpp"
+
+namespace wivi::phy {
+namespace {
+
+TEST(Ofdm, DefaultsMatchPaperSection71) {
+  const OfdmModem modem;
+  EXPECT_EQ(modem.num_subcarriers(), 64);          // "64 subcarriers incl. DC"
+  EXPECT_DOUBLE_EQ(modem.config().bandwidth_hz, 5e6);  // "reduced ... to 5 MHz"
+}
+
+TEST(Ofdm, UsedSubcarriersExcludeDcAndGuards) {
+  const OfdmModem modem;
+  for (int k : modem.used_subcarriers()) {
+    EXPECT_NE(k, 0);                         // DC excluded
+    EXPECT_GE(k, 1);
+    EXPECT_LT(k, 64);
+  }
+  // Guard bins around mid-band (Nyquist edge) are excluded.
+  const auto& used = modem.used_subcarriers();
+  for (int k = 32 - modem.config().guard_carriers + 1; k < 32; ++k)
+    EXPECT_EQ(std::count(used.begin(), used.end(), k), 0) << k;
+}
+
+TEST(Ofdm, SubcarrierOffsetSignedLayout) {
+  const OfdmModem modem;
+  EXPECT_DOUBLE_EQ(modem.subcarrier_offset_hz(0), 0.0);
+  EXPECT_GT(modem.subcarrier_offset_hz(1), 0.0);
+  EXPECT_LT(modem.subcarrier_offset_hz(63), 0.0);
+  EXPECT_NEAR(modem.subcarrier_offset_hz(1), 5e6 / 64, 1e-6);
+  EXPECT_NEAR(modem.subcarrier_offset_hz(63), -5e6 / 64, 1e-6);
+}
+
+TEST(Ofdm, ModulateDemodulateRoundTrip) {
+  const OfdmModem modem;
+  const CVec x = modem.preamble();
+  const CVec time = modem.modulate(x);
+  ASSERT_EQ(time.size(), static_cast<std::size_t>(modem.symbol_length()));
+  const CVec back = modem.demodulate(time);
+  for (std::size_t k = 0; k < x.size(); ++k)
+    EXPECT_NEAR(std::abs(back[k] - x[k]), 0.0, 1e-10) << "bin " << k;
+}
+
+TEST(Ofdm, ModulatePreservesPower) {
+  const OfdmModem modem;
+  const CVec x = modem.preamble();
+  const CVec time = modem.modulate(x);
+  // Compare over the FFT body (skip the cyclic prefix).
+  const CVec body(time.begin() + modem.config().cyclic_prefix, time.end());
+  EXPECT_NEAR(mean_power(body), mean_power(x), 1e-9);
+}
+
+TEST(Ofdm, CyclicPrefixIsTailCopy) {
+  const OfdmModem modem;
+  const CVec time = modem.modulate(modem.preamble());
+  const int cp = modem.config().cyclic_prefix;
+  const int n = modem.num_subcarriers();
+  for (int i = 0; i < cp; ++i)
+    EXPECT_EQ(time[static_cast<std::size_t>(i)],
+              time[static_cast<std::size_t>(n + i)]);
+}
+
+TEST(Ofdm, PreambleIsDeterministicPerSeed) {
+  const OfdmModem modem;
+  EXPECT_EQ(modem.preamble(1), modem.preamble(1));
+  EXPECT_NE(modem.preamble(1), modem.preamble(2));
+}
+
+TEST(Ofdm, PreambleUnitPowerOnUsedBins) {
+  const OfdmModem modem;
+  const CVec p = modem.preamble();
+  for (int k : modem.used_subcarriers())
+    EXPECT_NEAR(norm2(p[static_cast<std::size_t>(k)]), 1.0, 1e-12);
+  EXPECT_EQ(p[0], (cdouble{0.0, 0.0}));  // DC empty
+}
+
+TEST(Ofdm, ChannelEstimateRecoversFlatChannel) {
+  const OfdmModem modem;
+  const CVec x = modem.preamble();
+  const cdouble h{0.3, -0.4};
+  CVec y(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) y[k] = h * x[k];
+  const CVec est = modem.estimate_channel(y, x);
+  for (int k : modem.used_subcarriers())
+    EXPECT_NEAR(std::abs(est[static_cast<std::size_t>(k)] - h), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(modem.combine_subcarriers(est) - h), 0.0, 1e-12);
+}
+
+TEST(Ofdm, CombineAveragesAcrossSubcarriersToReduceNoise) {
+  // Paper §7.1: "channel measurements across the different subcarriers are
+  // combined to improve the SNR."
+  const OfdmModem modem;
+  const CVec x = modem.preamble();
+  Rng rng(33);
+  const cdouble h{1.0, 0.0};
+  const double noise_var = 0.01;
+  double err_single = 0.0;
+  double err_combined = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    CVec y(x.size());
+    for (std::size_t k = 0; k < x.size(); ++k)
+      y[k] = h * x[k] + rng.complex_gaussian(noise_var);
+    const CVec est = modem.estimate_channel(y, x);
+    const auto k0 = static_cast<std::size_t>(modem.used_subcarriers().front());
+    err_single += norm2(est[k0] - h);
+    err_combined += norm2(modem.combine_subcarriers(est) - h);
+  }
+  // Averaging ~52 bins cuts error variance by ~52x; allow slack.
+  EXPECT_LT(err_combined, err_single / 20.0);
+}
+
+TEST(Ofdm, SymbolDurationFollowsBandwidth) {
+  const OfdmModem modem;
+  EXPECT_NEAR(modem.symbol_duration_sec(), 80.0 / 5e6, 1e-12);
+}
+
+TEST(Ofdm, RejectsBadConfig) {
+  OfdmModem::Config bad;
+  bad.num_subcarriers = 48;  // not a power of two
+  EXPECT_THROW(OfdmModem{bad}, InvalidArgument);
+  OfdmModem::Config bad_cp;
+  bad_cp.cyclic_prefix = 64;
+  EXPECT_THROW(OfdmModem{bad_cp}, InvalidArgument);
+}
+
+TEST(Ofdm, DemodulateRejectsWrongLength) {
+  const OfdmModem modem;
+  EXPECT_THROW((void)modem.demodulate(CVec(13)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wivi::phy
