@@ -13,39 +13,36 @@ RVec DoaEstimator::spectrum(CSpan window, RSpan angles_deg) const {
   if (method_ == DoaMethod::kMusic)
     return music_.pseudospectrum(window, angles_deg);
 
-  const linalg::CMatrix r = music_.smoothed_correlation(window);
-  const std::size_t wp = r.rows();
+  music_.smoothed_correlation_into(window, r_);
+  const std::size_t wp = r_.rows();
+  // All methods share the cached unit-norm steering matrix: contiguous
+  // rows, rebuilt only when the grid or geometry changes.
+  steering_.ensure(cfg_.isar, angles_deg, wp, /*unit_norm=*/true);
 
   if (method_ == DoaMethod::kBartlett) {
     // a^H R a on the smoothed correlation (equivalent to averaging the
     // Eq. 5.1 beamformer over the sub-arrays).
     RVec out(angles_deg.size(), 0.0);
     for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
-      CVec a = steering_vector(cfg_.isar, angles_deg[ai], wp);
-      const double inv = 1.0 / std::sqrt(static_cast<double>(wp));
-      for (auto& v : a) v *= inv;
-      const CVec ra = r * CSpan(a);
+      const cdouble* const a = steering_.row(ai);
+      r_.multiply_into(CSpan(a, wp), ra_);
       cdouble acc{0.0, 0.0};
-      for (std::size_t i = 0; i < wp; ++i) acc += std::conj(a[i]) * ra[i];
+      for (std::size_t i = 0; i < wp; ++i) acc += std::conj(a[i]) * ra_[i];
       out[ai] = std::max(acc.real(), 0.0);
     }
     return out;
   }
 
   // Capon / MVDR: P = 1 / (a^H R^{-1} a), with diagonal loading.
-  linalg::CMatrix loaded = r;
   double trace = 0.0;
-  for (std::size_t i = 0; i < wp; ++i) trace += loaded(i, i).real();
+  for (std::size_t i = 0; i < wp; ++i) trace += r_(i, i).real();
   const double load = capon_loading * trace / static_cast<double>(wp);
-  for (std::size_t i = 0; i < wp; ++i) loaded(i, i) += load;
-  const linalg::Cholesky chol(loaded);
+  for (std::size_t i = 0; i < wp; ++i) r_(i, i) += load;
+  const linalg::Cholesky chol(r_);
 
   RVec out(angles_deg.size(), 0.0);
   for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
-    CVec a = steering_vector(cfg_.isar, angles_deg[ai], wp);
-    const double inv = 1.0 / std::sqrt(static_cast<double>(wp));
-    for (auto& v : a) v *= inv;
-    const double q = chol.inverse_quadratic_form(a);
+    const double q = chol.inverse_quadratic_form(CSpan(steering_.row(ai), wp));
     out[ai] = 1.0 / std::max(q, 1e-300);
   }
   return out;

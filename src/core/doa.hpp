@@ -21,6 +21,9 @@ namespace wivi::core {
 
 enum class DoaMethod { kBartlett, kCapon, kMusic };
 
+/// Not safe for concurrent use of one instance (including via const
+/// spectrum()): all methods reuse mutable workspaces. Give each thread its
+/// own DoaEstimator.
 class DoaEstimator {
  public:
   /// Reuses MusicConfig: the ISAR geometry, the smoothing sub-array length
@@ -43,6 +46,12 @@ class DoaEstimator {
   DoaMethod method_;
   MusicConfig cfg_;
   SmoothedMusic music_;
+  // Reused workspaces (correlation, R*a product, steering cache) so the
+  // per-window path stops allocating once warm; mutable because spectrum()
+  // is logically const. Not safe for concurrent calls on one instance.
+  mutable linalg::CMatrix r_;
+  mutable CVec ra_;
+  mutable SteeringMatrix steering_;
 };
 
 }  // namespace wivi::core

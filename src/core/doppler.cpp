@@ -24,9 +24,13 @@ double DopplerSpectrogram::motion_energy_ratio(double dc_guard_hz) const {
 
 double DopplerSpectrogram::peak_over_floor(double dc_guard_hz) const {
   WIVI_REQUIRE(!columns.empty(), "empty spectrogram");
+  // One band buffer reused across columns (capacity settles after the first
+  // column); the floor is an nth_element median, not a copy-and-sort.
+  RVec band;
+  band.reserve(freqs_hz.size());
   double acc = 0.0;
   for (const RVec& col : columns) {
-    RVec band;
+    band.clear();
     double peak = 0.0;
     for (std::size_t f = 0; f < col.size(); ++f) {
       if (std::abs(freqs_hz[f]) <= dc_guard_hz) continue;
@@ -34,7 +38,7 @@ double DopplerSpectrogram::peak_over_floor(double dc_guard_hz) const {
       peak = std::max(peak, col[f]);
     }
     WIVI_REQUIRE(!band.empty(), "guard band covers the whole spectrum");
-    const double floor_est = std::max(dsp::median(band), 1e-300);
+    const double floor_est = std::max(dsp::median_inplace(band), 1e-300);
     acc += peak / floor_est;
   }
   return acc / static_cast<double>(columns.size());
@@ -59,9 +63,10 @@ double DopplerSpectrogram::mean_radial_speed_mps(double dc_guard_hz,
 
 DopplerProcessor::DopplerProcessor() : DopplerProcessor(Config{}) {}
 
-DopplerProcessor::DopplerProcessor(Config cfg) : cfg_(cfg) {
-  WIVI_REQUIRE(dsp::is_pow2(static_cast<std::size_t>(cfg_.fft_size)),
-               "STFT size must be a power of two");
+DopplerProcessor::DopplerProcessor(Config cfg)
+    : cfg_(cfg),
+      plan_(static_cast<std::size_t>(cfg.fft_size)),  // throws on non-pow2
+      scratch_(static_cast<std::size_t>(cfg.fft_size)) {
   WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
   WIVI_REQUIRE(cfg_.sample_rate_hz > 0.0, "sample rate must be positive");
   window_ = dsp::make_window(dsp::WindowType::kHann,
@@ -69,38 +74,51 @@ DopplerProcessor::DopplerProcessor(Config cfg) : cfg_(cfg) {
 }
 
 DopplerSpectrogram DopplerProcessor::process(CSpan h, double t0) const {
-  const auto nfft = static_cast<std::size_t>(cfg_.fft_size);
-  WIVI_REQUIRE(h.size() >= nfft, "stream shorter than one STFT window");
-
   DopplerSpectrogram out;
+  process_into(h, out, t0);
+  return out;
+}
+
+void DopplerProcessor::process_into(CSpan h, DopplerSpectrogram& out,
+                                    double t0) const {
+  const auto nfft = static_cast<std::size_t>(cfg_.fft_size);
+  const auto hop = static_cast<std::size_t>(cfg_.hop);
+  WIVI_REQUIRE(h.size() >= nfft, "stream shorter than one STFT window");
+  const std::size_t num_cols = (h.size() - nfft) / hop + 1;
+
   out.freqs_hz.resize(nfft);
   for (std::size_t f = 0; f < nfft; ++f) {
     const auto signed_bin =
         static_cast<double>(f) - static_cast<double>(nfft) / 2.0;
     out.freqs_hz[f] = signed_bin * cfg_.sample_rate_hz / static_cast<double>(nfft);
   }
+  out.times_sec.resize(num_cols);
+  out.columns.resize(num_cols);
 
-  for (std::size_t n = 0; n + nfft <= h.size();
-       n += static_cast<std::size_t>(cfg_.hop)) {
-    CVec win(h.begin() + static_cast<std::ptrdiff_t>(n),
-             h.begin() + static_cast<std::ptrdiff_t>(n + nfft));
+  const std::size_t half = nfft / 2;   // fftshift rotation (nfft is pow2)
+  const std::size_t mask = nfft - 1;
+  for (std::size_t c = 0; c < num_cols; ++c) {
+    const std::size_t n = c * hop;
+    scratch_.assign(h.begin() + static_cast<std::ptrdiff_t>(n),
+                    h.begin() + static_cast<std::ptrdiff_t>(n + nfft));
     if (cfg_.remove_dc) {
       cdouble mean{0.0, 0.0};
-      for (const cdouble& v : win) mean += v;
+      for (const cdouble& v : scratch_) mean += v;
       mean /= static_cast<double>(nfft);
-      for (cdouble& v : win) v -= mean;
+      for (cdouble& v : scratch_) v -= mean;
     }
-    dsp::apply_window(win, window_);
-    dsp::fft(win);
-    const CVec shifted = dsp::fftshift(win);
-    RVec power(nfft);
-    for (std::size_t f = 0; f < nfft; ++f) power[f] = norm2(shifted[f]);
-    out.columns.push_back(std::move(power));
-    out.times_sec.push_back(
+    dsp::apply_window(scratch_, window_);
+    plan_.forward(scratch_);
+    // fftshift folded into the power write-out as an index rotation; no
+    // complex copy, and the output column's storage is reused across calls.
+    RVec& power = out.columns[c];
+    power.resize(nfft);
+    for (std::size_t f = 0; f < nfft; ++f)
+      power[f] = norm2(scratch_[(f + half) & mask]);
+    out.times_sec[c] =
         t0 + (static_cast<double>(n) + static_cast<double>(nfft) / 2.0) /
-                 cfg_.sample_rate_hz);
+                 cfg_.sample_rate_hz;
   }
-  return out;
 }
 
 NarrowbandMotionDetector::NarrowbandMotionDetector()

@@ -16,6 +16,7 @@
 
 #include "src/common/constants.hpp"
 #include "src/common/types.hpp"
+#include "src/dsp/fft.hpp"
 
 namespace wivi::core {
 
@@ -43,6 +44,9 @@ struct DopplerSpectrogram {
                                              double wavelength_m = kWavelength) const;
 };
 
+/// Not safe for concurrent use of one instance (including via const
+/// process()): the STFT reuses a mutable scratch window. Give each thread
+/// its own DopplerProcessor.
 class DopplerProcessor {
  public:
   struct Config {
@@ -65,9 +69,18 @@ class DopplerProcessor {
   /// DC-centred bins). `t0` is the absolute time of h.front().
   [[nodiscard]] DopplerSpectrogram process(CSpan h, double t0 = 0.0) const;
 
+  /// Same, into a caller-owned spectrogram whose buffers are reused: after
+  /// a first (warming) call of the same shape, the whole STFT — DC removal,
+  /// Hann window, FFT, power + fftshift (done as an index-rotated power
+  /// write-out, no complex copy) — performs zero heap allocations. The
+  /// shared scratch window makes concurrent calls on one instance unsafe.
+  void process_into(CSpan h, DopplerSpectrogram& out, double t0 = 0.0) const;
+
  private:
   Config cfg_;
   RVec window_;
+  dsp::FftPlan plan_;      // precomputed twiddles/permutation for fft_size
+  mutable CVec scratch_;   // one STFT window, reused across hops
 };
 
 /// The §2.1 narrowband-radar baseline: declare "moving target present" when

@@ -1,5 +1,6 @@
 #include "src/core/isar.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/common/error.hpp"
@@ -25,6 +26,38 @@ CVec steering_vector(const IsarConfig& cfg, double theta_deg, std::size_t m) {
   return a;
 }
 
+void SteeringMatrix::ensure(const IsarConfig& cfg, RSpan angles_deg,
+                            std::size_t m, bool unit_norm) {
+  WIVI_REQUIRE(m > 0, "steering vector length must be positive");
+  const double spacing = element_spacing_m(cfg);
+  const bool current =
+      m == m_ && unit_norm == unit_norm_ && spacing == spacing_m_ &&
+      cfg.wavelength_m == wavelength_m_ && angles_deg.size() == angles_.size() &&
+      std::equal(angles_deg.begin(), angles_deg.end(), angles_.begin());
+  if (current) return;
+
+  m_ = m;
+  unit_norm_ = unit_norm;
+  spacing_m_ = spacing;
+  wavelength_m_ = cfg.wavelength_m;
+  angles_.assign(angles_deg.begin(), angles_deg.end());
+  data_.resize(angles_.size() * m);
+  const double inv_norm = 1.0 / std::sqrt(static_cast<double>(m));
+  for (std::size_t ai = 0; ai < angles_.size(); ++ai) {
+    const double theta_deg = angles_[ai];
+    WIVI_REQUIRE(theta_deg >= -90.0 && theta_deg <= 90.0,
+                 "theta must be in [-90, 90] degrees");
+    const double sin_theta = std::sin(theta_deg * kPi / 180.0);
+    const double phase_step = kTwoPi * spacing * sin_theta / cfg.wavelength_m;
+    cdouble* const r = data_.data() + ai * m;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double phi = phase_step * static_cast<double>(i);
+      r[i] = {std::cos(phi), std::sin(phi)};
+      if (unit_norm) r[i] *= inv_norm;
+    }
+  }
+}
+
 RVec angle_grid_deg(double step_deg) {
   WIVI_REQUIRE(step_deg > 0.0, "angle step must be positive");
   RVec grid;
@@ -34,13 +67,15 @@ RVec angle_grid_deg(double step_deg) {
 
 RVec beamform_power(CSpan window, const IsarConfig& cfg, RSpan angles_deg) {
   WIVI_REQUIRE(!window.empty(), "beamform: empty window");
+  const std::size_t m = window.size();
+  thread_local SteeringMatrix steering;
+  steering.ensure(cfg, angles_deg, m, /*unit_norm=*/false);
   RVec out(angles_deg.size(), 0.0);
   for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
-    const CVec a = steering_vector(cfg, angles_deg[ai], window.size());
+    const cdouble* const a = steering.row(ai);
     cdouble acc{0.0, 0.0};
-    for (std::size_t i = 0; i < window.size(); ++i)
-      acc += window[i] * std::conj(a[i]);
-    out[ai] = norm2(acc) / static_cast<double>(window.size());
+    for (std::size_t i = 0; i < m; ++i) acc += window[i] * std::conj(a[i]);
+    out[ai] = norm2(acc) / static_cast<double>(m);
   }
   return out;
 }

@@ -33,6 +33,35 @@ struct IsarConfig {
 [[nodiscard]] CVec steering_vector(const IsarConfig& cfg, double theta_deg,
                                    std::size_t m);
 
+/// Precomputed steering matrix for an (angle grid, array length) pair:
+/// row ai is a(angles[ai]) of length m, optionally unit-norm, stored
+/// contiguously. DoA estimators evaluate the full grid against every
+/// window position, so rebuilding the sin/cos phase ramps per call is the
+/// dominant steering cost; ensure() rebuilds only when the geometry, the
+/// grid, or the length actually changed and is otherwise free.
+class SteeringMatrix {
+ public:
+  /// Make the cache match (cfg geometry, grid, m, unit_norm); no-op when
+  /// already current.
+  void ensure(const IsarConfig& cfg, RSpan angles_deg, std::size_t m,
+              bool unit_norm);
+
+  /// Contiguous steering row for angle index ai.
+  [[nodiscard]] const cdouble* row(std::size_t ai) const noexcept {
+    return data_.data() + ai * m_;
+  }
+  [[nodiscard]] std::size_t num_angles() const noexcept { return angles_.size(); }
+  [[nodiscard]] std::size_t length() const noexcept { return m_; }
+
+ private:
+  RVec angles_;
+  CVec data_;  // num_angles x m, row-major
+  std::size_t m_ = 0;
+  double spacing_m_ = -1.0;
+  double wavelength_m_ = 0.0;
+  bool unit_norm_ = false;
+};
+
 /// Uniform angle grid [-90, 90] with the given step (181 angles at 1 deg),
 /// the grid all evaluation figures use.
 [[nodiscard]] RVec angle_grid_deg(double step_deg = 1.0);

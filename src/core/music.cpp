@@ -5,9 +5,85 @@
 
 #include "src/common/db.hpp"
 #include "src/common/error.hpp"
-#include "src/linalg/eig.hpp"
 
 namespace wivi::core {
+
+// --------------------------------------------------- SlidingCorrelation ---
+
+SlidingCorrelation::SlidingCorrelation(int subarray, int window)
+    : wp_(subarray), w_(window), num_subarrays_(window - subarray + 1) {
+  WIVI_REQUIRE(subarray >= 2, "sub-array must have at least 2 elements");
+  WIVI_REQUIRE(window >= subarray, "window shorter than the smoothing sub-array");
+  sum_.reshape(static_cast<std::size_t>(wp_), static_cast<std::size_t>(wp_));
+}
+
+void SlidingCorrelation::accumulate_outer(const cdouble* x, double sign) {
+  // Upper triangle of sign * x x^H; the lower triangle is implied.
+  const auto wp = static_cast<std::size_t>(wp_);
+  for (std::size_t i = 0; i < wp; ++i) {
+    const cdouble xi = sign * x[i];
+    cdouble* const row_i = sum_.row(i);
+    for (std::size_t j = i; j < wp; ++j) row_i[j] += xi * std::conj(x[j]);
+  }
+}
+
+void SlidingCorrelation::rebuild(CSpan stream, std::size_t pos) {
+  WIVI_REQUIRE(pos + static_cast<std::size_t>(w_) <= stream.size(),
+               "window extends past the end of the stream");
+  sum_.reshape(static_cast<std::size_t>(wp_), static_cast<std::size_t>(wp_));
+  for (int s = 0; s < num_subarrays_; ++s)
+    accumulate_outer(stream.data() + pos + static_cast<std::size_t>(s), 1.0);
+  pos_ = pos;
+  valid_ = true;
+  updates_since_rebuild_ = 0;
+}
+
+void SlidingCorrelation::advance_to(CSpan stream, std::size_t pos) {
+  WIVI_REQUIRE(pos + static_cast<std::size_t>(w_) <= stream.size(),
+               "window extends past the end of the stream");
+  WIVI_REQUIRE(!valid_ || pos >= pos_, "SlidingCorrelation only slides forward");
+  if (!valid_) {
+    rebuild(stream, pos);
+    return;
+  }
+  const std::size_t delta = pos - pos_;
+  // Each slid sample costs one subtract + one add (2 rank-one updates); a
+  // rebuild costs S of them. Also re-anchor periodically: the subtract/add
+  // chain accumulates rounding at ~eps per update, so a cheap occasional
+  // rebuild keeps the streaming path within ~1e-12 of the direct one.
+  constexpr long kRebuildEvery = 4096;
+  if (2 * delta >= static_cast<std::size_t>(num_subarrays_) ||
+      updates_since_rebuild_ + 2 * static_cast<long>(delta) > kRebuildEvery) {
+    rebuild(stream, pos);
+    return;
+  }
+  const auto S = static_cast<std::size_t>(num_subarrays_);
+  for (std::size_t p = pos_; p < pos; ++p) {
+    accumulate_outer(stream.data() + p, -1.0);      // drop sub-array at p
+    accumulate_outer(stream.data() + p + S, 1.0);   // gain sub-array at p + S
+  }
+  pos_ = pos;
+  updates_since_rebuild_ += 2 * static_cast<long>(delta);
+}
+
+void SlidingCorrelation::correlation_into(linalg::CMatrix& r) const {
+  WIVI_REQUIRE(valid_, "SlidingCorrelation has no window yet");
+  const auto wp = static_cast<std::size_t>(wp_);
+  if (r.rows() != wp || r.cols() != wp) r.reshape(wp, wp);
+  const double inv = 1.0 / static_cast<double>(num_subarrays_);
+  for (std::size_t i = 0; i < wp; ++i) {
+    const cdouble* const src_i = sum_.row(i);
+    cdouble* const dst_i = r.row(i);
+    dst_i[i] = src_i[i] * inv;
+    for (std::size_t j = i + 1; j < wp; ++j) {
+      const cdouble v = src_i[j] * inv;
+      dst_i[j] = v;
+      r(j, i) = std::conj(v);
+    }
+  }
+}
+
+// -------------------------------------------------------- SmoothedMusic ---
 
 SmoothedMusic::SmoothedMusic(MusicConfig cfg) : cfg_(cfg) {
   WIVI_REQUIRE(cfg_.subarray >= 2, "sub-array must have at least 2 elements");
@@ -18,33 +94,53 @@ SmoothedMusic::SmoothedMusic(MusicConfig cfg) : cfg_(cfg) {
 }
 
 linalg::CMatrix SmoothedMusic::smoothed_correlation(CSpan window) const {
+  linalg::CMatrix r;
+  smoothed_correlation_into(window, r);
+  return r;
+}
+
+void SmoothedMusic::smoothed_correlation_into(CSpan window,
+                                              linalg::CMatrix& r) const {
   const auto wp = static_cast<std::size_t>(cfg_.subarray);
   WIVI_REQUIRE(window.size() >= wp,
                "window shorter than the smoothing sub-array");
   const std::size_t num_subarrays = window.size() - wp + 1;
-  linalg::CMatrix r(wp, wp);
+  r.reshape(wp, wp);
   for (std::size_t s = 0; s < num_subarrays; ++s) {
-    const CSpan sub = window.subspan(s, wp);
-    // Accumulate the rank-one term sub * sub^H without materialising it.
-    for (std::size_t i = 0; i < wp; ++i)
-      for (std::size_t j = 0; j < wp; ++j)
-        r(i, j) += sub[i] * std::conj(sub[j]);
+    // Accumulate the rank-one term sub * sub^H without materialising it;
+    // only the upper triangle — the lower is its conjugate mirror.
+    const cdouble* const sub = window.data() + s;
+    for (std::size_t i = 0; i < wp; ++i) {
+      const cdouble si = sub[i];
+      cdouble* const row_i = r.row(i);
+      for (std::size_t j = i; j < wp; ++j) row_i[j] += si * std::conj(sub[j]);
+    }
   }
-  r *= cdouble{1.0 / static_cast<double>(num_subarrays), 0.0};
-  return r;
+  const double inv = 1.0 / static_cast<double>(num_subarrays);
+  for (std::size_t i = 0; i < wp; ++i) {
+    cdouble* const row_i = r.row(i);
+    row_i[i] *= inv;
+    for (std::size_t j = i + 1; j < wp; ++j) {
+      row_i[j] *= inv;
+      r(j, i) = std::conj(row_i[j]);
+    }
+  }
 }
 
 int SmoothedMusic::estimate_model_order(RSpan eigenvalues) const {
   WIVI_REQUIRE(eigenvalues.size() >= 2, "need at least two eigenvalues");
   // Noise floor: median of the smallest half of the (descending)
   // eigenvalues — robust even when several strong sources leak into the
-  // lower half.
+  // lower half. nth_element on a reused scratch buffer instead of a fresh
+  // copy-and-sort per call.
   const std::size_t n = eigenvalues.size();
   const std::size_t half = n / 2;
-  RVec tail(eigenvalues.begin() + static_cast<std::ptrdiff_t>(half),
-            eigenvalues.end());
-  std::sort(tail.begin(), tail.end());
-  const double floor = std::max(tail[tail.size() / 2], 1e-300);
+  order_tail_.assign(eigenvalues.begin() + static_cast<std::ptrdiff_t>(half),
+                     eigenvalues.end());
+  const auto mid = order_tail_.begin() +
+                   static_cast<std::ptrdiff_t>(order_tail_.size() / 2);
+  std::nth_element(order_tail_.begin(), mid, order_tail_.end());
+  const double floor = std::max(*mid, 1e-300);
   const double threshold = floor * from_db(cfg_.signal_threshold_db);
 
   int order = 0;
@@ -62,35 +158,67 @@ int SmoothedMusic::estimate_model_order(RSpan eigenvalues) const {
 
 RVec SmoothedMusic::pseudospectrum(CSpan window, RSpan angles_deg,
                                    int* model_order_out) const {
-  const linalg::CMatrix r = smoothed_correlation(window);
-  const linalg::EigResult eig = linalg::hermitian_eig(r);
-  const int order = estimate_model_order(eig.values);
+  RVec spectrum;
+  pseudospectrum_into(window, angles_deg, spectrum, model_order_out);
+  return spectrum;
+}
+
+void SmoothedMusic::pseudospectrum_into(CSpan window, RSpan angles_deg,
+                                        RVec& out, int* model_order_out) const {
+  smoothed_correlation_into(window, r_);
+  pseudospectrum_from_correlation_into(r_, angles_deg, out, model_order_out);
+}
+
+void SmoothedMusic::pseudospectrum_from_correlation_into(
+    const linalg::CMatrix& r, RSpan angles_deg, RVec& out,
+    int* model_order_out) const {
+  linalg::hermitian_eig_into(r, eig_, eig_ws_);
+  const int order = estimate_model_order(eig_.values);
   if (model_order_out != nullptr) *model_order_out = order;
 
   const std::size_t wp = r.rows();
   const std::size_t num_noise = wp - static_cast<std::size_t>(order);
 
-  // Pre-extract the noise eigenvectors (columns order .. wp-1).
-  std::vector<CVec> noise;
-  noise.reserve(num_noise);
-  for (std::size_t j = static_cast<std::size_t>(order); j < wp; ++j)
-    noise.push_back(eig.vectors.column(j));
-
-  RVec spectrum(angles_deg.size(), 0.0);
-  for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
-    CVec a = steering_vector(cfg_.isar, angles_deg[ai], wp);
-    // Unit-norm steering so the pseudospectrum scale is grid-independent.
-    const double inv_norm = 1.0 / std::sqrt(static_cast<double>(wp));
-    for (auto& v : a) v *= inv_norm;
-    double proj = 0.0;
-    for (const CVec& u : noise) {
-      cdouble dot{0.0, 0.0};
-      for (std::size_t i = 0; i < wp; ++i) dot += std::conj(a[i]) * u[i];
-      proj += norm2(dot);
-    }
-    spectrum[ai] = 1.0 / std::max(proj, 1e-12);
+  // Noise eigenvectors (columns order .. wp-1 of the eigenvector matrix)
+  // copied once into contiguous rows, so the projection inner loop below
+  // streams both operands linearly. Reserve the worst case (order = 1) up
+  // front so later calls never reallocate even if the model order drops.
+  if (noise_.capacity() < (wp - 1) * wp) noise_.reserve((wp - 1) * wp);
+  noise_.resize(num_noise * wp);
+  for (std::size_t jj = 0; jj < num_noise; ++jj) {
+    cdouble* const u = noise_.data() + jj * wp;
+    const std::size_t j = static_cast<std::size_t>(order) + jj;
+    for (std::size_t i = 0; i < wp; ++i) u[i] = eig_.vectors(i, j);
   }
-  return spectrum;
+
+  // Unit-norm steering so the pseudospectrum scale is grid-independent.
+  steering_.ensure(cfg_.isar, angles_deg, wp, /*unit_norm=*/true);
+
+  out.resize(angles_deg.size());
+  for (std::size_t ai = 0; ai < angles_deg.size(); ++ai) {
+    const cdouble* const a = steering_.row(ai);
+    // Row-wise ||a^H E_noise||^2 over contiguous storage. Four partial
+    // accumulators break the serial add chain of a naive dot product (the
+    // operands already sit in L1; the chain latency was the bottleneck).
+    double proj = 0.0;
+    for (std::size_t jj = 0; jj < num_noise; ++jj) {
+      const cdouble* const u = noise_.data() + jj * wp;
+      cdouble d0{0.0, 0.0};
+      cdouble d1{0.0, 0.0};
+      cdouble d2{0.0, 0.0};
+      cdouble d3{0.0, 0.0};
+      std::size_t i = 0;
+      for (; i + 4 <= wp; i += 4) {
+        d0 += std::conj(a[i]) * u[i];
+        d1 += std::conj(a[i + 1]) * u[i + 1];
+        d2 += std::conj(a[i + 2]) * u[i + 2];
+        d3 += std::conj(a[i + 3]) * u[i + 3];
+      }
+      for (; i < wp; ++i) d0 += std::conj(a[i]) * u[i];
+      proj += norm2((d0 + d1) + (d2 + d3));
+    }
+    out[ai] = 1.0 / std::max(proj, 1e-12);
+  }
 }
 
 }  // namespace wivi::core

@@ -8,10 +8,18 @@
 //   A'[theta] = 1 / sum_j |a(theta)^H u_j|^2        (noise eigenvectors u_j)
 // spikes at the moving humans' spatial angles and at the DC (theta = 0)
 // residual from imperfect nulling.
+//
+// The evaluation path runs one pseudospectrum per sliding-window position
+// over whole traces (§7.1: ~1 s of post-processing per 25 s trace), so the
+// implementation is built around reuse: a unit-norm steering-matrix cache
+// shared across calls, contiguous noise-subspace storage for the
+// projection, workspace-backed eigendecomposition, and an incremental
+// (rank-one add/subtract) sliding-window correlation for streaming use.
 #pragma once
 
 #include "src/core/isar.hpp"
 #include "src/linalg/cmatrix.hpp"
+#include "src/linalg/eig.hpp"
 
 namespace wivi::core {
 
@@ -30,6 +38,46 @@ struct MusicConfig {
   double signal_threshold_db = 12.0;
 };
 
+/// Streaming maintenance of the Eq. 5.2 smoothed-correlation sub-array sum
+/// for a w-sample window sliding along a channel-estimate stream. Moving
+/// the window by one sample drops exactly one sub-array and gains exactly
+/// one, so the sum is updated with a rank-one subtract + add (O(w'^2))
+/// instead of the full O(S * w'^2) rebuild; advance_to() falls back to a
+/// rebuild when the slide distance makes that cheaper, and re-anchors
+/// periodically to bound floating-point drift.
+class SlidingCorrelation {
+ public:
+  SlidingCorrelation(int subarray, int window);
+
+  /// Full rebuild of the sub-array sum for the window at stream offset
+  /// `pos` (covers stream[pos, pos + window)).
+  void rebuild(CSpan stream, std::size_t pos);
+
+  /// Move the window to offset `pos` (>= the current position) with
+  /// incremental updates. The first call behaves like rebuild().
+  void advance_to(CSpan stream, std::size_t pos);
+
+  /// Normalised smoothed correlation (w' x w', Hermitian) of the current
+  /// window; reuses r's storage, no allocation on repeated calls.
+  void correlation_into(linalg::CMatrix& r) const;
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  void accumulate_outer(const cdouble* x, double sign);
+
+  int wp_;               // sub-array length w'
+  int w_;                // window length
+  int num_subarrays_;    // S = w - w' + 1
+  std::size_t pos_ = 0;
+  bool valid_ = false;
+  long updates_since_rebuild_ = 0;
+  linalg::CMatrix sum_;  // upper triangle of the un-normalised sub-array sum
+};
+
+/// Not safe for concurrent use of one instance (including via the const
+/// methods): every estimation path reuses the instance's mutable
+/// workspaces. Give each thread its own SmoothedMusic.
 class SmoothedMusic {
  public:
   explicit SmoothedMusic(MusicConfig cfg = {});
@@ -39,6 +87,9 @@ class SmoothedMusic {
   /// Eq. 5.2 with spatial smoothing: average of sub-array correlation
   /// matrices (w' x w').
   [[nodiscard]] linalg::CMatrix smoothed_correlation(CSpan window) const;
+
+  /// Same, into a caller-owned matrix (no allocation on repeated calls).
+  void smoothed_correlation_into(CSpan window, linalg::CMatrix& r) const;
 
   /// Number of signal eigenvectors given descending eigenvalues.
   /// At least 1 (the DC always exists), at most cfg.max_sources, and always
@@ -51,8 +102,28 @@ class SmoothedMusic {
   [[nodiscard]] RVec pseudospectrum(CSpan window, RSpan angles_deg,
                                     int* model_order_out = nullptr) const;
 
+  /// Same, into a caller-owned spectrum buffer; reuses the instance's
+  /// eigen/steering/noise workspaces (zero heap allocation per call once
+  /// they are warm). Not safe for concurrent calls on one instance.
+  void pseudospectrum_into(CSpan window, RSpan angles_deg, RVec& out,
+                           int* model_order_out = nullptr) const;
+
+  /// Pseudospectrum from an externally maintained smoothed correlation
+  /// (e.g. a SlidingCorrelation) — the streaming fast path.
+  void pseudospectrum_from_correlation_into(const linalg::CMatrix& r,
+                                            RSpan angles_deg, RVec& out,
+                                            int* model_order_out = nullptr) const;
+
  private:
   MusicConfig cfg_;
+  // Workspaces: reused across calls so the per-window hot path allocates
+  // nothing once warm. Mutable because pseudospectrum() is logically const.
+  mutable linalg::CMatrix r_;            // correlation scratch
+  mutable linalg::EigResult eig_;        // eigendecomposition output
+  mutable linalg::EigWorkspace eig_ws_;  // eigendecomposition scratch
+  mutable CVec noise_;                   // noise eigenvectors, contiguous rows
+  mutable RVec order_tail_;              // model-order noise-floor scratch
+  mutable SteeringMatrix steering_;      // unit-norm steering matrix cache
 };
 
 }  // namespace wivi::core

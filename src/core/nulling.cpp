@@ -87,8 +87,8 @@ Nuller::Result Nuller::run(phy::SubcarrierLink& link) const {
   link.set_rx_gain_db(base_rx + cfg_.rx_boost_db);
 
   // --- Phase 3: iterative nulling.
+  CVec x1(n);  // precoded antenna-2 symbol, reused across iterations
   auto transmit_nulled = [&](bool* sat) {
-    CVec x1(n);
     for (std::size_t k = 0; k < n; ++k) x1[k] = r.p[k] * x[k];
     return measure(link, x, x1, sat);
   };

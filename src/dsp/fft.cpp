@@ -1,53 +1,88 @@
 #include "src/dsp/fft.hpp"
 
+#include <array>
+#include <bit>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "src/common/constants.hpp"
 #include "src/common/error.hpp"
 
 namespace wivi::dsp {
-namespace {
 
-void bit_reverse_permute(CVec& x) {
-  const std::size_t n = x.size();
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+
+  rev_.resize(n);
+  rev_[0] = 0;
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
+    rev_[i] = static_cast<std::uint32_t>(j);
   }
-}
 
-void transform(CVec& x, bool inverse) {
-  const std::size_t n = x.size();
-  WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
-  bit_reverse_permute(x);
+  // Packed per-stage tables: stage `len` contributes len/2 twiddles
+  // w^k = exp(-j 2 pi k / len), k = 0 .. len/2 - 1; n - 1 entries total.
+  tw_fwd_.reserve(n > 1 ? n - 1 : 0);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const cdouble wlen{std::cos(ang), std::sin(ang)};
-    for (std::size_t i = 0; i < n; i += len) {
-      cdouble w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const cdouble u = x[i + k];
-        const cdouble v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
+    const double ang = -kTwoPi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const double phi = ang * static_cast<double>(k);
+      tw_fwd_.emplace_back(std::cos(phi), std::sin(phi));
     }
   }
-  if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& v : x) v *= scale;
+  tw_inv_.resize(tw_fwd_.size());
+  for (std::size_t i = 0; i < tw_fwd_.size(); ++i)
+    tw_inv_[i] = std::conj(tw_fwd_[i]);
+}
+
+void FftPlan::run(std::span<cdouble> x, const CVec& twiddles) const {
+  WIVI_REQUIRE(x.size() == n_, "buffer size does not match the FFT plan");
+  const std::size_t n = n_;
+  cdouble* const data = x.data();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = rev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const cdouble* tw = twiddles.data();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble* const lo = data + i;
+      cdouble* const hi = lo + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const cdouble u = lo[k];
+        const cdouble v = hi[k] * tw[k];
+        lo[k] = u + v;
+        hi[k] = u - v;
+      }
+    }
+    tw += half;
   }
 }
 
-}  // namespace
+void FftPlan::forward(std::span<cdouble> x) const { run(x, tw_fwd_); }
 
-void fft(CVec& x) { transform(x, /*inverse=*/false); }
+void FftPlan::inverse(std::span<cdouble> x) const {
+  run(x, tw_inv_);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (auto& v : x) v *= scale;
+}
 
-void ifft(CVec& x) { transform(x, /*inverse=*/true); }
+const FftPlan& fft_plan(std::size_t n) {
+  WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  // One slot per log2 size; covers every possible power-of-two width.
+  thread_local std::array<std::unique_ptr<FftPlan>, 64> cache;
+  auto& slot = cache[static_cast<std::size_t>(std::countr_zero(n))];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  return *slot;
+}
+
+void fft(CVec& x) { fft_plan(x.size()).forward(x); }
+
+void ifft(CVec& x) { fft_plan(x.size()).inverse(x); }
 
 CVec fft_copy(CSpan x) {
   CVec out(x.begin(), x.end());

@@ -1,8 +1,15 @@
-// In-place radix-2 FFT/IFFT.
+// In-place radix-2 FFT/IFFT with precomputed plans.
 //
 // The OFDM PHY only ever needs power-of-two sizes (64 subcarriers, paper
 // §7.1), so a plain iterative Cooley-Tukey is exact and dependency-free.
+// Hot paths (the Doppler STFT, the OFDM modem) run the transform thousands
+// of times per trace at a handful of fixed sizes, so the twiddle factors
+// and the bit-reversal permutation are computed once per size in an
+// `FftPlan` and reused; the legacy `fft()/ifft()` entry points are thin
+// wrappers over a thread-local plan cache and keep their exact semantics.
 #pragma once
+
+#include <span>
 
 #include "src/common/types.hpp"
 
@@ -12,6 +19,37 @@ namespace wivi::dsp {
 [[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
   return n != 0 && (n & (n - 1)) == 0;
 }
+
+/// A precomputed radix-2 transform of one fixed power-of-two size: the
+/// bit-reversal permutation plus per-stage twiddle tables (each twiddle
+/// evaluated directly from cos/sin, not by iterated multiplication, so the
+/// plan is also more accurate than the textbook loop it replaces).
+/// Executing a plan performs no heap allocation; buffers are caller-owned.
+class FftPlan {
+ public:
+  /// Throws InvalidArgument unless n is a power of two.
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  /// In-place forward DFT of exactly size() samples (no scaling).
+  void forward(std::span<cdouble> x) const;
+
+  /// In-place inverse DFT of exactly size() samples with 1/N scaling.
+  void inverse(std::span<cdouble> x) const;
+
+ private:
+  void run(std::span<cdouble> x, const CVec& twiddles) const;
+
+  std::size_t n_ = 0;
+  std::vector<std::uint32_t> rev_;  // bit-reversal permutation
+  CVec tw_fwd_;  // per-stage twiddles, packed: [len=2 | len=4 | ... | len=n]
+  CVec tw_inv_;  // conjugate table for the inverse transform
+};
+
+/// Thread-local plan cache: one plan per size, built on first use. The
+/// reference stays valid for the thread's lifetime.
+[[nodiscard]] const FftPlan& fft_plan(std::size_t n);
 
 /// In-place forward DFT. `x.size()` must be a power of two.
 /// Convention: X[k] = sum_n x[n] * exp(-j 2 pi k n / N), no scaling.

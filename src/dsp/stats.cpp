@@ -25,6 +25,18 @@ double stddev(RSpan x) { return std::sqrt(variance(x)); }
 
 double median(RSpan x) { return percentile(x, 50.0); }
 
+double median_inplace(std::span<double> x) {
+  WIVI_REQUIRE(!x.empty(), "median of empty range");
+  const std::size_t n = x.size();
+  const auto mid = x.begin() + static_cast<std::ptrdiff_t>(n / 2);
+  std::nth_element(x.begin(), mid, x.end());
+  if (n % 2 == 1) return *mid;
+  // Even length: the lower middle is the max of the left partition; combine
+  // with the same expression percentile() uses so the value is identical.
+  const double lo = *std::max_element(x.begin(), mid);
+  return lo * 0.5 + *mid * 0.5;
+}
+
 double percentile(RSpan x, double p) {
   WIVI_REQUIRE(!x.empty(), "percentile of empty range");
   WIVI_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");

@@ -16,6 +16,11 @@ namespace wivi::dsp {
 [[nodiscard]] double stddev(RSpan x);
 [[nodiscard]] double median(RSpan x);
 
+/// Median computed destructively (the buffer is partially reordered) with
+/// std::nth_element instead of a copy + full sort: O(n) and allocation-free
+/// for callers that own a scratch buffer. Returns exactly median(x).
+[[nodiscard]] double median_inplace(std::span<double> x);
+
 /// Linear-interpolated percentile, p in [0, 100].
 [[nodiscard]] double percentile(RSpan x, double p);
 

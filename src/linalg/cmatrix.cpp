@@ -26,6 +26,13 @@ CMatrix CMatrix::outer(CSpan x) {
   return m;
 }
 
+void CMatrix::reshape(std::size_t rows, std::size_t cols) {
+  WIVI_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, cdouble{0.0, 0.0});
+}
+
 cdouble CMatrix::at(std::size_t r, std::size_t c) const {
   WIVI_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
   return (*this)(r, c);
@@ -57,14 +64,20 @@ CMatrix CMatrix::operator*(const CMatrix& rhs) const {
 }
 
 CVec CMatrix::operator*(CSpan x) const {
+  CVec out;
+  multiply_into(x, out);
+  return out;
+}
+
+void CMatrix::multiply_into(CSpan x, CVec& out) const {
   WIVI_REQUIRE(cols_ == x.size(), "matrix-vector size mismatch");
-  CVec out(rows_, cdouble{0.0, 0.0});
+  out.resize(rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
+    const cdouble* const r = row(i);
     cdouble acc{0.0, 0.0};
-    for (std::size_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * x[j];
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
     out[i] = acc;
   }
-  return out;
 }
 
 CMatrix CMatrix::hermitian() const {

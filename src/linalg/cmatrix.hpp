@@ -34,6 +34,21 @@ class CMatrix {
   /// Element access with bounds checking (throws InvalidArgument).
   [[nodiscard]] cdouble at(std::size_t r, std::size_t c) const;
 
+  /// Contiguous row-major storage access: row r occupies
+  /// [row(r), row(r) + cols()). Hot loops (MUSIC noise projections, Jacobi
+  /// sweeps) iterate these pointers instead of paying the operator()
+  /// index arithmetic per element.
+  [[nodiscard]] cdouble* row(std::size_t r) noexcept { return data_.data() + r * cols_; }
+  [[nodiscard]] const cdouble* row(std::size_t r) const noexcept {
+    return data_.data() + r * cols_;
+  }
+  [[nodiscard]] cdouble* data() noexcept { return data_.data(); }
+  [[nodiscard]] const cdouble* data() const noexcept { return data_.data(); }
+
+  /// Re-shape to rows x cols and zero-fill, reusing existing storage when
+  /// the capacity suffices (no allocation on repeated same-size calls).
+  void reshape(std::size_t rows, std::size_t cols);
+
   CMatrix& operator+=(const CMatrix& rhs);
   CMatrix& operator*=(cdouble scalar);
 
@@ -41,6 +56,10 @@ class CMatrix {
 
   /// Matrix-vector product.
   [[nodiscard]] CVec operator*(CSpan x) const;
+
+  /// Matrix-vector product into a caller-owned buffer (no allocation when
+  /// out already has rows() elements).
+  void multiply_into(CSpan x, CVec& out) const;
 
   /// Conjugate transpose.
   [[nodiscard]] CMatrix hermitian() const;

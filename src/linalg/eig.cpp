@@ -12,10 +12,14 @@ namespace {
 /// One (p, q) complex Jacobi rotation: zero a(p, q) with the unitary
 ///   G_pp = c, G_pq = -s, G_qp = s*e^{-j phi}, G_qq = c*e^{-j phi},
 /// where a_pq = |a_pq| e^{j phi}; A <- G^H A G, V <- V G.
-void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
-  const cdouble apq = a(p, q);
-  const double g = std::abs(apq);
-  if (g == 0.0) return;
+///
+/// Only the upper triangle of `a` is kept valid: the mirror writes of the
+/// textbook formulation are pure memory traffic (the lower triangle is
+/// always the conjugate), and dropping them halves the work per rotation.
+/// Eigenvectors are accumulated transposed (`vt` row j = eigenvector j) so
+/// both updated vectors are contiguous rows instead of strided columns.
+void rotate(CMatrix& a, CMatrix& vt, std::size_t p, std::size_t q,
+            cdouble apq, double g) {
   const cdouble phase = apq / g;  // e^{j phi}
   const double alpha = a(p, p).real();
   const double beta = a(q, q).real();
@@ -29,80 +33,159 @@ void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
   const cdouble conj_phase = std::conj(phase);
 
   const std::size_t n = a.rows();
-  // Update rows/columns p and q for k != p, q, keeping A exactly Hermitian.
-  for (std::size_t k = 0; k < n; ++k) {
-    if (k == p || k == q) continue;
-    const cdouble akp = a(k, p);
-    const cdouble akq = a(k, q);
-    const cdouble new_kp = c * akp + s * conj_phase * akq;
-    const cdouble new_kq = -s * akp + c * conj_phase * akq;
-    a(k, p) = new_kp;
-    a(p, k) = std::conj(new_kp);
-    a(k, q) = new_kq;
-    a(q, k) = std::conj(new_kq);
+  cdouble* const row_p = a.row(p);
+  cdouble* const row_q = a.row(q);
+
+  // k < p: both elements live in column p / column q of row k.
+  {
+    cdouble* col_p = a.data() + p;
+    cdouble* col_q = a.data() + q;
+    for (std::size_t k = 0; k < p; ++k, col_p += n, col_q += n) {
+      const cdouble akp = *col_p;
+      const cdouble akq = *col_q;
+      *col_p = c * akp + s * conj_phase * akq;
+      *col_q = -s * akp + c * conj_phase * akq;
+    }
+  }
+  // p < k < q: a(k,p) = conj(a(p,k)); row p is contiguous.
+  {
+    cdouble* col_q = a.data() + (p + 1) * n + q;
+    for (std::size_t k = p + 1; k < q; ++k, col_q += n) {
+      const cdouble apk = row_p[k];
+      const cdouble akq = *col_q;
+      row_p[k] = c * apk + s * phase * std::conj(akq);
+      *col_q = -s * std::conj(apk) + c * conj_phase * akq;
+    }
+  }
+  // k > q: both mirrors live in rows p and q; fully contiguous.
+  for (std::size_t k = q + 1; k < n; ++k) {
+    const cdouble apk = row_p[k];
+    const cdouble aqk = row_q[k];
+    row_p[k] = c * apk + s * phase * aqk;
+    row_q[k] = -s * apk + c * phase * aqk;
   }
   const double new_pp = c * c * alpha + 2.0 * c * s * g + s * s * beta;
-  a(p, p) = new_pp;
-  a(q, q) = alpha + beta - new_pp;
-  a(p, q) = 0.0;
-  a(q, p) = 0.0;
+  row_p[p] = new_pp;
+  row_q[q] = alpha + beta - new_pp;
+  row_p[q] = 0.0;
 
-  // Accumulate eigenvectors: V <- V G.
+  // Accumulate eigenvectors: V <- V G, stored transposed (contiguous rows).
+  cdouble* const vp = vt.row(p);
+  cdouble* const vq = vt.row(q);
   for (std::size_t k = 0; k < n; ++k) {
-    const cdouble vkp = v(k, p);
-    const cdouble vkq = v(k, q);
-    v(k, p) = c * vkp + s * conj_phase * vkq;
-    v(k, q) = -s * vkp + c * conj_phase * vkq;
+    const cdouble vkp = vp[k];
+    const cdouble vkq = vq[k];
+    vp[k] = c * vkp + s * conj_phase * vkq;
+    vq[k] = -s * vkp + c * conj_phase * vkq;
   }
+}
+
+/// 2 * sum_{i<j} |a(i,j)|^2 over the (valid) upper triangle.
+double upper_offdiag_norm2(const CMatrix& a) {
+  const std::size_t n = a.rows();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cdouble* const row_i = a.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) acc += norm2(row_i[j]);
+  }
+  return 2.0 * acc;
 }
 
 }  // namespace
 
 EigResult hermitian_eig(const CMatrix& a_in, const EigOptions& opts) {
+  EigResult result;
+  EigWorkspace ws;
+  hermitian_eig_into(a_in, result, ws, opts);
+  return result;
+}
+
+void hermitian_eig_into(const CMatrix& a_in, EigResult& out, EigWorkspace& ws,
+                        const EigOptions& opts) {
   WIVI_REQUIRE(a_in.rows() == a_in.cols(), "hermitian_eig needs a square matrix");
-  const double fro = a_in.frobenius_norm();
-  WIVI_REQUIRE(a_in.hermitian_defect() <= 1e-9 * std::max(fro, 1.0),
+  const std::size_t n = a_in.rows();
+
+  // Frobenius norm and Hermitian defect in one pass (squared comparisons,
+  // no per-element sqrt).
+  double fro2 = 0.0;
+  double defect2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const cdouble* const row_i = a_in.row(i);
+    fro2 += norm2(row_i[i]);
+    defect2 = std::max(defect2, row_i[i].imag() * row_i[i].imag() * 4.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const cdouble aij = row_i[j];
+      const cdouble aji = a_in(j, i);
+      fro2 += norm2(aij) + norm2(aji);
+      defect2 = std::max(defect2, norm2(aij - std::conj(aji)));
+    }
+  }
+  const double fro = std::sqrt(fro2);
+  WIVI_REQUIRE(defect2 <= 1e-18 * std::max(fro2, 1.0),
                "hermitian_eig input is not Hermitian");
 
-  const std::size_t n = a_in.rows();
-  CMatrix a = a_in;
-  CMatrix v = CMatrix::identity(n);
-
-  // Force exact Hermitian symmetry before sweeping (averages tiny defects).
+  // Working copy, upper triangle only, forced exactly Hermitian (averages
+  // tiny defects); vt starts as the identity.
+  CMatrix& a = ws.a;
+  CMatrix& vt = ws.vt;
+  a.reshape(n, n);
+  vt.reshape(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    a(i, i) = a(i, i).real();
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const cdouble avg = 0.5 * (a(i, j) + std::conj(a(j, i)));
-      a(i, j) = avg;
-      a(j, i) = std::conj(avg);
-    }
+    vt(i, i) = 1.0;
+    a(i, i) = a_in(i, i).real();
+    const cdouble* const src_i = a_in.row(i);
+    cdouble* const dst_i = a.row(i);
+    for (std::size_t j = i + 1; j < n; ++j)
+      dst_i[j] = 0.5 * (src_i[j] + std::conj(a_in(j, i)));
   }
 
   const double target = opts.tolerance * std::max(fro, 1e-300);
-  bool converged = n == 1;
+  const double target2 = target * target;
+  // A rotation below this threshold cannot matter: if every off-diagonal
+  // entry is under it, the total off-diagonal norm is already <= target.
+  const double skip2 = n > 1 ? target2 / static_cast<double>(n * (n - 1)) : 0.0;
+
+  // Each rotation lowers the off-diagonal norm by exactly 2|a_pq|^2, so an
+  // incrementally tracked estimate enables mid-sweep exit; the estimate is
+  // re-anchored exactly at every sweep boundary to cancel rounding drift.
+  double off2 = upper_offdiag_norm2(a);
+  bool converged = n == 1 || off2 <= target2;
   for (int sweep = 0; sweep < opts.max_sweeps && !converged; ++sweep) {
-    for (std::size_t p = 0; p + 1 < n; ++p)
-      for (std::size_t q = p + 1; q < n; ++q) rotate(a, v, p, q);
-    converged = std::sqrt(a.offdiag_norm2()) <= target;
+    bool early_exit = false;
+    for (std::size_t p = 0; p + 1 < n && !early_exit; ++p) {
+      const cdouble* const row_p = a.row(p);
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cdouble apq = row_p[q];
+        const double g2 = norm2(apq);
+        if (g2 <= skip2) continue;
+        rotate(a, vt, p, q, apq, std::sqrt(g2));
+        off2 -= 2.0 * g2;
+        if (off2 <= 0.25 * target2) {
+          early_exit = true;
+          break;
+        }
+      }
+    }
+    off2 = upper_offdiag_norm2(a);
+    converged = off2 <= target2;
   }
   if (!converged) throw ComputeError("hermitian_eig: Jacobi sweeps exhausted");
 
   // Sort eigenpairs by descending eigenvalue.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  RVec diag(n);
-  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i).real();
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+  ws.order.resize(n);
+  std::iota(ws.order.begin(), ws.order.end(), 0);
+  ws.diag.resize(n);
+  for (std::size_t i = 0; i < n; ++i) ws.diag[i] = a(i, i).real();
+  std::sort(ws.order.begin(), ws.order.end(),
+            [&](std::size_t x, std::size_t y) { return ws.diag[x] > ws.diag[y]; });
 
-  EigResult result;
-  result.values.resize(n);
-  result.vectors = CMatrix(n, n);
+  out.values.resize(n);
+  out.vectors.reshape(n, n);
   for (std::size_t j = 0; j < n; ++j) {
-    result.values[j] = diag[order[j]];
-    for (std::size_t i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+    out.values[j] = ws.diag[ws.order[j]];
+    const cdouble* const src = vt.row(ws.order[j]);
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = src[i];
   }
-  return result;
 }
 
 }  // namespace wivi::linalg

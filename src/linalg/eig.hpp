@@ -25,10 +25,27 @@ struct EigOptions {
   int max_sweeps = 60;
 };
 
+/// Reusable scratch for hermitian_eig_into: the working copy being
+/// diagonalised, the transposed eigenvector accumulator, and the sorting
+/// buffers. Holding one of these across calls (MUSIC runs one eig per
+/// sliding-window position) makes repeated same-size decompositions
+/// allocation-free.
+struct EigWorkspace {
+  CMatrix a;                        // working copy (upper triangle active)
+  CMatrix vt;                       // row j = eigenvector j (transposed V)
+  RVec diag;                        // unsorted eigenvalues
+  std::vector<std::size_t> order;   // descending sort permutation
+};
+
 /// Eigendecomposition of a Hermitian matrix. Throws InvalidArgument if the
 /// matrix is not square or is measurably non-Hermitian, ComputeError if the
 /// sweep cap is exhausted (never observed for genuine Hermitian input).
 [[nodiscard]] EigResult hermitian_eig(const CMatrix& a,
                                       const EigOptions& opts = {});
+
+/// Same decomposition writing into caller-owned result + workspace; no
+/// heap allocation when both already hold matching-size buffers.
+void hermitian_eig_into(const CMatrix& a, EigResult& out, EigWorkspace& ws,
+                        const EigOptions& opts = {});
 
 }  // namespace wivi::linalg

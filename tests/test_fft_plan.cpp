@@ -1,0 +1,121 @@
+// Unit tests for the planned FFT fast path: correctness against a naive
+// O(n^2) DFT reference, bit-exact equivalence between explicit plans and
+// the legacy fft()/ifft() wrappers, and plan-cache behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/constants.hpp"
+#include "src/common/error.hpp"
+#include "src/common/random.hpp"
+#include "src/dsp/fft.hpp"
+
+namespace wivi::dsp {
+namespace {
+
+/// Textbook O(n^2) DFT: X[k] = sum_n x[n] exp(-j 2 pi k n / N).
+CVec naive_dft(CSpan x) {
+  const std::size_t n = x.size();
+  CVec out(n, cdouble{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phi =
+          -kTwoPi * static_cast<double>(k) * static_cast<double>(i) /
+          static_cast<double>(n);
+      out[k] += x[i] * cdouble{std::cos(phi), std::sin(phi)};
+    }
+  }
+  return out;
+}
+
+class FftPlanVsNaiveDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanVsNaiveDft, MatchesReference) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  CVec x(n);
+  for (auto& v : x) v = rng.complex_gaussian();
+  const CVec expected = naive_dft(x);
+
+  const FftPlan plan(n);
+  CVec got = x;
+  plan.forward(got);
+
+  // The naive reference itself carries O(n eps) rounding; scale the bound.
+  const double tol = 1e-10 * static_cast<double>(n);
+  for (std::size_t k = 0; k < n; ++k)
+    ASSERT_NEAR(std::abs(got[k] - expected[k]), 0.0, tol) << "n=" << n << " bin " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPlanVsNaiveDft,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                           1024));
+
+TEST(FftPlan, BitExactWithLegacyFft) {
+  for (const std::size_t n : {2ul, 8ul, 64ul, 256ul}) {
+    Rng rng(n + 1);
+    CVec x(n);
+    for (auto& v : x) v = rng.complex_gaussian();
+
+    CVec via_wrapper = x;
+    fft(via_wrapper);
+    CVec via_plan = x;
+    FftPlan(n).forward(via_plan);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(via_wrapper[i].real(), via_plan[i].real()) << "n=" << n;
+      ASSERT_EQ(via_wrapper[i].imag(), via_plan[i].imag()) << "n=" << n;
+    }
+
+    CVec inv_wrapper = via_wrapper;
+    ifft(inv_wrapper);
+    CVec inv_plan = via_plan;
+    FftPlan(n).inverse(inv_plan);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(inv_wrapper[i].real(), inv_plan[i].real()) << "n=" << n;
+      ASSERT_EQ(inv_wrapper[i].imag(), inv_plan[i].imag()) << "n=" << n;
+    }
+  }
+}
+
+TEST(FftPlan, InverseRecoversInput) {
+  const FftPlan plan(128);
+  Rng rng(9);
+  CVec x(128);
+  for (auto& v : x) v = rng.complex_gaussian();
+  const CVec orig = x;
+  plan.forward(x);
+  plan.inverse(x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    ASSERT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-12);
+}
+
+TEST(FftPlan, SizeOneIsIdentity) {
+  const FftPlan plan(1);
+  CVec x = {cdouble{3.0, -2.0}};
+  plan.forward(x);
+  EXPECT_EQ(x[0], (cdouble{3.0, -2.0}));
+  plan.inverse(x);
+  EXPECT_EQ(x[0], (cdouble{3.0, -2.0}));
+}
+
+TEST(FftPlan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(12), InvalidArgument);
+  EXPECT_THROW(FftPlan(0), InvalidArgument);
+}
+
+TEST(FftPlan, RejectsMismatchedBuffer) {
+  const FftPlan plan(16);
+  CVec x(8);
+  EXPECT_THROW(plan.forward(x), InvalidArgument);
+}
+
+TEST(FftPlan, CacheReturnsStableReference) {
+  const FftPlan& a = fft_plan(64);
+  const FftPlan& b = fft_plan(64);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_NE(&a, &fft_plan(128));
+}
+
+}  // namespace
+}  // namespace wivi::dsp
