@@ -11,24 +11,13 @@
 #include "src/dsp/fft.hpp"
 #include "src/linalg/eig.hpp"
 #include "src/sim/link.hpp"
+#include "src/sim/synthetic.hpp"
 
 using namespace wivi;
 
 namespace {
 
-CVec make_trace(std::size_t n) {
-  Rng rng(404);
-  CVec h(n);
-  const core::IsarConfig isar;
-  const double step =
-      kTwoPi * 2.0 * 0.6 * isar.sample_period_sec / isar.wavelength_m;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double p = step * static_cast<double>(i);
-    h[i] = cdouble{std::cos(p), std::sin(p)} + cdouble{0.4, 0.1} +
-           rng.complex_gaussian(1e-4);
-  }
-  return h;
-}
+CVec make_trace(std::size_t n) { return sim::synthetic_mover_trace(n); }
 
 void BM_Fft64(benchmark::State& state) {
   Rng rng(1);

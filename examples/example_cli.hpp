@@ -1,0 +1,149 @@
+// Minimal command-line parsing shared by the examples: --name=value or
+// --name value flags with typed accessors and auto-generated usage, so
+// scenario sweeps (seed, duration, session count...) don't require
+// recompiling. Header-only and dependency-free on purpose — this is
+// example scaffolding, not library surface.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace wivi::examples {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv, std::string synopsis)
+      : prog_(argv[0]), synopsis_(std::move(synopsis)) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  [[nodiscard]] std::string get_string(const char* name, std::string def,
+                                       const char* help) {
+    record(name, def, help);
+    std::string v = std::move(def);
+    (void)lookup(name, v);
+    return v;
+  }
+
+  [[nodiscard]] double get_double(const char* name, double def,
+                                  const char* help) {
+    record(name, std::to_string(def), help);
+    std::string v;
+    if (!lookup(name, v)) return def;
+    char* end = nullptr;
+    const double r = std::strtod(v.c_str(), &end);
+    return parsed_fully(name, v, end) ? r : def;
+  }
+
+  [[nodiscard]] int get_int(const char* name, int def, const char* help) {
+    record(name, std::to_string(def), help);
+    std::string v;
+    if (!lookup(name, v)) return def;
+    char* end = nullptr;
+    const long r = std::strtol(v.c_str(), &end, 10);
+    return parsed_fully(name, v, end) ? static_cast<int>(r) : def;
+  }
+
+  [[nodiscard]] std::uint64_t get_seed(const char* name, std::uint64_t def,
+                                       const char* help) {
+    record(name, std::to_string(def), help);
+    std::string v;
+    if (!lookup(name, v)) return def;
+    char* end = nullptr;
+    const std::uint64_t r = std::strtoull(v.c_str(), &end, 10);
+    return parsed_fully(name, v, end) ? r : def;
+  }
+
+  /// Call after all get_*() registrations: prints usage and returns false
+  /// on --help, any unrecognised argument, or an unparseable value.
+  [[nodiscard]] bool ok() const {
+    bool good = bad_values_.empty();
+    for (const std::string& b : bad_values_)
+      std::fprintf(stderr, "invalid value: %s\n", b.c_str());
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a == "-h" || a == "--help") {
+        good = false;
+        continue;
+      }
+      const std::string name = flag_name(a);
+      bool known = false;
+      for (const Option& o : options_) known |= (name == o.name);
+      if (!known) {
+        std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
+        good = false;
+      } else if (a.find('=') == std::string::npos) {
+        // Space-separated form: the next token must be a value, not
+        // another flag and not the end of the line.
+        if (i + 1 >= args_.size() || args_[i + 1].rfind("--", 0) == 0) {
+          std::fprintf(stderr, "missing value for --%s\n", name.c_str());
+          good = false;
+        } else {
+          ++i;  // skip the value token
+        }
+      }
+    }
+    if (!good) usage();
+    return good;
+  }
+
+  void usage() const {
+    std::fprintf(stderr, "usage: %s [options]\n  %s\noptions:\n", prog_.c_str(),
+                 synopsis_.c_str());
+    for (const Option& o : options_)
+      std::fprintf(stderr, "  --%-12s %s (default: %s)\n", o.name.c_str(),
+                   o.help.c_str(), o.def.c_str());
+  }
+
+ private:
+  struct Option {
+    std::string name, def, help;
+  };
+
+  static std::string flag_name(const std::string& arg) {
+    if (arg.rfind("--", 0) != 0) return arg;
+    const std::size_t eq = arg.find('=');
+    return arg.substr(2, eq == std::string::npos ? std::string::npos : eq - 2);
+  }
+
+  void record(const char* name, std::string def, const char* help) {
+    options_.push_back({name, std::move(def), help});
+  }
+
+  /// True when strtoX consumed the whole token; otherwise queue the
+  /// mistake for ok() so `--count x` errors instead of running with 0.
+  bool parsed_fully(const char* name, const std::string& v, const char* end) {
+    if (end != v.c_str() && *end == '\0') return true;
+    bad_values_.push_back("--" + std::string(name) + "=" + v);
+    return false;
+  }
+
+  bool lookup(const char* name, std::string& value) const {
+    const std::string want(name);
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (flag_name(args_[i]) != want) continue;
+      const std::size_t eq = args_[i].find('=');
+      if (eq != std::string::npos) {
+        value = args_[i].substr(eq + 1);
+        return true;
+      }
+      // Never swallow another flag as a value; ok() reports the mistake.
+      if (i + 1 < args_.size() && args_[i + 1].rfind("--", 0) != 0) {
+        value = args_[i + 1];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string prog_;
+  std::string synopsis_;
+  std::vector<std::string> args_;
+  std::vector<Option> options_;
+  std::vector<std::string> bad_values_;
+};
+
+}  // namespace wivi::examples

@@ -2,38 +2,44 @@
 // carrying no device whatsoever, sends a binary message to Wi-Vi by
 // stepping forward/backward. Default message 1011; pass any bit string:
 //
-//   ./gesture_messaging 10110 [distance_m] [seed]
+//   ./gesture_messaging [--message 10110] [--distance M] [--seed N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "examples/example_cli.hpp"
 #include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
-  const char* bits_str = argc > 1 ? argv[1] : "1011";
-  const double distance = argc > 2 ? std::atof(argv[2]) : 4.0;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+  examples::Cli cli(argc, argv, "send bits through a wall by stepping");
+  const std::string bits_str =
+      cli.get_string("message", "1011", "bit string to gesture");
+  const double distance =
+      cli.get_double("distance", 4.0, "metres behind the wall (1..9)");
+  const std::uint64_t seed = cli.get_seed("seed", 11, "trial seed");
+  if (!cli.ok()) return 2;
 
   sim::GestureTrial trial;
   trial.room = sim::stata_conference_a();
   trial.distance_m = distance;
   trial.subject_index = 1;
   trial.seed = seed;
-  for (const char* c = bits_str; *c != '\0'; ++c) {
-    if (*c != '0' && *c != '1') {
-      std::fprintf(stderr, "message must be a bit string, got '%s'\n", bits_str);
+  for (const char c : bits_str) {
+    if (c != '0' && c != '1') {
+      std::fprintf(stderr, "message must be a bit string, got '%s'\n",
+                   bits_str.c_str());
       return 1;
     }
-    trial.message.push_back(*c == '0' ? core::Bit::kZero : core::Bit::kOne);
+    trial.message.push_back(c == '0' ? core::Bit::kZero : core::Bit::kOne);
   }
 
   std::printf("Wi-Vi gesture messaging\n=======================\n");
   std::printf("room     : %s\n", trial.room.name.c_str());
   std::printf("distance : %.1f m behind the wall\n", distance);
   std::printf("message  : %s  (%zu bits; '0' = step forward then back,\n",
-              bits_str, trial.message.size());
+              bits_str.c_str(), trial.message.size());
   std::printf("            '1' = step backward then forward)\n");
   const core::GestureProfile profile;
   std::printf("airtime  : ~%.1f s\n\n",

@@ -2,19 +2,24 @@
 // closed room and report how many people are moving inside, using the
 // Eq. 5.4/5.5 spatial-variance classifier trained in a *different* room.
 //
-//   ./intrusion_counter [true_count 0..3] [seed]
+//   ./intrusion_counter [--count 0..3] [--seed N] [--duration S]
 #include <cstdio>
 #include <cstdlib>
 
+#include "examples/example_cli.hpp"
 #include "src/core/counting.hpp"
 #include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
-  const int true_count = argc > 1 ? std::atoi(argv[1]) : 2;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+  examples::Cli cli(argc, argv, "occupancy counting in an unseen room");
+  const int true_count = cli.get_int("count", 2, "ground-truth movers (0..3)");
+  const std::uint64_t seed = cli.get_seed("seed", 5, "watch-trial seed");
+  const double duration =
+      cli.get_double("duration", 25.0, "watch trace seconds");
+  if (!cli.ok()) return 2;
   if (true_count < 0 || true_count > 3) {
-    std::fprintf(stderr, "true_count must be 0..3\n");
+    std::fprintf(stderr, "--count must be 0..3\n");
     return 1;
   }
 
@@ -46,7 +51,7 @@ int main(int argc, char** argv) {
   watch.room = sim::stata_conference_b();
   watch.num_humans = true_count;
   watch.subjects = {1, 4, 6};
-  watch.duration_sec = 25.0;
+  watch.duration_sec = duration;
   watch.seed = seed;
   std::printf("watching %s for %.0f s (ground truth: %d mover(s))...\n",
               watch.room.name.c_str(), watch.duration_sec, true_count);

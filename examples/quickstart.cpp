@@ -6,23 +6,26 @@
 //   3. Capture the post-nulling channel stream and run smoothed MUSIC.
 //   4. Print the angle-time heat map (the paper's Fig. 5-2) as ASCII art.
 //
-// Build & run:  ./quickstart [seed]
+// Build & run:  ./quickstart [--seed N] [--duration S]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "examples/example_cli.hpp"
 #include "src/core/tracker.hpp"
 #include "src/sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  examples::Cli cli(argc, argv, "the whole Wi-Vi pipeline, one room");
+  const std::uint64_t seed = cli.get_seed("seed", 7, "scene seed");
+  const double duration = cli.get_double("duration", 8.0, "trace seconds");
+  if (!cli.ok()) return 2;
   Rng rng(seed);
 
   // --- Scene: the paper's 7x4 m Stata conference room, device 1 m from
   // the wall, one person moving at will inside the closed room.
   sim::Scene scene(sim::stata_conference_a(), sim::default_calibration(), rng);
-  const double duration = 8.0;
   const sim::SubjectParams person = sim::subject(3);
   scene.add_human(person,
                   sim::random_walk(scene.interior(), duration + 10.0,

@@ -4,34 +4,40 @@
 // A patrolling robot is a single rigid reflector, so its angle trace is a
 // clean sawtooth compared to a human's fuzzy line - run this next to
 // ./through_wall_tracker 1 to see the difference.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "examples/example_cli.hpp"
 #include "src/core/tracker.hpp"
 #include "src/sim/experiment.hpp"
 #include "src/sim/robot.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+  examples::Cli cli(argc, argv, "track a patrolling robot through a wall");
+  const std::uint64_t seed = cli.get_seed("seed", 23, "scene seed");
+  const double duration = cli.get_double("duration", 12.0, "trace seconds");
+  const double speed = cli.get_double("speed", 0.6, "patrol speed [m/s]");
+  if (!cli.ok()) return 2;
   Rng rng(seed);
 
   sim::Scene scene(sim::stata_conference_a(), sim::default_calibration(), rng);
-  // Radial patrol: straight toward the device and back, 0.6 m/s.
+  // Radial patrol: straight toward the device and back.
   const sim::Robot robot(
-      sim::patrol({0.3, 1.8}, {0.3, 4.4}, 0.6, 30.0, 0.01));
+      sim::patrol({0.3, 1.8}, {0.3, 4.4}, speed, duration + 18.0, 0.01));
   scene.add_body(&robot);
 
   sim::ExperimentRunner::Config cfg;
-  cfg.trace_duration_sec = 12.0;
+  cfg.trace_duration_sec = duration;
   sim::ExperimentRunner runner(scene, cfg, rng.fork());
   const sim::TraceResult trace = runner.run();
 
   std::printf("Wi-Vi robot tracking\n====================\n");
   std::printf("target : iRobot Create-class robot (RCS ~0.05 m^2, rigid)\n");
-  std::printf("patrol : radial, 0.6 m/s -> expected angle +/- %.0f deg\n",
-              std::asin(0.6 / 1.0) * 180.0 / kPi);
+  std::printf("patrol : radial, %.1f m/s -> expected angle +/- %.0f deg\n",
+              speed, std::asin(std::min(speed, 1.0) / 1.0) * 180.0 / kPi);
   std::printf("nulling: %.1f dB\n\n", trace.effective_nulling_db);
 
   const core::MotionTracker tracker;

@@ -3,39 +3,45 @@
 // plus the per-column dominant-angle readout a downstream application (e.g.
 // gaming or elderly monitoring, §1) would consume.
 //
-//   ./through_wall_tracker [num_people 1..3] [material] [seed]
+//   ./through_wall_tracker [--people 1..3] [--material M] [--seed N]
+//                          [--duration S]
 // materials: hollow (default) | concrete | wood | glass
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "examples/example_cli.hpp"
 #include "src/core/tracker.hpp"
 #include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
-  const int people = argc > 1 ? std::atoi(argv[1]) : 2;
-  const char* material_name = argc > 2 ? argv[2] : "hollow";
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 17;
+  examples::Cli cli(argc, argv, "live-style multi-person through-wall view");
+  const int people = cli.get_int("people", 2, "number of movers (1..3)");
+  const std::string material_name =
+      cli.get_string("material", "hollow", "hollow|concrete|wood|glass");
+  const std::uint64_t seed = cli.get_seed("seed", 17, "scene seed");
+  const double duration = cli.get_double("duration", 10.0, "trace seconds");
+  if (!cli.ok()) return 2;
   if (people < 1 || people > 3) {
-    std::fprintf(stderr, "num_people must be 1..3\n");
+    std::fprintf(stderr, "--people must be 1..3\n");
     return 1;
   }
 
   rf::Material material = rf::Material::kHollowWall;
-  if (std::strcmp(material_name, "concrete") == 0)
+  if (material_name == "concrete")
     material = rf::Material::kConcrete8in;
-  else if (std::strcmp(material_name, "wood") == 0)
+  else if (material_name == "wood")
     material = rf::Material::kSolidWoodDoor;
-  else if (std::strcmp(material_name, "glass") == 0)
+  else if (material_name == "glass")
     material = rf::Material::kGlass;
 
   sim::CountingTrial trial;
   trial.room = sim::room_with_material(material);
   trial.num_humans = people;
   trial.subjects = {0, 3, 6};
-  trial.duration_sec = 10.0;
+  trial.duration_sec = duration;
   trial.seed = seed;
 
   std::printf("Wi-Vi through-wall tracker\n==========================\n");

@@ -66,6 +66,13 @@ void SlidingCorrelation::advance_to(CSpan stream, std::size_t pos) {
   updates_since_rebuild_ += 2 * static_cast<long>(delta);
 }
 
+void SlidingCorrelation::rebase(std::size_t drop) {
+  if (drop == 0) return;
+  WIVI_REQUIRE(valid_, "rebase() before the first window");
+  WIVI_REQUIRE(drop <= pos_, "cannot rebase past the current window start");
+  pos_ -= drop;
+}
+
 void SlidingCorrelation::correlation_into(linalg::CMatrix& r) const {
   WIVI_REQUIRE(valid_, "SlidingCorrelation has no window yet");
   const auto wp = static_cast<std::size_t>(wp_);

@@ -57,6 +57,14 @@ class SlidingCorrelation {
   /// incremental updates. The first call behaves like rebuild().
   void advance_to(CSpan stream, std::size_t pos);
 
+  /// Relabel the stream origin: the caller dropped `drop` samples from the
+  /// front of its buffer, so all future advance_to() positions are smaller
+  /// by `drop`. Pure bookkeeping — no numeric state changes, which is what
+  /// lets a bounded-memory streaming consumer (rt::StreamingTracker) stay
+  /// bit-for-bit identical to a whole-trace pass. `drop` must not reach
+  /// past the current window start.
+  void rebase(std::size_t drop);
+
   /// Normalised smoothed correlation (w' x w', Hermitian) of the current
   /// window; reuses r's storage, no allocation on repeated calls.
   void correlation_into(linalg::CMatrix& r) const;

@@ -1,0 +1,302 @@
+#include "src/rt/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace wivi::rt {
+
+Engine::Session::Session(SessionId id_, SessionConfig cfg_)
+    : id(id_),
+      cfg(cfg_),
+      ring(cfg_.ring_capacity),
+      tracker(cfg_.tracker, cfg_.t0) {
+  if (cfg.decode_gestures) gesture.emplace(cfg.gesture);
+  if (cfg.count_movers) counter.emplace(cfg.counter_cap_db);
+}
+
+Engine::Engine() : Engine(Config{}) {}
+
+Engine::Engine(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.max_sessions >= 1, "max_sessions must be >= 1");
+  WIVI_REQUIRE(cfg_.chunks_per_claim >= 1, "chunks_per_claim must be >= 1");
+  num_threads_ = cfg_.num_threads > 0
+                     ? cfg_.num_threads
+                     : static_cast<int>(
+                           std::max(1u, std::thread::hardware_concurrency()));
+  sessions_.resize(cfg_.max_sessions);
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+Engine::~Engine() {
+  stop_.store(true, std::memory_order_release);
+  wake_workers();
+  for (std::thread& t : workers_) t.join();
+}
+
+Engine::Session& Engine::session(SessionId id) const {
+  WIVI_REQUIRE(id < session_count_.load(std::memory_order_acquire),
+               "unknown session id");
+  return *sessions_[id];
+}
+
+SessionId Engine::open_session(SessionConfig cfg) {
+  std::lock_guard lk(register_mu_);
+  const std::size_t n = session_count_.load(std::memory_order_relaxed);
+  WIVI_REQUIRE(n < cfg_.max_sessions, "session table full");
+  sessions_[n] = std::make_unique<Session>(static_cast<SessionId>(n), cfg);
+  session_count_.store(n + 1, std::memory_order_release);
+  return static_cast<SessionId>(n);
+}
+
+bool Engine::offer(SessionId id, CVec chunk) {
+  Session& s = session(id);
+  WIVI_REQUIRE(!s.closed.load(std::memory_order_relaxed),
+               "offer() on a closed session");
+  const std::uint64_t samples = chunk.size();
+  s.chunks_in.fetch_add(1, std::memory_order_relaxed);
+  s.samples_in.fetch_add(samples, std::memory_order_relaxed);
+
+  if (s.cfg.backpressure == Backpressure::kBlock) {
+    while (!s.ring.try_push(std::move(chunk))) {
+      // A stopped engine — or a failed (finished) session, whose ring no
+      // worker will ever drain again — would leave this loop spinning
+      // forever; fall through to the drop path instead.
+      if (stop_.load(std::memory_order_acquire) ||
+          s.finished.load(std::memory_order_acquire)) {
+        s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
+        s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+        return false;
+      }
+      wake_workers();
+      std::this_thread::yield();
+    }
+    wake_workers();
+    return true;
+  }
+  if (!s.ring.try_push(std::move(chunk))) {
+    s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
+    s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+    return false;
+  }
+  wake_workers();
+  return true;
+}
+
+void Engine::close_session(SessionId id) {
+  session(id).closed.store(true, std::memory_order_release);
+  wake_workers();
+}
+
+void Engine::set_callback(std::function<void(Event&&)> cb) {
+  WIVI_REQUIRE(session_count_.load(std::memory_order_acquire) == 0,
+               "install the callback before opening sessions");
+  callback_ = std::move(cb);
+}
+
+void Engine::deliver(Event&& e) {
+  if (callback_) {
+    callback_(std::move(e));
+    return;
+  }
+  std::lock_guard lk(events_mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Engine::poll(std::vector<Event>& out) {
+  std::lock_guard lk(events_mu_);
+  const std::size_t n = events_.size();
+  if (n > 0) {
+    out.insert(out.end(), std::make_move_iterator(events_.begin()),
+               std::make_move_iterator(events_.end()));
+    events_.clear();
+  }
+  return n;
+}
+
+Engine::SessionStats Engine::stats(SessionId id) const {
+  const Session& s = session(id);
+  SessionStats st;
+  st.chunks_in = s.chunks_in.load(std::memory_order_relaxed);
+  st.samples_in = s.samples_in.load(std::memory_order_relaxed);
+  st.chunks_dropped = s.chunks_dropped.load(std::memory_order_relaxed);
+  st.samples_dropped = s.samples_dropped.load(std::memory_order_relaxed);
+  st.columns_out = s.columns_out.load(std::memory_order_relaxed);
+  st.bits_out = s.bits_out.load(std::memory_order_relaxed);
+  st.closed = s.closed.load(std::memory_order_acquire);
+  st.finished = s.finished.load(std::memory_order_acquire);
+  return st;
+}
+
+const StreamingTracker& Engine::tracker(SessionId id) const {
+  return session(id).tracker;
+}
+
+const core::GestureDecoder::Result& Engine::gesture_result(
+    SessionId id) const {
+  const Session& s = session(id);
+  WIVI_REQUIRE(s.gesture.has_value(), "session has no gesture decoder");
+  return s.gesture->result();
+}
+
+void Engine::drain() {
+  const std::size_t n = session_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i)
+    WIVI_REQUIRE(sessions_[i]->closed.load(std::memory_order_acquire),
+                 "drain() with a session still open would never return");
+  for (;;) {
+    bool all_finished = true;
+    for (std::size_t i = 0; i < n && all_finished; ++i)
+      all_finished = sessions_[i]->finished.load(std::memory_order_acquire);
+    if (all_finished) return;
+    wake_workers();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void Engine::wake_workers() noexcept { wake_cv_.notify_all(); }
+
+void Engine::worker_loop(int wid) {
+  const auto stride = static_cast<std::size_t>(num_threads_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::size_t n = session_count_.load(std::memory_order_acquire);
+    bool did_work = false;
+    // Own shard first: sessions are distributed id mod thread count so the
+    // common case is contention-free.
+    for (std::size_t s = static_cast<std::size_t>(wid); s < n; s += stride)
+      did_work |= try_process(*sessions_[s]);
+    if (!did_work) {
+      // Shard idle: steal one batch from any session with pending work.
+      for (std::size_t s = 0; s < n && !did_work; ++s)
+        if (s % stride != static_cast<std::size_t>(wid))
+          did_work = try_process(*sessions_[s]);
+    }
+    if (!did_work) {
+      // Nothing anywhere: sleep briefly. The timeout bounds the window of
+      // a missed notify (offer() notifies without taking wake_mu_).
+      std::unique_lock lk(wake_mu_);
+      wake_cv_.wait_for(lk, std::chrono::microseconds(200));
+    }
+  }
+}
+
+bool Engine::try_process(Session& s) {
+  if (s.finished.load(std::memory_order_acquire)) return false;
+  // Cheap pre-check before contending on the claim flag.
+  if (s.ring.empty() && !s.closed.load(std::memory_order_acquire))
+    return false;
+  if (s.busy.exchange(true, std::memory_order_acquire)) return false;
+
+  // An exception from a stage (WIVI_REQUIRE on pathological input) or
+  // from a throwing user callback must not escape the worker thread —
+  // that would std::terminate the whole service. It kills this session
+  // only: kError is delivered and the session counts as finished so
+  // drain() still returns.
+  bool did_work = false;
+  try {
+    CVec chunk;
+    for (int i = 0; i < cfg_.chunks_per_claim && s.ring.try_pop(chunk); ++i) {
+      process_chunk(s, std::move(chunk));
+      chunk.clear();
+      did_work = true;
+    }
+    // Finalise only once the close flag is up AND the ring is empty; the
+    // acquire on `closed` makes every pre-close push visible, so an empty
+    // ring here really is the end of the stream.
+    if (!did_work && s.closed.load(std::memory_order_acquire) &&
+        s.ring.empty() && !s.finished.load(std::memory_order_relaxed)) {
+      finalize(s);
+      did_work = true;
+    }
+  } catch (const std::exception& e) {
+    fail_session(s, e.what());
+    did_work = true;
+  } catch (...) {
+    fail_session(s, "unknown exception");
+    did_work = true;
+  }
+  s.busy.store(false, std::memory_order_release);
+  return did_work;
+}
+
+void Engine::process_chunk(Session& s, CVec chunk) {
+  const std::size_t before = s.tracker.num_columns();
+  s.tracker.push(chunk);
+  const core::AngleTimeImage& img = s.tracker.image();
+  const std::size_t after = img.num_times();
+  if (after == before) return;
+  s.columns_out.fetch_add(after - before, std::memory_order_relaxed);
+
+  if (s.cfg.emit_columns) {
+    for (std::size_t c = before; c < after; ++c) {
+      Event e;
+      e.session = s.id;
+      e.type = Event::Type::kColumn;
+      e.column_index = c;
+      e.time_sec = img.times_sec[c];
+      e.column = img.columns[c];
+      e.model_order = img.model_orders[c];
+      deliver(std::move(e));
+    }
+  }
+  if (s.counter) {
+    s.counter->update(img);
+    Event e;
+    e.session = s.id;
+    e.type = Event::Type::kCount;
+    e.spatial_variance = s.counter->variance();
+    e.columns_seen = s.counter->columns_seen();
+    deliver(std::move(e));
+  }
+  if (s.gesture) {
+    auto bits = s.gesture->poll(img, /*flush=*/false);
+    if (!bits.empty()) {
+      s.bits_out.fetch_add(bits.size(), std::memory_order_relaxed);
+      Event e;
+      e.session = s.id;
+      e.type = Event::Type::kBits;
+      e.bits = std::move(bits);
+      deliver(std::move(e));
+    }
+  }
+}
+
+void Engine::fail_session(Session& s, const char* what) noexcept {
+  try {
+    Event e;
+    e.session = s.id;
+    e.type = Event::Type::kError;
+    e.error = what;
+    deliver(std::move(e));
+  } catch (...) {
+    // The callback threw again (or allocation failed): the error event is
+    // lost but the session still dies cleanly.
+  }
+  s.finished.store(true, std::memory_order_release);
+}
+
+void Engine::finalize(Session& s) {
+  if (s.gesture) {
+    auto bits = s.gesture->poll(s.tracker.image(), /*flush=*/true);
+    if (!bits.empty()) {
+      s.bits_out.fetch_add(bits.size(), std::memory_order_relaxed);
+      Event e;
+      e.session = s.id;
+      e.type = Event::Type::kBits;
+      e.bits = std::move(bits);
+      deliver(std::move(e));
+    }
+  }
+  if (s.counter) s.counter->update(s.tracker.image());
+
+  Event e;
+  e.session = s.id;
+  e.type = Event::Type::kFinished;
+  e.columns_seen = s.tracker.num_columns();
+  if (s.counter) e.spatial_variance = s.counter->variance();
+  deliver(std::move(e));
+  s.finished.store(true, std::memory_order_release);
+}
+
+}  // namespace wivi::rt

@@ -1,0 +1,227 @@
+// The streaming runtime engine: N live sensor sessions multiplexed over a
+// shared worker pool.
+//
+// Shape (after the ndn-dpdk worker/queue decomposition): each session owns
+// a lock-free SPSC ring of sample chunks plus its single-threaded streaming
+// stages; a pool of workers drains the rings — each worker walks its own
+// shard (session id mod thread count) first and steals from any other
+// shard when its own is idle. A per-session claim flag guarantees at most
+// one worker touches a session's stages at a time, so per-session results
+// are in stream order and independent of thread count and interleaving
+// (pinned by test_rt_engine). Results come back either through poll() or a
+// caller-supplied callback (invoked on worker threads).
+//
+// Ownership/threading rules are spelled out in DESIGN.md §4. The short
+// version: one producer thread per session at a time; Engine owns every
+// Session; a session's streaming state is only ever touched under its
+// claim flag.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rt/spsc_ring.hpp"
+#include "src/rt/streaming.hpp"
+
+namespace wivi::rt {
+
+using SessionId = std::uint32_t;
+
+/// What to do when a session's ring is full at offer() time.
+enum class Backpressure {
+  /// Drop the offered chunk (and count it). Keeps the producer real-time
+  /// at the cost of stream gaps — the live-capture default.
+  kDropNewest,
+  /// Make offer() wait (yield-spin) until the ring has room. Lossless and
+  /// deterministic; for replayed traces and tests.
+  kBlock,
+};
+
+struct SessionConfig {
+  core::MotionTracker::Config tracker;
+  /// Absolute time of the session's first sample.
+  double t0 = 0.0;
+  /// Emit a kColumn event per completed image column (costs one column
+  /// copy; turn off for counting-only workloads).
+  bool emit_columns = true;
+  /// Attach a StreamingGesture / StreamingCounter to the session.
+  bool decode_gestures = false;
+  bool count_movers = false;
+  StreamingGesture::Config gesture;
+  double counter_cap_db = 60.0;
+  /// Ingest ring depth in chunks (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  Backpressure backpressure = Backpressure::kDropNewest;
+};
+
+/// One unit of output, delivered via poll() or the callback. Per-session
+/// event order is deterministic; the interleaving across sessions is not.
+struct Event {
+  enum class Type {
+    kColumn,    // one new angle-time image column
+    kBits,      // newly stable decoded gesture bits
+    kCount,     // running spatial-variance update (after new columns)
+    kFinished,  // session closed, drained and finalised
+    kError,     // session failed (stage or callback threw) and is dead
+  };
+
+  SessionId session = 0;
+  Type type = Type::kColumn;
+
+  // kColumn
+  std::size_t column_index = 0;
+  double time_sec = 0.0;
+  RVec column;  // linear pseudospectrum over the session's angle grid
+  int model_order = 0;
+
+  // kBits
+  std::vector<core::GestureDecoder::DecodedBit> bits;
+
+  // kCount / kFinished (when count_movers)
+  double spatial_variance = 0.0;
+  std::size_t columns_seen = 0;
+
+  // kError
+  std::string error;
+};
+
+class Engine {
+ public:
+  struct Config {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    int num_threads = 0;
+    /// Session table size (fixed at start so the lock-free reader side
+    /// never chases a reallocating vector).
+    std::size_t max_sessions = 1024;
+    /// Chunks a worker processes per claim: the work-stealing granularity
+    /// and the bound on how long one session monopolises a worker.
+    int chunks_per_claim = 4;
+  };
+
+  struct SessionStats {
+    std::uint64_t chunks_in = 0;
+    std::uint64_t samples_in = 0;
+    std::uint64_t chunks_dropped = 0;
+    std::uint64_t samples_dropped = 0;
+    std::uint64_t columns_out = 0;
+    std::uint64_t bits_out = 0;
+    bool closed = false;
+    bool finished = false;
+  };
+
+  Engine();  // default Config
+  explicit Engine(Config cfg);
+  ~Engine();  // stop()s; queued-but-unprocessed chunks are discarded
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+  [[nodiscard]] std::size_t num_sessions() const noexcept {
+    return session_count_.load(std::memory_order_acquire);
+  }
+
+  /// Register a new session. Thread-safe.
+  SessionId open_session(SessionConfig cfg);
+
+  /// Ingest one chunk (one producer thread per session at a time). Returns
+  /// false iff the chunk was dropped: kDropNewest with a full ring, or —
+  /// under either policy — the engine being stopped. kBlock otherwise
+  /// waits for ring space and returns true.
+  bool offer(SessionId id, CVec chunk);
+
+  /// End of stream: after the ring drains, the session is finalised (final
+  /// gesture flush, kFinished event). offer() afterwards is an error.
+  void close_session(SessionId id);
+
+  /// Block until every session is closed, drained and finalised. Requires
+  /// all sessions to have been close_session()ed (else it would never
+  /// return — enforced).
+  void drain();
+
+  /// Move all queued events into `out` (appended); returns how many. No-op
+  /// when a callback is installed.
+  std::size_t poll(std::vector<Event>& out);
+
+  /// Deliver events through `cb` (on worker threads, one event at a time
+  /// per session) instead of the poll() queue. Install before the first
+  /// open_session(). A throwing callback fails the session it was
+  /// reporting on (kError, best effort) — it never crashes the engine.
+  void set_callback(std::function<void(Event&&)> cb);
+
+  [[nodiscard]] SessionStats stats(SessionId id) const;
+
+  /// The session's streaming tracker — safe to read once the session is
+  /// finished (kFinished observed or drain() returned).
+  [[nodiscard]] const StreamingTracker& tracker(SessionId id) const;
+  /// Final gesture decode (sessions with decode_gestures; post-drain).
+  [[nodiscard]] const core::GestureDecoder::Result& gesture_result(
+      SessionId id) const;
+
+ private:
+  struct Session {
+    Session(SessionId id_, SessionConfig cfg_);
+
+    SessionId id;
+    SessionConfig cfg;
+    SpscRing<CVec> ring;
+    StreamingTracker tracker;
+    std::optional<StreamingGesture> gesture;
+    std::optional<StreamingCounter> counter;
+
+    std::atomic<bool> closed{false};
+    std::atomic<bool> finished{false};
+    /// Claim flag: exchange(true, acquire) to take the session, store
+    /// (false, release) to hand it back. The acquire/release pair carries
+    /// the streaming state (and the ring's consumer cache) between
+    /// workers.
+    std::atomic<bool> busy{false};
+
+    // Producer-side counters.
+    std::atomic<std::uint64_t> chunks_in{0};
+    std::atomic<std::uint64_t> samples_in{0};
+    std::atomic<std::uint64_t> chunks_dropped{0};
+    std::atomic<std::uint64_t> samples_dropped{0};
+    // Worker-side counters (relaxed atomics: read by stats() while live).
+    std::atomic<std::uint64_t> columns_out{0};
+    std::atomic<std::uint64_t> bits_out{0};
+  };
+
+  void worker_loop(int wid);
+  bool try_process(Session& s);
+  void process_chunk(Session& s, CVec chunk);
+  void finalize(Session& s);
+  void fail_session(Session& s, const char* what) noexcept;
+  void deliver(Event&& e);
+  void wake_workers() noexcept;
+  [[nodiscard]] Session& session(SessionId id) const;
+
+  Config cfg_;
+  int num_threads_ = 1;
+
+  // Fixed-size table: slots are filled once under register_mu_ and then
+  // only read; workers learn about new sessions via the release/acquire
+  // on session_count_.
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::atomic<std::size_t> session_count_{0};
+  std::mutex register_mu_;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+
+  std::function<void(Event&&)> callback_;
+  std::mutex events_mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace wivi::rt

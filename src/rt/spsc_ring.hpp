@@ -1,0 +1,85 @@
+// Fixed-capacity lock-free single-producer/single-consumer ring.
+//
+// The ingestion edge of the streaming runtime: one ring per sensor session,
+// the session's producer pushes sample chunks, whichever engine worker
+// currently owns the session pops them. Backpressure is explicit —
+// try_push() fails (without consuming its argument) when the ring is full,
+// and the session-level policy decides whether that means drop or wait.
+//
+// Threading contract: at any instant at most one thread may push and at
+// most one may pop. The two sides may be *different threads over time*
+// (the engine's work stealing migrates the consumer role between workers)
+// provided each handoff is synchronised externally with acquire/release —
+// the engine's per-session claim flag provides exactly that, so the
+// per-side index caches below travel with the role.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace wivi::rt {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (index masking).
+  explicit SpscRing(std::size_t min_capacity) {
+    WIVI_REQUIRE(min_capacity >= 1, "ring capacity must be >= 1");
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. On failure (ring full) `v` is left untouched.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ == capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ == capacity()) return false;
+    }
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;
+    }
+    out = std::move(slots_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy but monotone-safe estimate: exact when the other side is quiet.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Hot indices on separate cache lines; each side keeps a cached copy of
+  // the other's cursor so the common-case push/pop touches no shared line.
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+  alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+};
+
+}  // namespace wivi::rt

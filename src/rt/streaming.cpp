@@ -1,0 +1,125 @@
+#include "src/rt/streaming.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace wivi::rt {
+
+// ------------------------------------------------------ StreamingTracker ---
+
+StreamingTracker::StreamingTracker(core::MotionTracker::Config cfg, double t0)
+    : cfg_(cfg),
+      t0_(t0),
+      music_(cfg.music),
+      sliding_(cfg.music.subarray, cfg.music.isar.window) {
+  WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
+  WIVI_REQUIRE(cfg_.angle_step_deg > 0.0, "angle step must be positive");
+  img_.angles_deg = core::angle_grid_deg(cfg_.angle_step_deg);
+}
+
+double StreamingTracker::column_period_sec() const noexcept {
+  return static_cast<double>(cfg_.hop) * cfg_.music.isar.sample_period_sec;
+}
+
+void StreamingTracker::reset(double t0) {
+  *this = StreamingTracker(cfg_, t0);
+}
+
+std::size_t StreamingTracker::push(CSpan chunk) {
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+  const auto w = static_cast<std::size_t>(cfg_.music.isar.window);
+  const auto hop = static_cast<std::size_t>(cfg_.hop);
+  const double T = cfg_.music.isar.sample_period_sec;
+
+  // Emit every column whose window is now fully buffered. The per-column
+  // math is the batch MotionTracker::process() loop verbatim — same
+  // SlidingCorrelation advance sequence (rebase() only relabels offsets),
+  // same workspace reuse — which is what makes streaming == batch exact.
+  std::size_t emitted = 0;
+  while (base_ + buf_.size() >= next_col_ * hop + w) {
+    const std::size_t n = next_col_ * hop;  // absolute stream offset
+    sliding_.advance_to(buf_, n - base_);
+    sliding_.correlation_into(r_);
+    img_.columns.emplace_back();
+    int order = 0;
+    music_.pseudospectrum_from_correlation_into(r_, img_.angles_deg,
+                                                img_.columns.back(), &order);
+    img_.model_orders.push_back(order);
+    img_.times_sec.push_back(
+        t0_ + (static_cast<double>(n) + static_cast<double>(w) / 2.0) * T);
+    ++next_col_;
+    ++emitted;
+  }
+  if (emitted > 0) compact();
+  return emitted;
+}
+
+void StreamingTracker::compact() {
+  // The incremental advance still reads from the *previous* window start
+  // (= sliding_.position()), so that is the earliest sample we must keep.
+  // Compact in big steps: the front-erase is O(kept), so amortise it.
+  constexpr std::size_t kCompactThreshold = 4096;
+  const std::size_t drop = sliding_.position();
+  if (drop < kCompactThreshold) return;
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(drop));
+  base_ += drop;
+  sliding_.rebase(drop);
+}
+
+// ------------------------------------------------------ StreamingGesture ---
+
+StreamingGesture::StreamingGesture() : StreamingGesture(Config{}) {}
+
+StreamingGesture::StreamingGesture(Config cfg)
+    : cfg_(cfg), decoder_(cfg.decoder) {
+  WIVI_REQUIRE(cfg_.decode_interval_cols >= 1,
+               "decode interval must be >= 1 column");
+}
+
+std::vector<core::GestureDecoder::DecodedBit> StreamingGesture::poll(
+    const core::AngleTimeImage& img, bool flush) {
+  std::vector<core::GestureDecoder::DecodedBit> fresh;
+  const std::size_t cols = img.num_times();
+  if (cols == 0) return fresh;
+  if (!flush && cols < cols_decoded_ + cfg_.decode_interval_cols) return fresh;
+
+  last_ = decoder_.decode(img);
+  cols_decoded_ = cols;
+
+  double guard = cfg_.stability_guard_sec;
+  if (guard <= 0.0) {
+    // One full bit behind the frontier, a pairing can no longer change;
+    // add the matched-filter support so the peak itself is settled too.
+    const core::GestureProfile& p = cfg_.decoder.profile;
+    guard = p.bit_duration_sec() + p.step_duration_sec;
+  }
+  // Emission is keyed on the bit's time, not its index: a re-decode can
+  // insert or remove *earlier* bits (the decoder's noise scale is a
+  // whole-trace statistic), so an index cursor could re-emit or skip.
+  // The watermark guarantees each emitted bit time is delivered at most
+  // once and emissions are monotone in time; a bit that only materialises
+  // behind the watermark on a later decode is dropped (documented).
+  const double frontier = img.times_sec.back() - (flush ? 0.0 : guard);
+  for (const auto& bit : last_.bits) {
+    if (bit.time_sec <= emitted_until_ || bit.time_sec > frontier) continue;
+    fresh.push_back(bit);
+    emitted_until_ = bit.time_sec;
+    ++emitted_;
+  }
+  return fresh;
+}
+
+// ------------------------------------------------------ StreamingCounter ---
+
+std::size_t StreamingCounter::update(const core::AngleTimeImage& img) {
+  const std::size_t total = img.num_times();
+  WIVI_REQUIRE(n_ <= total, "image shrank between updates");
+  const std::size_t fresh = total - n_;
+  for (; n_ < total; ++n_)
+    acc_ += core::spatial_variance_column(img.column_db(n_, cap_db_),
+                                          img.angles_deg);
+  return fresh;
+}
+
+}  // namespace wivi::rt

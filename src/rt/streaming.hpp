@@ -1,0 +1,148 @@
+// Incremental (chunk-at-a-time) versions of the batch tracking stages.
+//
+// The paper's pipeline is streaming by nature — nulling runs live in the
+// driver and smoothed MUSIC consumes a 312.5 Hz channel-estimate stream —
+// but the batch entry points (core::MotionTracker::process and friends)
+// want the whole trace at once. The classes here carry the window state
+// across arbitrarily sized sample chunks so a live session can emit
+// angle-time columns, decoded gesture bits and count updates as soon as
+// each hop of data lands, while staying *bit-for-bit identical* to the
+// batch pass over the concatenated stream (pinned by test_rt_streaming).
+//
+// Threading: like the core stages they wrap, none of these classes is safe
+// for concurrent use of one instance — one instance per session, one
+// processing thread at a time (rt::Engine enforces this with a per-session
+// claim; see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/counting.hpp"
+#include "src/core/gesture.hpp"
+#include "src/core/tracker.hpp"
+
+namespace wivi::rt {
+
+/// Streaming counterpart of core::MotionTracker: push sample chunks of any
+/// size, get image columns appended to image() exactly as the batch
+/// process() would have produced them. Memory stays bounded — consumed
+/// samples are compacted away once the sliding window no longer needs
+/// them (the growing image itself is the caller's to keep or trim).
+class StreamingTracker {
+ public:
+  explicit StreamingTracker(core::MotionTracker::Config cfg = core::MotionTracker::Config(),
+                            double t0 = 0.0);
+
+  /// Ingest one chunk; returns the number of columns it completed.
+  std::size_t push(CSpan chunk);
+
+  /// Columns produced so far; grows by push(). Identical to
+  /// core::MotionTracker(cfg).process(all samples so far, t0) whenever at
+  /// least one window has completed.
+  [[nodiscard]] const core::AngleTimeImage& image() const noexcept {
+    return img_;
+  }
+
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return img_.num_times();
+  }
+  /// Total samples ingested since construction / the last reset().
+  [[nodiscard]] std::size_t samples_seen() const noexcept {
+    return base_ + buf_.size();
+  }
+
+  [[nodiscard]] const core::MotionTracker::Config& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] double column_period_sec() const noexcept;
+
+  /// Drop all stream and image state and start a new trace at `t0`.
+  void reset(double t0 = 0.0);
+
+ private:
+  void compact();
+
+  core::MotionTracker::Config cfg_;
+  double t0_ = 0.0;
+  core::SmoothedMusic music_;
+  core::SlidingCorrelation sliding_;
+  linalg::CMatrix r_;            // correlation scratch
+  CVec buf_;                     // buffered tail of the stream
+  std::size_t base_ = 0;         // stream index of buf_[0]
+  std::size_t next_col_ = 0;     // next column index to emit
+  core::AngleTimeImage img_;
+};
+
+/// Streaming gesture decoding (§6): watches a growing angle-time image and
+/// surfaces decoded bits as they become *stable* — far enough behind the
+/// image frontier that later columns can no longer change their pairing.
+/// Early emissions are provisional in the strict sense (the decoder's
+/// noise scale is a whole-trace statistic): each bit time is emitted at
+/// most once and in monotone time order, but a bit that a later re-decode
+/// materialises *behind* the emission watermark is never delivered
+/// incrementally. The final flush decode (result()) is always exactly
+/// core::GestureDecoder::decode() of the full image.
+class StreamingGesture {
+ public:
+  struct Config {
+    core::GestureDecoder::Config decoder;
+    /// Re-decode cadence in image columns; decoding is O(image length), so
+    /// running it every hop would make long sessions quadratic.
+    std::size_t decode_interval_cols = 16;
+    /// A bit whose centre lies this far behind the newest column is
+    /// considered stable. <= 0 derives it from the gesture profile: one
+    /// bit airtime plus the matched-filter half-width.
+    double stability_guard_sec = 0.0;
+  };
+
+  StreamingGesture();  // default Config
+  explicit StreamingGesture(Config cfg);
+
+  /// Consider the image's newly appended columns; re-decodes when the
+  /// cadence (or `flush`) demands and returns newly stable bits in time
+  /// order. With `flush`, decodes unconditionally and returns everything
+  /// not yet emitted.
+  [[nodiscard]] std::vector<core::GestureDecoder::DecodedBit> poll(
+      const core::AngleTimeImage& img, bool flush = false);
+
+  /// Result of the most recent decode (the full batch result after a
+  /// flush poll()).
+  [[nodiscard]] const core::GestureDecoder::Result& result() const noexcept {
+    return last_;
+  }
+  [[nodiscard]] std::size_t bits_emitted() const noexcept { return emitted_; }
+
+ private:
+  Config cfg_;
+  core::GestureDecoder decoder_;
+  core::GestureDecoder::Result last_;
+  std::size_t cols_decoded_ = 0;   // image length at the last decode
+  std::size_t emitted_ = 0;        // bits returned by poll() so far
+  double emitted_until_ = -1e300;  // time watermark of the last emission
+};
+
+/// Streaming occupancy counting (§7.4): running Eq. 5.5 spatial-variance
+/// average over the image columns seen so far. After the last column,
+/// variance() equals core::spatial_variance() of the full image bit for
+/// bit (same left-to-right accumulation).
+class StreamingCounter {
+ public:
+  explicit StreamingCounter(double cap_db = 60.0) : cap_db_(cap_db) {}
+
+  /// Accumulate any image columns not yet seen; returns how many.
+  std::size_t update(const core::AngleTimeImage& img);
+
+  /// Running experiment-level spatial variance (0 before any column).
+  [[nodiscard]] double variance() const noexcept {
+    return n_ == 0 ? 0.0 : acc_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] std::size_t columns_seen() const noexcept { return n_; }
+
+ private:
+  double cap_db_;
+  double acc_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace wivi::rt

@@ -1,0 +1,26 @@
+#include "src/sim/synthetic.hpp"
+
+#include <cmath>
+
+#include "src/common/random.hpp"
+#include "src/core/isar.hpp"
+
+namespace wivi::sim {
+
+CVec synthetic_mover_trace(std::size_t n, std::uint64_t seed,
+                           double speed_mps) {
+  Rng rng(seed);
+  CVec h(n);
+  const core::IsarConfig isar;
+  // Round-trip Doppler phase ramp of a target at constant radial speed.
+  const double step =
+      kTwoPi * 2.0 * speed_mps * isar.sample_period_sec / isar.wavelength_m;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = step * static_cast<double>(i);
+    h[i] = cdouble{std::cos(p), std::sin(p)} + cdouble{0.4, 0.1} +
+           rng.complex_gaussian(1e-4);
+  }
+  return h;
+}
+
+}  // namespace wivi::sim

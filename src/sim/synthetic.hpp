@@ -1,0 +1,21 @@
+// Synthetic channel-estimate streams for benches and tests: one ideal
+// mover (a constant-radial-speed phase ramp) over a static residual plus
+// noise, with no scene simulation — cheap enough to generate by the
+// megasample, deterministic in the seed, and shaped like what the tracker
+// actually consumes. The full physical simulation lives in sim::Scene /
+// ExperimentRunner; this is the stand-in for when the *processing* is the
+// thing under test.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace wivi::sim {
+
+/// n samples of h[n] = e^{j phi(v, n)} + static + CN(0, 1e-4). The default
+/// seed/speed are the historical bench_perf construction, kept stable so
+/// committed benchmark numbers stay comparable.
+[[nodiscard]] CVec synthetic_mover_trace(std::size_t n,
+                                         std::uint64_t seed = 404,
+                                         double speed_mps = 0.6);
+
+}  // namespace wivi::sim

@@ -23,6 +23,7 @@
 #include "src/dsp/stats.hpp"
 #include "src/dsp/window.hpp"
 #include "src/linalg/eig.hpp"
+#include "src/sim/synthetic.hpp"
 
 namespace wivi {
 namespace {
@@ -32,17 +33,7 @@ constexpr double kParityTol = 1e-9;
 /// A trace with a slow mover, a static residual, and noise — the same
 /// construction bench_perf uses for the §7.1 full-trace benchmark.
 CVec make_trace(std::size_t n, double speed_mps = 0.6) {
-  Rng rng(404);
-  CVec h(n);
-  const core::IsarConfig isar;
-  const double step =
-      kTwoPi * 2.0 * speed_mps * isar.sample_period_sec / isar.wavelength_m;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double p = step * static_cast<double>(i);
-    h[i] = cdouble{std::cos(p), std::sin(p)} + cdouble{0.4, 0.1} +
-           rng.complex_gaussian(1e-4);
-  }
-  return h;
+  return sim::synthetic_mover_trace(n, 404, speed_mps);
 }
 
 // ------------------------------------------------- legacy STFT (pre-PR) ---

@@ -1,0 +1,90 @@
+// rt::SpscRing: capacity semantics, FIFO order, move-only payloads, and a
+// two-thread stress pass (the single-ring half of what the TSan CI job
+// checks; test_rt_engine stresses the full engine).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "src/rt/spsc_ring.hpp"
+
+namespace wivi::rt {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(200).capacity(), 256u);
+}
+
+TEST(SpscRing, PushPopFifoAndFullEmpty) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.size(), 4u);
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow, 99) << "failed push must not consume its argument";
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapAroundKeepsOrder) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  int next = 0;
+  // Interleave pushes and pops so the cursors lap the buffer many times.
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(round * 2));
+    EXPECT_TRUE(ring.try_push(round * 2 + 1));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next++);
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, next++);
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesSequence) {
+  constexpr std::size_t kCount = 200000;
+  SpscRing<std::size_t> ring(64);
+
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(std::size_t{i})) std::this_thread::yield();
+    }
+  });
+
+  std::size_t expected = 0;
+  std::size_t v = 0;
+  while (expected < kCount) {
+    if (ring.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace wivi::rt
