@@ -1,0 +1,94 @@
+// Microbenchmarks for the multi-target tracking subsystem: per-column
+// detection cost, association cost (greedy vs Hungarian as the target
+// count grows), and the full per-column tracker step on the canonical
+// three-mover crossing scenario. The association stage is the one that
+// scales with target count, so BM_Assign* is the number to watch when
+// raising ColumnDetector::Config::max_detections.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+#include "src/sim/synthetic.hpp"
+#include "src/track/assignment.hpp"
+#include "src/track/detect.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace {
+
+using namespace wivi;
+
+/// Cached MUSIC image of the three-mover crossing trace (expensive; built
+/// once and shared by the benchmarks that consume columns).
+const core::AngleTimeImage& crossing_image() {
+  static const core::AngleTimeImage img = [] {
+    const CVec h = sim::synthetic_crossing_trace(8.0, 1234);
+    return core::MotionTracker().process(h);
+  }();
+  return img;
+}
+
+void BM_ColumnDetect(benchmark::State& state) {
+  const core::AngleTimeImage& img = crossing_image();
+  const track::ColumnDetector detector;
+  std::vector<track::Detection> dets;
+  std::size_t t = 0;
+  for (auto _ : state) {
+    detector.detect_into(img, t, dets);
+    benchmark::DoNotOptimize(dets.data());
+    t = (t + 1) % img.num_times();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ColumnDetect);
+
+/// A K-track / K-detection association frame with overlapping gates (the
+/// ambiguous, Hungarian-triggering shape): tracks at 10*i degrees,
+/// detections offset so neighbouring gates contend.
+track::CostMatrix contended_frame(std::size_t k) {
+  track::CostMatrix cost(k, k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j) {
+      const double d = 10.0 * (i > j ? i - j : j - i) + 4.0;
+      if (d <= 15.0) cost.at(i, j) = d;
+    }
+  return cost;
+}
+
+void BM_AssignGreedy(benchmark::State& state) {
+  const auto cost = contended_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto match = track::greedy_assign(cost);
+    benchmark::DoNotOptimize(match.data());
+  }
+}
+BENCHMARK(BM_AssignGreedy)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AssignHungarian(benchmark::State& state) {
+  const auto cost = contended_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto match = track::hungarian_assign(cost);
+    benchmark::DoNotOptimize(match.data());
+  }
+}
+BENCHMARK(BM_AssignHungarian)->Arg(2)->Arg(4)->Arg(8);
+
+/// Full per-column association cost: one tracker stepped over the cached
+/// crossing image, fresh tracker per pass so lifecycle work is included.
+/// items/s == columns/s.
+void BM_TrackerStepPerColumn(benchmark::State& state) {
+  const core::AngleTimeImage& img = crossing_image();
+  for (auto _ : state) {
+    track::MultiTargetTracker tracker;
+    for (std::size_t t = 0; t < img.num_times(); ++t)
+      benchmark::DoNotOptimize(&tracker.step(img, t));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * crossing_image().num_times()));
+}
+BENCHMARK(BM_TrackerStepPerColumn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Cross-reference checker for the repository documentation.
+
+Fails (exit 1) on dangling references in README.md / DESIGN.md and on
+dangling "DESIGN.md §N" section references anywhere in the tree:
+
+  * markdown links whose local target file (or in-file #anchor) is missing,
+  * backtick-quoted repository paths that do not exist,
+  * `test_*` / `bench_*` binary names without a matching source file,
+  * "DESIGN.md §N" references (from markdown or source comments) to a
+    section heading DESIGN.md does not define.
+
+Run from the repository root: python3 scripts/check_links.py
+"""
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = ["README.md", "DESIGN.md"]
+
+errors: list[str] = []
+
+
+def fail(doc: str, line: int, message: str) -> None:
+    errors.append(f"{doc}:{line}: {message}")
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    """GitHub-style anchors for every heading in a markdown document."""
+    anchors = set()
+    for match in re.finditer(r"^#+\s+(.*)$", markdown, re.MULTILINE):
+        text = re.sub(r"[`*_]", "", match.group(1).strip()).lower()
+        text = re.sub(r"[^\w\s§.-]", "", text)
+        anchors.add(re.sub(r"\s+", "-", text).strip("-"))
+    return anchors
+
+
+def design_sections(markdown: str) -> set[str]:
+    """Section numbers DESIGN.md defines as '## §N' headings."""
+    return set(re.findall(r"^##+\s+§(\d+)", markdown, re.MULTILINE))
+
+
+def check_markdown_links(doc: str, text: str) -> None:
+    for i, line in enumerate(text.splitlines(), 1):
+        for target in re.findall(r"\[[^\]]*\]\(([^)]+)\)", line):
+            target = target.strip()
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: not checked (no network in CI step)
+            path, _, anchor = target.partition("#")
+            if path:
+                full = os.path.normpath(os.path.join(ROOT, path))
+                if not os.path.exists(full):
+                    fail(doc, i, f"link target does not exist: {path}")
+                    continue
+            ref_doc = path if path else doc
+            if anchor:
+                ref_full = os.path.normpath(os.path.join(ROOT, ref_doc))
+                if not ref_doc.endswith(".md") or not os.path.exists(ref_full):
+                    continue
+                with open(ref_full, encoding="utf-8") as f:
+                    if anchor.lower() not in heading_anchors(f.read()):
+                        fail(doc, i, f"anchor #{anchor} not found in {ref_doc}")
+
+
+PATHLIKE = re.compile(
+    r"`((?:src|tests|bench|examples|docs|scripts|\.github)/[\w./-]+)`")
+BINARY = re.compile(r"\b((?:test|bench)_[a-z0-9_]+)\b")
+
+
+def check_repo_paths(doc: str, text: str) -> None:
+    for i, line in enumerate(text.splitlines(), 1):
+        for path in PATHLIKE.findall(line):
+            if not os.path.exists(os.path.join(ROOT, path)):
+                fail(doc, i, f"referenced path does not exist: {path}")
+
+
+def check_binary_names(doc: str, text: str) -> None:
+    for i, line in enumerate(text.splitlines(), 1):
+        for name in BINARY.findall(line):
+            directory = "tests" if name.startswith("test_") else "bench"
+            candidates = [f"{directory}/{name}.cpp", f"{directory}/{name}.hpp"]
+            if not any(os.path.exists(os.path.join(ROOT, c)) for c in candidates):
+                fail(doc, i, f"no source for referenced binary: {name}")
+
+
+def check_design_section_refs(sections: set[str]) -> None:
+    """Every 'DESIGN.md §N' in docs or source must resolve to a heading."""
+    files = DOCS + [
+        p for pattern in ("src/**/*.hpp", "src/**/*.cpp", "bench/*.hpp",
+                          "bench/*.cpp", "examples/*.cpp", "tests/*.cpp")
+        for p in glob.glob(pattern, root_dir=ROOT, recursive=True)
+    ]
+    for rel in files:
+        with open(os.path.join(ROOT, rel), encoding="utf-8") as f:
+            for i, line in enumerate(f, 1):
+                for num in re.findall(r"DESIGN\.md\s+§(\d+)", line):
+                    if num not in sections:
+                        fail(rel, i, f"DESIGN.md has no section §{num}")
+
+
+def main() -> int:
+    with open(os.path.join(ROOT, "DESIGN.md"), encoding="utf-8") as f:
+        sections = design_sections(f.read())
+    for doc in DOCS:
+        with open(os.path.join(ROOT, doc), encoding="utf-8") as f:
+            text = f.read()
+        check_markdown_links(doc, text)
+        check_repo_paths(doc, text)
+        check_binary_names(doc, text)
+    check_design_section_refs(sections)
+    if errors:
+        print(f"{len(errors)} dangling reference(s):")
+        for e in errors:
+            print("  " + e)
+        return 1
+    print("all documentation cross-references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,8 +49,10 @@ double spatial_variance_column(RSpan column_db, RSpan angles_deg) {
 double spatial_variance(const AngleTimeImage& img, double cap_db) {
   WIVI_REQUIRE(img.num_times() > 0, "spatial variance of an empty image");
   double acc = 0.0;
+  RVec col_db;
   for (std::size_t t = 0; t < img.num_times(); ++t) {
-    acc += spatial_variance_column(img.column_db(t, cap_db), img.angles_deg);
+    img.column_db_into(t, col_db, cap_db);
+    acc += spatial_variance_column(col_db, img.angles_deg);
   }
   return acc / static_cast<double>(img.num_times());
 }

@@ -1,16 +1,17 @@
-// Automatic detection of the number of moving humans (paper §5.2 end, §7.4).
-//
-// Moving humans appear as curved lines in A'[theta, n]; more humans means
-// more spatial spread at any instant. The paper's heuristic: compute the
-// spatial centroid (Eq. 5.4) and spatial variance (Eq. 5.5) of each image
-// column on the 20 log10 A' scale, average over the experiment, and learn
-// per-count thresholds from a training set gathered in a *different* room.
-//
-// Note on Eq. 5.5's scale: the paper's Fig. 7-3 x-axis reads "tens of
-// millions", which pins down the intended normalisation — the theta sums are
-// taken with raw (unnormalised) dB weights; only the centroid inside the
-// variance is weight-normalised. spatial_variance_column() implements
-// exactly that: W * Var_w(theta) where W = sum of dB weights.
+/// @file
+/// Automatic detection of the number of moving humans (paper §5.2 end, §7.4).
+///
+/// Moving humans appear as curved lines in A'[theta, n]; more humans means
+/// more spatial spread at any instant. The paper's heuristic: compute the
+/// spatial centroid (Eq. 5.4) and spatial variance (Eq. 5.5) of each image
+/// column on the 20 log10 A' scale, average over the experiment, and learn
+/// per-count thresholds from a training set gathered in a *different* room.
+///
+/// Note on Eq. 5.5's scale: the paper's Fig. 7-3 x-axis reads "tens of
+/// millions", which pins down the intended normalisation — the theta sums are
+/// taken with raw (unnormalised) dB weights; only the centroid inside the
+/// variance is weight-normalised. spatial_variance_column() implements
+/// exactly that: W * Var_w(theta) where W = sum of dB weights.
 #pragma once
 
 #include <vector>
@@ -35,9 +36,10 @@ namespace wivi::core {
 /// labelled experiments from one room, tested on another (paper §7.4).
 class VarianceClassifier {
  public:
+  /// One training example for train().
   struct LabeledVariance {
-    int count;        // ground-truth number of moving humans
-    double variance;  // measured spatial variance
+    int count;        ///< ground-truth number of moving humans
+    double variance;  ///< measured spatial variance
   };
 
   /// Learn one threshold between each pair of adjacent counts: the midpoint
@@ -50,10 +52,13 @@ class VarianceClassifier {
   /// Predicted number of moving humans.
   [[nodiscard]] int classify(double variance) const;
 
+  /// True once train() has been called successfully.
   [[nodiscard]] bool trained() const noexcept { return !counts_.empty(); }
+  /// Learned class boundaries, ascending (counts() size minus one).
   [[nodiscard]] const std::vector<double>& thresholds() const noexcept {
     return thresholds_;
   }
+  /// Distinct class labels seen in training, ascending.
   [[nodiscard]] const std::vector<int>& counts() const noexcept { return counts_; }
 
  private:

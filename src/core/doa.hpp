@@ -1,17 +1,18 @@
-// Direction-of-arrival estimator family over the ISAR emulated array.
-//
-// Wi-Vi's production estimator is smoothed MUSIC (music.hpp); this module
-// adds the two classical baselines it is evaluated against in the
-// literature the paper builds on (§5.1-§5.2, [35] Stoica & Moses):
-//
-//   * Bartlett - the conventional beamformer of Eq. 5.1 (delegates to
-//     isar.hpp), broad main lobe, strong side lobes;
-//   * Capon (MVDR) - minimum-variance distortionless response,
-//     P(theta) = 1 / (a^H R^{-1} a): sharper than Bartlett, but degrades
-//     on the coherent multi-human reflections unless spatially smoothed.
-//
-// All three share the smoothing front end so they can be compared
-// apples-to-apples (bench_ablation_music).
+/// @file
+/// Direction-of-arrival estimator family over the ISAR emulated array.
+///
+/// Wi-Vi's production estimator is smoothed MUSIC (music.hpp); this module
+/// adds the two classical baselines it is evaluated against in the
+/// literature the paper builds on (§5.1-§5.2, [35] Stoica & Moses):
+///
+///   * Bartlett - the conventional beamformer of Eq. 5.1 (delegates to
+///     isar.hpp), broad main lobe, strong side lobes;
+///   * Capon (MVDR) - minimum-variance distortionless response,
+///     P(theta) = 1 / (a^H R^{-1} a): sharper than Bartlett, but degrades
+///     on the coherent multi-human reflections unless spatially smoothed.
+///
+/// All three share the smoothing front end so they can be compared
+/// apples-to-apples (bench_ablation_music).
 #pragma once
 
 #include "src/core/music.hpp"
@@ -19,7 +20,12 @@
 
 namespace wivi::core {
 
-enum class DoaMethod { kBartlett, kCapon, kMusic };
+/// Which spatial-spectrum estimator DoaEstimator runs.
+enum class DoaMethod {
+  kBartlett,  ///< conventional beamformer (Eq. 5.1)
+  kCapon,     ///< minimum-variance distortionless response
+  kMusic      ///< smoothed MUSIC (the production estimator)
+};
 
 /// Not safe for concurrent use of one instance (including via const
 /// spectrum()): all methods reuse mutable workspaces. Give each thread its
@@ -30,6 +36,7 @@ class DoaEstimator {
   /// and (for MUSIC) the model-order rule.
   DoaEstimator(DoaMethod method, MusicConfig cfg = {});
 
+  /// The method this estimator runs.
   [[nodiscard]] DoaMethod method() const noexcept { return method_; }
 
   /// Spatial spectrum of one window of channel estimates on the grid.

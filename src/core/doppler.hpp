@@ -1,15 +1,16 @@
-// Doppler spectrogram processing and the narrowband-radar baseline.
-//
-// The through-wall systems Wi-Vi is contrasted with in §2.1 "typically rely
-// on detecting the Doppler shift caused by moving objects behind the wall"
-// and are defeated by the flash effect. This module implements that
-// baseline: an STFT Doppler spectrogram of the channel-estimate stream and
-// a motion detector thresholding the non-DC Doppler energy. Paired with
-// the experiment runner's no-nulling mode it reproduces the paper's
-// argument for why nulling (not Doppler processing) is the enabling idea.
-//
-// A human moving radially at v produces a Doppler shift of 2v/lambda
-// (~16 Hz at 1 m/s), comfortably inside the 312.5 Hz estimate stream.
+/// @file
+/// Doppler spectrogram processing and the narrowband-radar baseline.
+///
+/// The through-wall systems Wi-Vi is contrasted with in §2.1 "typically rely
+/// on detecting the Doppler shift caused by moving objects behind the wall"
+/// and are defeated by the flash effect. This module implements that
+/// baseline: an STFT Doppler spectrogram of the channel-estimate stream and
+/// a motion detector thresholding the non-DC Doppler energy. Paired with
+/// the experiment runner's no-nulling mode it reproduces the paper's
+/// argument for why nulling (not Doppler processing) is the enabling idea.
+///
+/// A human moving radially at v produces a Doppler shift of 2v/lambda
+/// (~16 Hz at 1 m/s), comfortably inside the 312.5 Hz estimate stream.
 #pragma once
 
 #include <vector>
@@ -20,12 +21,15 @@
 
 namespace wivi::core {
 
+/// STFT power spectrogram of a channel-estimate stream.
 struct DopplerSpectrogram {
-  RVec freqs_hz;                // bin centres, DC-centred (fftshifted)
-  RVec times_sec;               // window centres
-  std::vector<RVec> columns;    // columns[t][f] = power
+  RVec freqs_hz;              ///< bin centres, DC-centred (fftshifted)
+  RVec times_sec;             ///< window centres
+  std::vector<RVec> columns;  ///< columns[t][f] = power
 
+  /// Number of STFT window positions.
   [[nodiscard]] std::size_t num_times() const noexcept { return columns.size(); }
+  /// Number of Doppler bins per column.
   [[nodiscard]] std::size_t num_freqs() const noexcept { return freqs_hz.size(); }
 
   /// Ratio of energy outside the +/- guard band around DC to the total,
@@ -49,9 +53,11 @@ struct DopplerSpectrogram {
 /// its own DopplerProcessor.
 class DopplerProcessor {
  public:
+  /// STFT shape and pre-processing options.
   struct Config {
-    int fft_size = 64;          // samples per STFT window (power of two)
-    int hop = 16;               // samples between windows
+    int fft_size = 64;  ///< samples per STFT window (power of two)
+    int hop = 16;       ///< samples between windows
+    /// Sample rate of the input stream (the 312.5 Hz estimate stream).
     double sample_rate_hz = kChannelSampleRateHz;
     /// Subtract each window's mean before the FFT. The static residual is
     /// 40+ dB above the movers, and even a good window's sidelobes would
@@ -60,9 +66,11 @@ class DopplerProcessor {
     bool remove_dc = true;
   };
 
-  DopplerProcessor();  // default Config
+  DopplerProcessor();  ///< Build a processor with the default Config.
+  /// Build a processor with the given STFT configuration (validated).
   explicit DopplerProcessor(Config cfg);
 
+  /// The processor's configuration.
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   /// STFT power spectrogram of the channel-estimate stream (Hann window,
@@ -89,24 +97,30 @@ class DopplerProcessor {
 /// un-boosted receiver buries the mover (the paper's core argument).
 class NarrowbandMotionDetector {
  public:
+  /// Detector thresholds over the Doppler spectrogram.
   struct Config {
+    /// STFT shape used to form the spectrogram.
     DopplerProcessor::Config stft;
-    double dc_guard_hz = 12.0;  // must clear the STFT DC mainlobe (~10 Hz)
+    /// Non-DC band starts here; must clear the STFT DC mainlobe (~10 Hz).
+    double dc_guard_hz = 12.0;
     /// Motion if the time-averaged non-DC peak-over-floor statistic exceeds
     /// this. Flat complex-Gaussian noise gives ~3-5; 12 leaves a wide
     /// false-alarm margin.
     double threshold_peak_over_floor = 12.0;
   };
 
-  NarrowbandMotionDetector();  // default Config
+  NarrowbandMotionDetector();  ///< Build a detector with the default Config.
+  /// Build a detector with the given configuration.
   explicit NarrowbandMotionDetector(Config cfg);
 
+  /// Outcome of one detect() call.
   struct Decision {
-    bool motion = false;
-    double peak_over_floor = 0.0;
-    double energy_ratio = 0.0;
-    double radial_speed_mps = 0.0;
+    bool motion = false;            ///< moving target declared present?
+    double peak_over_floor = 0.0;   ///< the thresholded CFAR statistic
+    double energy_ratio = 0.0;      ///< non-DC energy fraction
+    double radial_speed_mps = 0.0;  ///< Doppler-centroid speed estimate
   };
+  /// Run the baseline detector over a channel-estimate stream.
   [[nodiscard]] Decision detect(CSpan h) const;
 
  private:

@@ -1,16 +1,17 @@
-// Through-wall gesture-based communication (paper §6).
-//
-// Encoding (§6.1): a '0' bit is a step forward then a step backward; a '1'
-// bit is a step backward then a step forward — Manchester-like, composable,
-// and trivially decodable. A forward step sweeps the spatial angle through
-// a triangle above the zero line, a backward step through an inverted
-// triangle below it (Fig. 6-1).
-//
-// Decoding (§6.2): project the angle-time image onto a signed 1-D angle
-// signal, apply two matched filters (upright and inverted triangle), sum,
-// peak-detect, and pair consecutive opposite-sign symbols into bits. A
-// gesture is decoded only if its matched-filter SNR exceeds 3 dB (Fig. 7-4
-// caption), so failures are erasures, never bit flips (§7.5).
+/// @file
+/// Through-wall gesture-based communication (paper §6).
+///
+/// Encoding (§6.1): a '0' bit is a step forward then a step backward; a '1'
+/// bit is a step backward then a step forward — Manchester-like, composable,
+/// and trivially decodable. A forward step sweeps the spatial angle through
+/// a triangle above the zero line, a backward step through an inverted
+/// triangle below it (Fig. 6-1).
+///
+/// Decoding (§6.2): project the angle-time image onto a signed 1-D angle
+/// signal, apply two matched filters (upright and inverted triangle), sum,
+/// peak-detect, and pair consecutive opposite-sign symbols into bits. A
+/// gesture is decoded only if its matched-filter SNR exceeds 3 dB (Fig. 7-4
+/// caption), so failures are erasures, never bit flips (§7.5).
 #pragma once
 
 #include <optional>
@@ -20,7 +21,11 @@
 
 namespace wivi::core {
 
-enum class Bit : int { kZero = 0, kOne = 1 };
+/// One message bit of the §6.1 gesture alphabet.
+enum class Bit : int {
+  kZero = 0,  ///< step forward then backward
+  kOne = 1    ///< step backward then forward
+};
 
 /// Physical parameters of the step gestures. Defaults reproduce the paper's
 /// §7.5 micro-measurements: ~2-3 foot steps, ~2.2 s per bit gesture.
@@ -29,9 +34,9 @@ struct GestureProfile {
   // ISAR assumed speed so a straight-at-the-device step sweeps the full
   // 0 -> 90 -> 0 degree triangle of Fig. 6-1 (a faster step would push
   // sin(theta) = v_r / v beyond the visible region).
-  double step_duration_sec = 0.95;   // one step, forward or backward
-  double step_length_m = 0.48;       // ~19 inches
-  double intra_bit_pause_sec = 0.1;  // between the two steps of one bit
+  double step_duration_sec = 0.95;   ///< one step, forward or backward
+  double step_length_m = 0.48;       ///< ~19 inches
+  double intra_bit_pause_sec = 0.1;  ///< between the two steps of one bit
   /// Longer than the intra-bit pause on purpose: the gap difference is the
   /// framing signal that lets the decoder pair steps into bits without
   /// cascading after an erased step.
@@ -45,6 +50,7 @@ struct GestureProfile {
   [[nodiscard]] double peak_speed_mps() const noexcept {
     return 2.0 * step_length_m / step_duration_sec;
   }
+  /// Total airtime of one bit gesture (two steps plus both pauses).
   [[nodiscard]] double bit_duration_sec() const noexcept {
     return 2.0 * step_duration_sec + intra_bit_pause_sec + inter_bit_pause_sec;
   }
@@ -52,8 +58,8 @@ struct GestureProfile {
 
 /// One encoded step: direction and absolute start time.
 struct GestureStep {
-  bool forward = true;
-  double start_sec = 0.0;
+  bool forward = true;     ///< forward (toward the device) or backward
+  double start_sec = 0.0;  ///< absolute start time of the step
 };
 
 /// Encode a message as a timed step sequence starting at `t0`.
@@ -64,9 +70,12 @@ struct GestureStep {
 [[nodiscard]] double message_duration_sec(std::size_t num_bits,
                                           const GestureProfile& profile);
 
+/// Decodes §6.1 step-gesture messages out of an angle-time image.
 class GestureDecoder {
  public:
+  /// Decoder thresholds and the gesture timing profile.
   struct Config {
+    /// Physical step/gesture timing the matched filters are built from.
     GestureProfile profile;
     /// Columns with |theta| below this are the DC line; excluded (§5.2).
     double dc_exclusion_deg = 12.0;
@@ -86,30 +95,35 @@ class GestureDecoder {
     double snr_pair_tolerance_db = 18.0;
   };
 
+  /// One gated matched-filter peak (half of a bit gesture).
   struct Symbol {
-    double time_sec = 0.0;
-    int sign = 0;        // +1 forward step, -1 backward step
-    double snr_db = 0.0;
+    double time_sec = 0.0;  ///< peak time
+    int sign = 0;           ///< +1 forward step, -1 backward step
+    double snr_db = 0.0;    ///< matched-filter SNR of the peak
   };
 
+  /// One successfully paired bit.
   struct DecodedBit {
-    Bit value = Bit::kZero;
-    double time_sec = 0.0;
-    double snr_db = 0.0;  // the weaker of the two constituent steps
+    Bit value = Bit::kZero;  ///< decoded bit value
+    double time_sec = 0.0;   ///< centre time of the bit gesture
+    double snr_db = 0.0;     ///< the weaker of the two constituent steps
   };
 
+  /// Full decode output (bits plus the intermediates figures plot).
   struct Result {
-    std::vector<DecodedBit> bits;
-    std::vector<Symbol> symbols;       // all gated symbols, time order
-    std::size_t unpaired_symbols = 0;  // halves that found no partner
-    RVec angle_signal;                 // intermediate, for figures
-    RVec matched_output;               // Fig. 6-3(a)
-    double noise_sigma = 0.0;          // robust noise scale of matched output
+    std::vector<DecodedBit> bits;      ///< decoded bits, time order
+    std::vector<Symbol> symbols;       ///< all gated symbols, time order
+    std::size_t unpaired_symbols = 0;  ///< halves that found no partner
+    RVec angle_signal;                 ///< intermediate, for figures
+    RVec matched_output;               ///< Fig. 6-3(a)
+    double noise_sigma = 0.0;          ///< robust noise scale of matched output
   };
 
-  GestureDecoder();  // default Config
+  GestureDecoder();  ///< Build a decoder with the default Config.
+  /// Build a decoder with the given configuration.
   explicit GestureDecoder(Config cfg);
 
+  /// The decoder's configuration.
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   /// Signed 1-D angle signal from the image: positive-angle energy minus

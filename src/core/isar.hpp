@@ -1,14 +1,15 @@
-// Inverse synthetic aperture radar: time samples as antenna arrays
-// (paper §5.1, Fig. 5-1, Eq. 5.1).
-//
-// Consecutive channel estimates h[n]..h[n+w] are treated as one antenna
-// array whose element spacing is Delta = 2 v T (v = assumed human speed,
-// T = channel sample period; the factor 2 accounts for the round trip,
-// paper footnote 2 of §5.1). Beam steering over that array gives
-//   A[theta, n] = sum_i h[n+i] * conj(a_i(theta)),
-//   a_i(theta)  = exp(j 2 pi i Delta sin(theta) / lambda),
-// which peaks at sin(theta) = v_radial / v: a person walking straight at
-// the device (v_r = +1 m/s) shows at +90 degrees, walking away at -90.
+/// @file
+/// Inverse synthetic aperture radar: time samples as antenna arrays
+/// (paper §5.1, Fig. 5-1, Eq. 5.1).
+///
+/// Consecutive channel estimates h[n]..h[n+w] are treated as one antenna
+/// array whose element spacing is Delta = 2 v T (v = assumed human speed,
+/// T = channel sample period; the factor 2 accounts for the round trip,
+/// paper footnote 2 of §5.1). Beam steering over that array gives
+///   A[theta, n] = sum_i h[n+i] * conj(a_i(theta)),
+///   a_i(theta)  = exp(j 2 pi i Delta sin(theta) / lambda),
+/// which peaks at sin(theta) = v_radial / v: a person walking straight at
+/// the device (v_r = +1 m/s) shows at +90 degrees, walking away at -90.
 #pragma once
 
 #include "src/common/constants.hpp"
@@ -16,7 +17,9 @@
 
 namespace wivi::core {
 
+/// Geometry of the emulated ISAR array.
 struct IsarConfig {
+  /// Carrier wavelength lambda (2.4 GHz ISM band).
   double wavelength_m = kWavelength;
   /// Assumed target speed v (paper default 1 m/s, §5.1).
   double assumed_speed_mps = kAssumedHumanSpeed;
@@ -50,7 +53,9 @@ class SteeringMatrix {
   [[nodiscard]] const cdouble* row(std::size_t ai) const noexcept {
     return data_.data() + ai * m_;
   }
+  /// Number of angles in the cached grid.
   [[nodiscard]] std::size_t num_angles() const noexcept { return angles_.size(); }
+  /// Steering-vector length m of the cached matrix.
   [[nodiscard]] std::size_t length() const noexcept { return m_; }
 
  private:

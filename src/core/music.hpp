@@ -1,20 +1,21 @@
-// Smoothed MUSIC over the emulated ISAR array (paper §5.2, Eqs. 5.2-5.3).
-//
-// Reflections from multiple humans are correlated (they all reflect the
-// same transmitted signal), which defeats plain MUSIC; spatial smoothing
-// (Shan, Wax & Kailath 1985) de-correlates them by averaging correlation
-// matrices over overlapping sub-arrays of size w' < w before the eigen
-// decomposition. The pseudospectrum
-//   A'[theta] = 1 / sum_j |a(theta)^H u_j|^2        (noise eigenvectors u_j)
-// spikes at the moving humans' spatial angles and at the DC (theta = 0)
-// residual from imperfect nulling.
-//
-// The evaluation path runs one pseudospectrum per sliding-window position
-// over whole traces (§7.1: ~1 s of post-processing per 25 s trace), so the
-// implementation is built around reuse: a unit-norm steering-matrix cache
-// shared across calls, contiguous noise-subspace storage for the
-// projection, workspace-backed eigendecomposition, and an incremental
-// (rank-one add/subtract) sliding-window correlation for streaming use.
+/// @file
+/// Smoothed MUSIC over the emulated ISAR array (paper §5.2, Eqs. 5.2-5.3).
+///
+/// Reflections from multiple humans are correlated (they all reflect the
+/// same transmitted signal), which defeats plain MUSIC; spatial smoothing
+/// (Shan, Wax & Kailath 1985) de-correlates them by averaging correlation
+/// matrices over overlapping sub-arrays of size w' < w before the eigen
+/// decomposition. The pseudospectrum
+///   A'[theta] = 1 / sum_j |a(theta)^H u_j|^2        (noise eigenvectors u_j)
+/// spikes at the moving humans' spatial angles and at the DC (theta = 0)
+/// residual from imperfect nulling.
+///
+/// The evaluation path runs one pseudospectrum per sliding-window position
+/// over whole traces (§7.1: ~1 s of post-processing per 25 s trace), so the
+/// implementation is built around reuse: a unit-norm steering-matrix cache
+/// shared across calls, contiguous noise-subspace storage for the
+/// projection, workspace-backed eigendecomposition, and an incremental
+/// (rank-one add/subtract) sliding-window correlation for streaming use.
 #pragma once
 
 #include "src/core/isar.hpp"
@@ -23,7 +24,9 @@
 
 namespace wivi::core {
 
+/// Configuration of the smoothed-MUSIC estimator.
 struct MusicConfig {
+  /// ISAR emulated-array geometry (wavelength, speed, window, period).
   IsarConfig isar;
   /// Sub-array length w' used for spatial smoothing. Must be <= the window
   /// passed to pseudospectrum(); 32 trades angular resolution against
@@ -47,6 +50,8 @@ struct MusicConfig {
 /// periodically to bound floating-point drift.
 class SlidingCorrelation {
  public:
+  /// Set up for sub-arrays of length `subarray` inside a sliding window of
+  /// `window` samples (no stream attached yet).
   SlidingCorrelation(int subarray, int window);
 
   /// Full rebuild of the sub-array sum for the window at stream offset
@@ -69,6 +74,7 @@ class SlidingCorrelation {
   /// window; reuses r's storage, no allocation on repeated calls.
   void correlation_into(linalg::CMatrix& r) const;
 
+  /// Stream offset of the current window start.
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
  private:
@@ -88,8 +94,10 @@ class SlidingCorrelation {
 /// workspaces. Give each thread its own SmoothedMusic.
 class SmoothedMusic {
  public:
+  /// Build an estimator (workspaces allocate lazily on first use).
   explicit SmoothedMusic(MusicConfig cfg = {});
 
+  /// The estimator's configuration.
   [[nodiscard]] const MusicConfig& config() const noexcept { return cfg_; }
 
   /// Eq. 5.2 with spatial smoothing: average of sub-array correlation

@@ -1,16 +1,17 @@
-// MIMO interference nulling to eliminate the flash effect (paper §4, Alg. 1).
-//
-// Three phases, exactly as the paper's Algorithm 1:
-//   1. Initial nulling — estimate h1, h2 from separate preambles, precode the
-//      second antenna with p = -h1/h2 so static reflections cancel at the RX.
-//   2. Power boosting — raise TX (and optionally RX) gain; safe only because
-//      the channel is already nulled, so the ADC no longer saturates.
-//   3. Iterative nulling — the combined residual h_res is re-measured and
-//      attributed alternately to h1 (even iterations, Eq. 4.2) and h2 (odd
-//      iterations, Eq. 4.3); converges geometrically (Lemma 4.1.1).
-//
-// Everything is per subcarrier (paper §7.1) against the abstract
-// phy::SubcarrierLink, so the same code would drive real radios.
+/// @file
+/// MIMO interference nulling to eliminate the flash effect (paper §4, Alg. 1).
+///
+/// Three phases, exactly as the paper's Algorithm 1:
+///   1. Initial nulling — estimate h1, h2 from separate preambles, precode the
+///      second antenna with p = -h1/h2 so static reflections cancel at the RX.
+///   2. Power boosting — raise TX (and optionally RX) gain; safe only because
+///      the channel is already nulled, so the ADC no longer saturates.
+///   3. Iterative nulling — the combined residual h_res is re-measured and
+///      attributed alternately to h1 (even iterations, Eq. 4.2) and h2 (odd
+///      iterations, Eq. 4.3); converges geometrically (Lemma 4.1.1).
+///
+/// Everything is per subcarrier (paper §7.1) against the abstract
+/// phy::SubcarrierLink, so the same code would drive real radios.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +23,10 @@
 
 namespace wivi::core {
 
+/// Runs the paper's three-phase nulling procedure against a MIMO link.
 class Nuller {
  public:
+  /// Procedure parameters (paper defaults).
   struct Config {
     /// OFDM symbols averaged per channel estimate; each estimate spans a few
     /// milliseconds, short relative to human motion (paper §4.1 last bullet).
@@ -41,11 +44,12 @@ class Nuller {
     std::uint64_t preamble_seed = 0x5Fee1DEA;
   };
 
+  /// Everything the procedure measured and produced.
   struct Result {
-    /// Final per-subcarrier channel estimates and precoder (zeros on unused
-    /// subcarriers). The precoder is what stage-2 operation transmits.
-    CVec h1;
-    CVec h2;
+    CVec h1;  ///< final per-subcarrier channel estimate, antenna 1
+    CVec h2;  ///< final per-subcarrier channel estimate, antenna 2
+    /// Final per-subcarrier precoder (zeros on unused subcarriers); what
+    /// stage-2 operation transmits.
     CVec p;
 
     /// Received static-path power before nulling (both antennas transmitting
@@ -63,7 +67,7 @@ class Nuller {
     /// Residual power per iterative-nulling iteration, for checking the
     /// Lemma 4.1.1 geometric decay.
     std::vector<double> residual_trajectory_db;
-    int iterations_used = 0;
+    int iterations_used = 0;  ///< iterative-nulling iterations actually run
 
     /// Flash effect witness: did the ADC saturate when both antennas
     /// transmitted at boosted gain *without* nulling?
@@ -72,13 +76,15 @@ class Nuller {
     bool saturates_with_nulling = false;
   };
 
-  Nuller();  // default Config
+  Nuller();  ///< Build a nuller with the default Config.
+  /// Build a nuller with the given configuration.
   explicit Nuller(Config cfg);
 
   /// Run the full three-phase procedure. Leaves the link at boosted TX/RX
   /// gain with the precoder ready for stage-2 (tracking) operation.
   [[nodiscard]] Result run(phy::SubcarrierLink& link) const;
 
+  /// The nuller's configuration.
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
  private:

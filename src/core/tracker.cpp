@@ -7,23 +7,30 @@
 
 #include "src/common/db.hpp"
 #include "src/common/error.hpp"
+#include "src/dsp/peaks.hpp"
 #include "src/dsp/stats.hpp"
 
 namespace wivi::core {
 
 RVec AngleTimeImage::column_db(std::size_t t, double cap_db) const {
+  RVec out;
+  column_db_into(t, out, cap_db);
+  return out;
+}
+
+void AngleTimeImage::column_db_into(std::size_t t, RVec& out,
+                                    double cap_db) const {
   WIVI_REQUIRE(t < columns.size(), "image column out of range");
   const RVec& col = columns[t];
   // Reference = column median, not minimum: MUSIC pushes deeper nulls at
   // non-source angles as SNR grows, so a min-referenced scale would inflate
   // the whole column with source strength; the median is a stable floor.
   const double floor_ref = std::max(dsp::median(col), 1e-300);
-  RVec out(col.size());
+  out.resize(col.size());
   for (std::size_t i = 0; i < col.size(); ++i) {
     const double db = amp_to_db(std::sqrt(col[i] / floor_ref));
     out[i] = std::clamp(db, 0.0, cap_db);
   }
-  return out;
 }
 
 double AngleTimeImage::global_min() const {
@@ -89,19 +96,27 @@ RVec MotionTracker::dominant_angle_trace(const AngleTimeImage& img,
                                          double dc_exclusion_deg,
                                          double min_peak_db) const {
   RVec trace(img.num_times(), std::numeric_limits<double>::quiet_NaN());
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = min_peak_db;
+  opts.min_distance = 1;
+  RVec col_db;
   for (std::size_t t = 0; t < img.num_times(); ++t) {
-    const RVec col_db = img.column_db(t);
+    img.column_db_into(t, col_db);
+    // Floor = whole-column median (DC lobe included — it is part of the
+    // column's level statistics). Peaks are found on the unmasked column —
+    // so the DC residual is one genuine peak, not a hole whose shoulder
+    // fakes a mover at the exclusion boundary — and DC-band peaks are then
+    // discarded; the strongest survivor is the dominant mover.
     const double baseline = dsp::median(col_db);
-    double best_db = -1.0;
-    std::size_t best_idx = 0;
-    for (std::size_t a = 0; a < img.num_angles(); ++a) {
-      if (std::abs(img.angles_deg[a]) <= dc_exclusion_deg) continue;
-      if (col_db[a] > best_db) {
-        best_db = col_db[a];
-        best_idx = a;
+    double best_db = -std::numeric_limits<double>::infinity();
+    for (const dsp::Peak& p :
+         dsp::find_peaks_over_floor(col_db, baseline, opts)) {
+      if (std::abs(img.angles_deg[p.index]) <= dc_exclusion_deg) continue;
+      if (p.value > best_db) {
+        best_db = p.value;
+        trace[t] = img.angles_deg[p.index];
       }
     }
-    if (best_db - baseline >= min_peak_db) trace[t] = img.angles_deg[best_idx];
   }
   return trace;
 }

@@ -1,5 +1,6 @@
-// Motion tracking pipeline: nulled channel-estimate stream -> angle-time
-// image A'[theta, n] (the heat maps of Figs. 5-2, 5-3, 7-2).
+/// @file
+/// Motion tracking pipeline: nulled channel-estimate stream to angle-time
+/// image A'[theta, n] (the heat maps of Figs. 5-2, 5-3, 7-2).
 #pragma once
 
 #include <vector>
@@ -12,26 +13,39 @@ namespace wivi::core {
 /// Values are the raw (linear) MUSIC pseudospectrum; consumers convert to
 /// dB with the normalisation that suits them.
 struct AngleTimeImage {
-  RVec angles_deg;                 // row coordinates
-  RVec times_sec;                  // column coordinates (window centres)
-  std::vector<RVec> columns;       // columns[t][a] = A'[angle a, time t]
-  std::vector<int> model_orders;   // MUSIC model order per column
+  RVec angles_deg;                ///< row coordinates (degrees)
+  RVec times_sec;                 ///< column coordinates (window centres)
+  std::vector<RVec> columns;      ///< columns[t][a] = A'[angle a, time t]
+  std::vector<int> model_orders;  ///< MUSIC model order per column
 
+  /// Number of image columns (time positions).
   [[nodiscard]] std::size_t num_times() const noexcept { return columns.size(); }
+  /// Number of image rows (angle grid points).
   [[nodiscard]] std::size_t num_angles() const noexcept { return angles_deg.size(); }
 
   /// Column t in dB relative to the column's minimum (all values >= 0),
   /// clamped at `cap_db`. This is the "20 log10 A'" scale of Eq. 5.4.
   [[nodiscard]] RVec column_db(std::size_t t, double cap_db = 60.0) const;
 
-  /// Global minimum / maximum over all columns (linear).
+  /// Same, into a caller-owned buffer (no allocation on repeated calls of
+  /// one shape) — the per-column hot path for counting and tracking.
+  void column_db_into(std::size_t t, RVec& out, double cap_db = 60.0) const;
+
+  /// Global minimum over all columns (linear).
   [[nodiscard]] double global_min() const;
+  /// Global maximum over all columns (linear).
   [[nodiscard]] double global_max() const;
 };
 
+/// Runs smoothed MUSIC over a sliding window of the channel-estimate
+/// stream to build the angle-time image, and reads the dominant mover
+/// angle back out of it (the single-target readout; multi-target tracking
+/// lives in track::MultiTargetTracker).
 class MotionTracker {
  public:
+  /// Imaging parameters.
   struct Config {
+    /// MUSIC estimator configuration (ISAR geometry, smoothing, orders).
     MusicConfig music;
     /// Samples between successive window positions (image time resolution).
     int hop = 25;
@@ -39,9 +53,11 @@ class MotionTracker {
     double angle_step_deg = 1.0;
   };
 
-  MotionTracker();  // default Config
+  MotionTracker();  ///< Build a tracker with the default Config.
+  /// Build a tracker with the given configuration (validated).
   explicit MotionTracker(Config cfg);
 
+  /// The tracker's configuration.
   [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
   /// Time step between image columns.

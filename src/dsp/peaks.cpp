@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "src/common/error.hpp"
 
@@ -49,6 +50,35 @@ std::vector<Peak> find_signed_peaks(RSpan x, double min_height,
   std::vector<Peak> all = find_peaks(x, pos);
   for (const Peak& p : find_peaks(x, neg)) all.push_back(p);
   return suppress(std::move(all), std::max<std::size_t>(min_distance, 1));
+}
+
+std::vector<Peak> find_peaks_over_floor(RSpan x, double floor,
+                                        const FloorPeakOptions& opts) {
+  const double threshold = floor + opts.min_over_floor;
+  const double ninf = -std::numeric_limits<double>::infinity();
+  std::vector<Peak> raw;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] == ninf || x[i] < threshold) continue;
+    // Out-of-range and masked neighbours count as bottomless. The strict >
+    // on the left / >= on the right matches find_peaks(): the leftmost
+    // element of a flat plateau is the one reported.
+    const double prev = i > 0 ? x[i - 1] : ninf;
+    const double next = i + 1 < x.size() ? x[i + 1] : ninf;
+    if (x[i] > prev && x[i] >= next) raw.push_back({i, x[i]});
+  }
+  std::vector<Peak> kept =
+      suppress(std::move(raw), std::max<std::size_t>(opts.min_distance, 1));
+  if (kept.size() > opts.max_peaks) {
+    // suppress() returns index-sorted; trim to the tallest max_peaks and
+    // restore index order.
+    std::sort(kept.begin(), kept.end(), [](const Peak& a, const Peak& b) {
+      return a.value > b.value;
+    });
+    kept.resize(opts.max_peaks);
+    std::sort(kept.begin(), kept.end(),
+              [](const Peak& a, const Peak& b) { return a.index < b.index; });
+  }
+  return kept;
 }
 
 std::size_t argmax(RSpan x) {

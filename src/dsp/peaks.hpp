@@ -9,11 +9,15 @@
 
 namespace wivi::dsp {
 
+/// One detected local extremum of a real-valued signal.
 struct Peak {
+  /// Sample index of the extremum within the analysed span.
   std::size_t index = 0;
+  /// Signal value at `index` (negative for detected troughs).
   double value = 0.0;
 };
 
+/// Options for find_peaks().
 struct PeakOptions {
   /// Only report peaks with value >= min_height (after sign handling).
   double min_height = 0.0;
@@ -31,6 +35,37 @@ struct PeakOptions {
 /// (Fig. 6-3(b): +1 / -1 mapped symbols).
 [[nodiscard]] std::vector<Peak> find_signed_peaks(RSpan x, double min_height,
                                                   std::size_t min_distance);
+
+/// Options for find_peaks_over_floor(), the floor-relative multi-peak
+/// extractor shared by core::MotionTracker's dominant-angle readout and the
+/// track:: multi-target detector.
+struct FloorPeakOptions {
+  /// A peak must clear `floor + min_over_floor` to be reported. With dB
+  /// inputs and the column median as the floor this is the "X dB above the
+  /// pseudospectrum floor" rule of the single-target tracker.
+  double min_over_floor = 6.0;
+  /// Suppress peaks closer than this many samples to a taller peak.
+  std::size_t min_distance = 1;
+  /// Keep at most this many peaks (the tallest ones).
+  std::size_t max_peaks = SIZE_MAX;
+};
+
+/// Floor-relative multi-peak extraction with masking. Finds local maxima of
+/// `x` at least `opts.min_over_floor` above the caller-supplied `floor`
+/// (typically the column median), applies tallest-first non-maximum
+/// suppression at `opts.min_distance`, keeps the `opts.max_peaks` tallest
+/// survivors, and returns them index-sorted.
+///
+/// Masking semantics: entries equal to -infinity are masked out — they can
+/// never be peaks, and they count as bottomless neighbours, so a finite
+/// value adjacent to a masked region (or at either end of `x`) qualifies as
+/// a local maximum when it beats its remaining neighbour. Note the edge
+/// candidacy this creates: masking a *monotone shoulder* region (e.g. the
+/// DC lobe of a MUSIC column) manufactures a false peak at the mask
+/// boundary, which is why both tracking consumers peak-find on the
+/// unmasked column and discard in-band peaks afterwards (DESIGN.md §5).
+[[nodiscard]] std::vector<Peak> find_peaks_over_floor(
+    RSpan x, double floor, const FloorPeakOptions& opts);
 
 /// Index of the global maximum (first if ties). Requires non-empty input.
 [[nodiscard]] std::size_t argmax(RSpan x);

@@ -12,6 +12,7 @@ Engine::Session::Session(SessionId id_, SessionConfig cfg_)
       tracker(cfg_.tracker, cfg_.t0) {
   if (cfg.decode_gestures) gesture.emplace(cfg.gesture);
   if (cfg.count_movers) counter.emplace(cfg.counter_cap_db);
+  if (cfg.track_targets) multi.emplace(cfg.multi_track);
 }
 
 Engine::Engine() : Engine(Config{}) {}
@@ -140,6 +141,12 @@ const core::GestureDecoder::Result& Engine::gesture_result(
   return s.gesture->result();
 }
 
+const track::MultiTargetTracker& Engine::multi_tracker(SessionId id) const {
+  const Session& s = session(id);
+  WIVI_REQUIRE(s.multi.has_value(), "session has no multi-target tracker");
+  return s.multi->tracker();
+}
+
 void Engine::drain() {
   const std::size_t n = session_count_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < n; ++i)
@@ -249,6 +256,16 @@ void Engine::process_chunk(Session& s, CVec chunk) {
     e.columns_seen = s.counter->columns_seen();
     deliver(std::move(e));
   }
+  if (s.multi) {
+    s.multi->update(img);
+    Event e;
+    e.session = s.id;
+    e.type = Event::Type::kTracks;
+    e.tracks = s.multi->snapshots();
+    e.num_confirmed = s.multi->tracker().num_confirmed();
+    e.columns_seen = s.multi->columns_seen();
+    deliver(std::move(e));
+  }
   if (s.gesture) {
     auto bits = s.gesture->poll(img, /*flush=*/false);
     if (!bits.empty()) {
@@ -289,12 +306,14 @@ void Engine::finalize(Session& s) {
     }
   }
   if (s.counter) s.counter->update(s.tracker.image());
+  if (s.multi) s.multi->update(s.tracker.image());
 
   Event e;
   e.session = s.id;
   e.type = Event::Type::kFinished;
   e.columns_seen = s.tracker.num_columns();
   if (s.counter) e.spatial_variance = s.counter->variance();
+  if (s.multi) e.num_confirmed = s.multi->tracker().num_confirmed();
   deliver(std::move(e));
   s.finished.store(true, std::memory_order_release);
 }

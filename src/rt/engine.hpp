@@ -1,20 +1,21 @@
-// The streaming runtime engine: N live sensor sessions multiplexed over a
-// shared worker pool.
-//
-// Shape (after the ndn-dpdk worker/queue decomposition): each session owns
-// a lock-free SPSC ring of sample chunks plus its single-threaded streaming
-// stages; a pool of workers drains the rings — each worker walks its own
-// shard (session id mod thread count) first and steals from any other
-// shard when its own is idle. A per-session claim flag guarantees at most
-// one worker touches a session's stages at a time, so per-session results
-// are in stream order and independent of thread count and interleaving
-// (pinned by test_rt_engine). Results come back either through poll() or a
-// caller-supplied callback (invoked on worker threads).
-//
-// Ownership/threading rules are spelled out in DESIGN.md §4. The short
-// version: one producer thread per session at a time; Engine owns every
-// Session; a session's streaming state is only ever touched under its
-// claim flag.
+/// @file
+/// The streaming runtime engine: N live sensor sessions multiplexed over a
+/// shared worker pool.
+///
+/// Shape (after the ndn-dpdk worker/queue decomposition): each session owns
+/// a lock-free SPSC ring of sample chunks plus its single-threaded streaming
+/// stages; a pool of workers drains the rings — each worker walks its own
+/// shard (session id mod thread count) first and steals from any other
+/// shard when its own is idle. A per-session claim flag guarantees at most
+/// one worker touches a session's stages at a time, so per-session results
+/// are in stream order and independent of thread count and interleaving
+/// (pinned by test_rt_engine). Results come back either through poll() or a
+/// caller-supplied callback (invoked on worker threads).
+///
+/// Ownership/threading rules are spelled out in DESIGN.md §4. The short
+/// version: one producer thread per session at a time; Engine owns every
+/// Session; a session's streaming state is only ever touched under its
+/// claim flag.
 #pragma once
 
 #include <atomic>
@@ -33,6 +34,7 @@
 
 namespace wivi::rt {
 
+/// Handle identifying one sensor session within an Engine.
 using SessionId = std::uint32_t;
 
 /// What to do when a session's ring is full at offer() time.
@@ -45,56 +47,83 @@ enum class Backpressure {
   kBlock,
 };
 
+/// Per-session processing configuration.
 struct SessionConfig {
+  /// Image-stage (smoothed MUSIC) configuration of the session.
   core::MotionTracker::Config tracker;
   /// Absolute time of the session's first sample.
   double t0 = 0.0;
   /// Emit a kColumn event per completed image column (costs one column
   /// copy; turn off for counting-only workloads).
   bool emit_columns = true;
-  /// Attach a StreamingGesture / StreamingCounter to the session.
+  /// Attach a StreamingGesture stage to the session.
   bool decode_gestures = false;
+  /// Attach a StreamingCounter stage to the session.
   bool count_movers = false;
+  /// Attach a StreamingMultiTracker stage: kTracks events carry the live
+  /// multi-target snapshots after each processed batch of columns.
+  bool track_targets = false;
+  /// Gesture-stage configuration (used when decode_gestures).
   StreamingGesture::Config gesture;
+  /// Multi-target tracking configuration (used when track_targets).
+  track::MultiTargetTracker::Config multi_track;
+  /// dB cap of the counting stage (used when count_movers).
   double counter_cap_db = 60.0;
   /// Ingest ring depth in chunks (rounded up to a power of two).
   std::size_t ring_capacity = 256;
+  /// What offer() does when the ring is full.
   Backpressure backpressure = Backpressure::kDropNewest;
 };
 
 /// One unit of output, delivered via poll() or the callback. Per-session
 /// event order is deterministic; the interleaving across sessions is not.
 struct Event {
+  /// What this event reports.
   enum class Type {
-    kColumn,    // one new angle-time image column
-    kBits,      // newly stable decoded gesture bits
-    kCount,     // running spatial-variance update (after new columns)
-    kFinished,  // session closed, drained and finalised
-    kError,     // session failed (stage or callback threw) and is dead
+    kColumn,    ///< one new angle-time image column
+    kBits,      ///< newly stable decoded gesture bits
+    kCount,     ///< running spatial-variance update (after new columns)
+    kTracks,    ///< live multi-target snapshots (after new columns)
+    kFinished,  ///< session closed, drained and finalised
+    kError,     ///< session failed (stage or callback threw) and is dead
   };
 
+  /// Session this event belongs to.
   SessionId session = 0;
+  /// Event kind; selects which of the payload fields below are meaningful.
   Type type = Type::kColumn;
 
-  // kColumn
+  /// kColumn: index of the new column in the session's image.
   std::size_t column_index = 0;
+  /// kColumn: absolute time of the column (window centre).
   double time_sec = 0.0;
-  RVec column;  // linear pseudospectrum over the session's angle grid
+  /// kColumn: linear pseudospectrum over the session's angle grid.
+  RVec column;
+  /// kColumn: MUSIC model order of the column.
   int model_order = 0;
 
-  // kBits
+  /// kBits: newly stable decoded gesture bits, time order.
   std::vector<core::GestureDecoder::DecodedBit> bits;
 
-  // kCount / kFinished (when count_movers)
+  /// kTracks: live track snapshots after the newest processed column.
+  std::vector<track::TrackSnapshot> tracks;
+  /// kTracks / kFinished (when track_targets): confirmed-target count.
+  std::size_t num_confirmed = 0;
+
+  /// kCount / kFinished (when count_movers): running spatial variance.
   double spatial_variance = 0.0;
+  /// kCount / kTracks / kFinished: image columns processed so far.
   std::size_t columns_seen = 0;
 
-  // kError
+  /// kError: what the failing stage or callback threw.
   std::string error;
 };
 
+/// The session table plus worker pool: opens sessions, ingests chunks,
+/// drains them through the streaming stages and delivers Events.
 class Engine {
  public:
+  /// Engine-wide (not per-session) configuration.
   struct Config {
     /// Worker threads; 0 means std::thread::hardware_concurrency().
     int num_threads = 0;
@@ -106,25 +135,30 @@ class Engine {
     int chunks_per_claim = 4;
   };
 
+  /// Point-in-time per-session counters (see stats()).
   struct SessionStats {
-    std::uint64_t chunks_in = 0;
-    std::uint64_t samples_in = 0;
-    std::uint64_t chunks_dropped = 0;
-    std::uint64_t samples_dropped = 0;
-    std::uint64_t columns_out = 0;
-    std::uint64_t bits_out = 0;
-    bool closed = false;
-    bool finished = false;
+    std::uint64_t chunks_in = 0;         ///< chunks offered
+    std::uint64_t samples_in = 0;        ///< samples offered
+    std::uint64_t chunks_dropped = 0;    ///< chunks lost to backpressure
+    std::uint64_t samples_dropped = 0;   ///< samples lost to backpressure
+    std::uint64_t columns_out = 0;       ///< image columns produced
+    std::uint64_t bits_out = 0;          ///< gesture bits emitted
+    bool closed = false;                 ///< close_session() called
+    bool finished = false;               ///< drained and finalised (or dead)
   };
 
-  Engine();  // default Config
+  Engine();  ///< Start an engine with the default Config.
+  /// Start the worker pool with the given configuration.
   explicit Engine(Config cfg);
-  ~Engine();  // stop()s; queued-but-unprocessed chunks are discarded
+  /// Stops the workers; queued-but-unprocessed chunks are discarded.
+  ~Engine();
 
-  Engine(const Engine&) = delete;
-  Engine& operator=(const Engine&) = delete;
+  Engine(const Engine&) = delete;             ///< Non-copyable.
+  Engine& operator=(const Engine&) = delete;  ///< Non-copyable.
 
+  /// Number of worker threads actually running.
   [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+  /// Number of sessions opened so far.
   [[nodiscard]] std::size_t num_sessions() const noexcept {
     return session_count_.load(std::memory_order_acquire);
   }
@@ -157,6 +191,8 @@ class Engine {
   /// reporting on (kError, best effort) — it never crashes the engine.
   void set_callback(std::function<void(Event&&)> cb);
 
+  /// Point-in-time counters for a session (safe while the session runs;
+  /// exact once it is finished).
   [[nodiscard]] SessionStats stats(SessionId id) const;
 
   /// The session's streaming tracker — safe to read once the session is
@@ -164,6 +200,10 @@ class Engine {
   [[nodiscard]] const StreamingTracker& tracker(SessionId id) const;
   /// Final gesture decode (sessions with decode_gestures; post-drain).
   [[nodiscard]] const core::GestureDecoder::Result& gesture_result(
+      SessionId id) const;
+  /// The session's multi-target tracker (sessions with track_targets) —
+  /// safe to read once the session is finished, like tracker().
+  [[nodiscard]] const track::MultiTargetTracker& multi_tracker(
       SessionId id) const;
 
  private:
@@ -176,6 +216,7 @@ class Engine {
     StreamingTracker tracker;
     std::optional<StreamingGesture> gesture;
     std::optional<StreamingCounter> counter;
+    std::optional<StreamingMultiTracker> multi;
 
     std::atomic<bool> closed{false};
     std::atomic<bool> finished{false};

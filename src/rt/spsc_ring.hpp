@@ -1,17 +1,18 @@
-// Fixed-capacity lock-free single-producer/single-consumer ring.
-//
-// The ingestion edge of the streaming runtime: one ring per sensor session,
-// the session's producer pushes sample chunks, whichever engine worker
-// currently owns the session pops them. Backpressure is explicit —
-// try_push() fails (without consuming its argument) when the ring is full,
-// and the session-level policy decides whether that means drop or wait.
-//
-// Threading contract: at any instant at most one thread may push and at
-// most one may pop. The two sides may be *different threads over time*
-// (the engine's work stealing migrates the consumer role between workers)
-// provided each handoff is synchronised externally with acquire/release —
-// the engine's per-session claim flag provides exactly that, so the
-// per-side index caches below travel with the role.
+/// @file
+/// Fixed-capacity lock-free single-producer/single-consumer ring.
+///
+/// The ingestion edge of the streaming runtime: one ring per sensor session,
+/// the session's producer pushes sample chunks, whichever engine worker
+/// currently owns the session pops them. Backpressure is explicit —
+/// try_push() fails (without consuming its argument) when the ring is full,
+/// and the session-level policy decides whether that means drop or wait.
+///
+/// Threading contract: at any instant at most one thread may push and at
+/// most one may pop. The two sides may be *different threads over time*
+/// (the engine's work stealing migrates the consumer role between workers)
+/// provided each handoff is synchronised externally with acquire/release —
+/// the engine's per-session claim flag provides exactly that, so the
+/// per-side index caches below travel with the role.
 #pragma once
 
 #include <atomic>
@@ -23,6 +24,8 @@
 
 namespace wivi::rt {
 
+/// Lock-free SPSC ring of T values (see the file comment for the exact
+/// threading contract).
 template <typename T>
 class SpscRing {
  public:
@@ -35,9 +38,10 @@ class SpscRing {
     mask_ = cap - 1;
   }
 
-  SpscRing(const SpscRing&) = delete;
-  SpscRing& operator=(const SpscRing&) = delete;
+  SpscRing(const SpscRing&) = delete;             ///< Non-copyable.
+  SpscRing& operator=(const SpscRing&) = delete;  ///< Non-copyable.
 
+  /// Actual (power-of-two) capacity in elements.
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
   /// Producer side. On failure (ring full) `v` is left untouched.
@@ -69,6 +73,7 @@ class SpscRing {
     return tail_.load(std::memory_order_acquire) -
            head_.load(std::memory_order_acquire);
   }
+  /// True when size() == 0 (same caveat as size()).
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
  private:

@@ -110,15 +110,26 @@ std::vector<core::GestureDecoder::DecodedBit> StreamingGesture::poll(
   return fresh;
 }
 
+// -------------------------------------------------- StreamingMultiTracker ---
+
+std::size_t StreamingMultiTracker::update(const core::AngleTimeImage& img) {
+  const std::size_t total = img.num_times();
+  const std::size_t seen = tracker_.columns_processed();
+  WIVI_REQUIRE(seen <= total, "image shrank between updates");
+  for (std::size_t t = seen; t < total; ++t) tracker_.step(img, t);
+  return total - seen;
+}
+
 // ------------------------------------------------------ StreamingCounter ---
 
 std::size_t StreamingCounter::update(const core::AngleTimeImage& img) {
   const std::size_t total = img.num_times();
   WIVI_REQUIRE(n_ <= total, "image shrank between updates");
   const std::size_t fresh = total - n_;
-  for (; n_ < total; ++n_)
-    acc_ += core::spatial_variance_column(img.column_db(n_, cap_db_),
-                                          img.angles_deg);
+  for (; n_ < total; ++n_) {
+    img.column_db_into(n_, col_db_, cap_db_);
+    acc_ += core::spatial_variance_column(col_db_, img.angles_deg);
+  }
   return fresh;
 }
 

@@ -1,18 +1,20 @@
-// Incremental (chunk-at-a-time) versions of the batch tracking stages.
-//
-// The paper's pipeline is streaming by nature — nulling runs live in the
-// driver and smoothed MUSIC consumes a 312.5 Hz channel-estimate stream —
-// but the batch entry points (core::MotionTracker::process and friends)
-// want the whole trace at once. The classes here carry the window state
-// across arbitrarily sized sample chunks so a live session can emit
-// angle-time columns, decoded gesture bits and count updates as soon as
-// each hop of data lands, while staying *bit-for-bit identical* to the
-// batch pass over the concatenated stream (pinned by test_rt_streaming).
-//
-// Threading: like the core stages they wrap, none of these classes is safe
-// for concurrent use of one instance — one instance per session, one
-// processing thread at a time (rt::Engine enforces this with a per-session
-// claim; see DESIGN.md §4).
+/// @file
+/// Incremental (chunk-at-a-time) versions of the batch tracking stages.
+///
+/// The paper's pipeline is streaming by nature — nulling runs live in the
+/// driver and smoothed MUSIC consumes a 312.5 Hz channel-estimate stream —
+/// but the batch entry points (core::MotionTracker::process and friends)
+/// want the whole trace at once. The classes here carry the window state
+/// across arbitrarily sized sample chunks so a live session can emit
+/// angle-time columns, track updates, decoded gesture bits and count
+/// updates as soon as each hop of data lands, while staying *bit-for-bit
+/// identical* to the batch pass over the concatenated stream (pinned by
+/// test_rt_streaming and test_track_streaming).
+///
+/// Threading: like the core stages they wrap, none of these classes is safe
+/// for concurrent use of one instance — one instance per session, one
+/// processing thread at a time (rt::Engine enforces this with a per-session
+/// claim; see DESIGN.md §4).
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,7 @@
 #include "src/core/counting.hpp"
 #include "src/core/gesture.hpp"
 #include "src/core/tracker.hpp"
+#include "src/track/multi_tracker.hpp"
 
 namespace wivi::rt {
 
@@ -31,6 +34,8 @@ namespace wivi::rt {
 /// them (the growing image itself is the caller's to keep or trim).
 class StreamingTracker {
  public:
+  /// Start a streaming image at absolute time `t0` (time of the first
+  /// pushed sample).
   explicit StreamingTracker(core::MotionTracker::Config cfg = core::MotionTracker::Config(),
                             double t0 = 0.0);
 
@@ -44,6 +49,7 @@ class StreamingTracker {
     return img_;
   }
 
+  /// Image columns completed so far.
   [[nodiscard]] std::size_t num_columns() const noexcept {
     return img_.num_times();
   }
@@ -52,9 +58,11 @@ class StreamingTracker {
     return base_ + buf_.size();
   }
 
+  /// The image-stage configuration.
   [[nodiscard]] const core::MotionTracker::Config& config() const noexcept {
     return cfg_;
   }
+  /// Time step between image columns.
   [[nodiscard]] double column_period_sec() const noexcept;
 
   /// Drop all stream and image state and start a new trace at `t0`.
@@ -85,7 +93,9 @@ class StreamingTracker {
 /// core::GestureDecoder::decode() of the full image.
 class StreamingGesture {
  public:
+  /// Decoder configuration plus the incremental-emission cadence.
   struct Config {
+    /// Batch decoder configuration the stage re-runs incrementally.
     core::GestureDecoder::Config decoder;
     /// Re-decode cadence in image columns; decoding is O(image length), so
     /// running it every hop would make long sessions quadratic.
@@ -96,7 +106,8 @@ class StreamingGesture {
     double stability_guard_sec = 0.0;
   };
 
-  StreamingGesture();  // default Config
+  StreamingGesture();  ///< Build a stage with the default Config.
+  /// Build a stage with the given configuration.
   explicit StreamingGesture(Config cfg);
 
   /// Consider the image's newly appended columns; re-decodes when the
@@ -111,6 +122,7 @@ class StreamingGesture {
   [[nodiscard]] const core::GestureDecoder::Result& result() const noexcept {
     return last_;
   }
+  /// Total bits returned by poll() so far.
   [[nodiscard]] std::size_t bits_emitted() const noexcept { return emitted_; }
 
  private:
@@ -122,12 +134,52 @@ class StreamingGesture {
   double emitted_until_ = -1e300;  // time watermark of the last emission
 };
 
+/// Streaming multi-target tracking: steps a track::MultiTargetTracker over
+/// a growing angle-time image, one column at a time, as the columns
+/// appear. Because the underlying tracker is strictly column-incremental
+/// (it never revisits earlier columns), feeding columns as they complete
+/// is *bit-for-bit identical* to the batch track::track_image() pass over
+/// the finished image — the same parity contract as the other streaming
+/// stages (pinned by test_track_streaming).
+class StreamingMultiTracker {
+ public:
+  /// Wrap a fresh multi-target tracker with the given configuration.
+  explicit StreamingMultiTracker(track::MultiTargetTracker::Config cfg = {})
+      : tracker_(cfg) {}
+
+  /// Step the tracker over any image columns not yet consumed.
+  /// @param img  the growing image (same instance every call).
+  /// @return how many new columns were consumed.
+  std::size_t update(const core::AngleTimeImage& img);
+
+  /// The wrapped tracker: snapshots(), histories(), num_confirmed()...
+  [[nodiscard]] const track::MultiTargetTracker& tracker() const noexcept {
+    return tracker_;
+  }
+
+  /// Live-track snapshots after the newest consumed column (empty before
+  /// the first column).
+  [[nodiscard]] const std::vector<track::TrackSnapshot>& snapshots()
+      const noexcept {
+    return tracker_.snapshots();
+  }
+
+  /// Image columns consumed so far.
+  [[nodiscard]] std::size_t columns_seen() const noexcept {
+    return tracker_.columns_processed();
+  }
+
+ private:
+  track::MultiTargetTracker tracker_;
+};
+
 /// Streaming occupancy counting (§7.4): running Eq. 5.5 spatial-variance
 /// average over the image columns seen so far. After the last column,
 /// variance() equals core::spatial_variance() of the full image bit for
 /// bit (same left-to-right accumulation).
 class StreamingCounter {
  public:
+  /// Accumulate columns on the [0, cap_db] dB scale (Eq. 5.4's cap).
   explicit StreamingCounter(double cap_db = 60.0) : cap_db_(cap_db) {}
 
   /// Accumulate any image columns not yet seen; returns how many.
@@ -137,12 +189,14 @@ class StreamingCounter {
   [[nodiscard]] double variance() const noexcept {
     return n_ == 0 ? 0.0 : acc_ / static_cast<double>(n_);
   }
+  /// Image columns accumulated so far.
   [[nodiscard]] std::size_t columns_seen() const noexcept { return n_; }
 
  private:
   double cap_db_;
   double acc_ = 0.0;
   std::size_t n_ = 0;
+  RVec col_db_;  // column scratch, reused across updates
 };
 
 }  // namespace wivi::rt

@@ -2,25 +2,69 @@
 
 #include <cmath>
 
+#include "src/common/error.hpp"
 #include "src/common/random.hpp"
 #include "src/core/isar.hpp"
 
 namespace wivi::sim {
 
-CVec synthetic_mover_trace(std::size_t n, std::uint64_t seed,
-                           double speed_mps) {
+CVec synthetic_movers_trace(std::size_t n, std::uint64_t seed,
+                            std::span<const SyntheticMover> movers) {
+  WIVI_REQUIRE(n >= 2, "trace too short");
   Rng rng(seed);
   CVec h(n);
   const core::IsarConfig isar;
-  // Round-trip Doppler phase ramp of a target at constant radial speed.
-  const double step =
-      kTwoPi * 2.0 * speed_mps * isar.sample_period_sec / isar.wavelength_m;
+  // Round-trip Doppler phase rate per unit radial speed.
+  const double k =
+      kTwoPi * 2.0 * isar.sample_period_sec / isar.wavelength_m;
   for (std::size_t i = 0; i < n; ++i) {
-    const double p = step * static_cast<double>(i);
-    h[i] = cdouble{std::cos(p), std::sin(p)} + cdouble{0.4, 0.1} +
-           rng.complex_gaussian(1e-4);
+    cdouble acc{0.0, 0.0};
+    for (const SyntheticMover& m : movers) {
+      double p;
+      if (m.end_speed_mps == m.start_speed_mps) {
+        // Constant speed: keep the exact historical expression (operation
+        // order included) so the single-mover trace stays bit-for-bit
+        // stable across releases.
+        const double step = kTwoPi * 2.0 * m.start_speed_mps *
+                            isar.sample_period_sec / isar.wavelength_m;
+        p = m.phase_rad + step * static_cast<double>(i);
+      } else {
+        // Linear speed ramp start -> end across the trace; the phase is
+        // the exact discrete integral of the per-sample Doppler step.
+        const double di = static_cast<double>(i);
+        const double slope = (m.end_speed_mps - m.start_speed_mps) /
+                             static_cast<double>(n - 1);
+        const double speed_sum =
+            m.start_speed_mps * di + slope * di * (di - 1.0) / 2.0;
+        p = m.phase_rad + k * speed_sum;
+      }
+      acc += m.amplitude * cdouble{std::cos(p), std::sin(p)};
+    }
+    h[i] = acc + cdouble{0.4, 0.1} + rng.complex_gaussian(1e-4);
   }
   return h;
+}
+
+CVec synthetic_mover_trace(std::size_t n, std::uint64_t seed,
+                           double speed_mps) {
+  const SyntheticMover mover{speed_mps, speed_mps, 1.0, 0.0};
+  return synthetic_movers_trace(n, seed, std::span(&mover, 1));
+}
+
+CVec synthetic_crossing_trace(double duration_sec, std::uint64_t seed) {
+  const core::IsarConfig isar;
+  const auto n = static_cast<std::size_t>(
+      std::llround(duration_sec / isar.sample_period_sec));
+  // Angles: sin(theta) = v / v_assumed (1 m/s). Mover 1 sweeps ~+15 -> +64
+  // degrees while mover 2 sweeps ~+64 -> +15 — they cross near +35 degrees,
+  // comfortably outside the DC exclusion band. Mover 3 recedes steadily at
+  // about -30 degrees.
+  const SyntheticMover movers[] = {
+      {0.26, 0.90, 1.0, 0.0},
+      {0.90, 0.26, 0.85, 2.1},
+      {-0.50, -0.50, 0.7, 4.2},
+  };
+  return synthetic_movers_trace(n, seed, movers);
 }
 
 }  // namespace wivi::sim

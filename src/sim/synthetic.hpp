@@ -1,15 +1,42 @@
-// Synthetic channel-estimate streams for benches and tests: one ideal
-// mover (a constant-radial-speed phase ramp) over a static residual plus
-// noise, with no scene simulation — cheap enough to generate by the
-// megasample, deterministic in the seed, and shaped like what the tracker
-// actually consumes. The full physical simulation lives in sim::Scene /
-// ExperimentRunner; this is the stand-in for when the *processing* is the
-// thing under test.
+// Synthetic channel-estimate streams for benches and tests: ideal movers
+// (constant- or ramped-radial-speed phase components) over a static
+// residual plus noise, with no scene simulation — cheap enough to generate
+// by the megasample, deterministic in the seed, and shaped like what the
+// tracker actually consumes. The full physical simulation lives in
+// sim::Scene / ExperimentRunner; this is the stand-in for when the
+// *processing* is the thing under test.
 #pragma once
+
+#include <span>
 
 #include "src/common/types.hpp"
 
 namespace wivi::sim {
+
+/// One ideal mover of a synthetic trace. The mover contributes
+/// amplitude * e^{j phi[n]} where phi ramps at the round-trip Doppler rate
+/// of its radial speed; a speed that changes linearly from start to end
+/// sweeps the mover's ISAR angle (sin theta = v / v_assumed) across the
+/// trace — two movers with opposite ramps cross.
+struct SyntheticMover {
+  /// Radial speed at the first sample (m/s, positive = approaching).
+  double start_speed_mps = 0.6;
+  /// Radial speed at the last sample; equal to start_speed_mps for the
+  /// classic constant-speed (fixed-angle) mover.
+  double end_speed_mps = 0.6;
+  /// Reflection amplitude relative to the unit reference mover.
+  double amplitude = 1.0;
+  /// Initial phase offset in radians (decorrelate mover start phases).
+  double phase_rad = 0.0;
+};
+
+/// n samples of h[n] = sum_k movers[k] + static + CN(0, 1e-4): the
+/// multi-target synthetic trace the track:: subsystem is exercised on.
+/// With a single constant-speed unit-amplitude mover this reproduces
+/// synthetic_mover_trace() bit for bit (same arithmetic, same noise draw
+/// sequence).
+[[nodiscard]] CVec synthetic_movers_trace(std::size_t n, std::uint64_t seed,
+                                          std::span<const SyntheticMover> movers);
 
 /// n samples of h[n] = e^{j phi(v, n)} + static + CN(0, 1e-4). The default
 /// seed/speed are the historical bench_perf construction, kept stable so
@@ -17,5 +44,12 @@ namespace wivi::sim {
 [[nodiscard]] CVec synthetic_mover_trace(std::size_t n,
                                          std::uint64_t seed = 404,
                                          double speed_mps = 0.6);
+
+/// The canonical three-mover tracking scenario used by the multi-person
+/// example, tests and bench: two movers whose speed ramps make their
+/// angles cross mid-trace, plus one steady mover on the receding side.
+/// `duration_sec` at the 312.5 Hz channel-estimate rate.
+[[nodiscard]] CVec synthetic_crossing_trace(double duration_sec,
+                                            std::uint64_t seed = 1234);
 
 }  // namespace wivi::sim

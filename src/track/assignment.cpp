@@ -1,0 +1,147 @@
+#include "src/track/assignment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/error.hpp"
+
+namespace wivi::track {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Stand-in cost for forbidden / padding entries inside the Hungarian
+/// solver: large enough that avoiding one is worth more than any sum of
+/// real gate-bounded costs (degrees, so < 180 each over < 10^3 rows), small
+/// enough to stay far from overflow in the potential updates.
+constexpr double kBig = 1e9;
+
+}  // namespace
+
+CostMatrix::CostMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, kInf) {}
+
+std::vector<std::size_t> greedy_assign(const CostMatrix& cost) {
+  struct Entry {
+    double c;
+    std::size_t r, j;
+  };
+  std::vector<Entry> feasible;
+  for (std::size_t r = 0; r < cost.rows(); ++r)
+    for (std::size_t j = 0; j < cost.cols(); ++j)
+      if (std::isfinite(cost.at(r, j))) feasible.push_back({cost.at(r, j), r, j});
+  // Cheapest first; ties broken by indices so the result is deterministic.
+  std::sort(feasible.begin(), feasible.end(), [](const Entry& a, const Entry& b) {
+    if (a.c != b.c) return a.c < b.c;
+    if (a.r != b.r) return a.r < b.r;
+    return a.j < b.j;
+  });
+  std::vector<std::size_t> row_match(cost.rows(), kUnassigned);
+  std::vector<bool> col_taken(cost.cols(), false);
+  for (const Entry& e : feasible) {
+    if (row_match[e.r] != kUnassigned || col_taken[e.j]) continue;
+    row_match[e.r] = e.j;
+    col_taken[e.j] = true;
+  }
+  return row_match;
+}
+
+std::vector<std::size_t> hungarian_assign(const CostMatrix& cost) {
+  const std::size_t rows = cost.rows();
+  const std::size_t cols = cost.cols();
+  std::vector<std::size_t> row_match(rows, kUnassigned);
+  if (rows == 0 || cols == 0) return row_match;
+
+  // Square n x n problem with forbidden and padding entries at kBig; the
+  // solver then maximises the number of feasible matches as a side effect
+  // of minimising total cost.
+  const std::size_t n = std::max(rows, cols);
+  const auto a = [&](std::size_t r, std::size_t c) -> double {
+    if (r >= rows || c >= cols) return kBig;
+    const double v = cost.at(r, c);
+    return std::isfinite(v) ? v : kBig;
+  };
+
+  // Potentials-based Kuhn-Munkres (1-indexed internally): p[j] is the row
+  // matched to column j, column 0 is the virtual root.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = a(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (std::size_t j = 1; j <= n; ++j) {
+    const std::size_t r = p[j] - 1;
+    const std::size_t c = j - 1;
+    if (r < rows && c < cols && std::isfinite(cost.at(r, c)))
+      row_match[r] = c;
+  }
+  return row_match;
+}
+
+bool assignment_is_ambiguous(const CostMatrix& cost) {
+  const std::size_t rows = cost.rows();
+  const std::size_t cols = cost.cols();
+  if (rows < 2 || cols < 2) return false;
+  // Union-find over rows [0, rows) and columns [rows, rows + cols).
+  std::vector<std::size_t> parent(rows + cols);
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t j = 0; j < cols; ++j)
+      if (std::isfinite(cost.at(r, j))) parent[find(r)] = find(rows + j);
+  std::vector<std::size_t> row_count(rows + cols, 0), col_count(rows + cols, 0);
+  for (std::size_t r = 0; r < rows; ++r) ++row_count[find(r)];
+  for (std::size_t j = 0; j < cols; ++j) ++col_count[find(rows + j)];
+  for (std::size_t root = 0; root < parent.size(); ++root)
+    if (row_count[root] >= 2 && col_count[root] >= 2) return true;
+  return false;
+}
+
+std::vector<std::size_t> assign(const CostMatrix& cost) {
+  return assignment_is_ambiguous(cost) ? hungarian_assign(cost)
+                                       : greedy_assign(cost);
+}
+
+}  // namespace wivi::track

@@ -1,0 +1,76 @@
+/// @file
+/// Track-to-detection assignment: gated nearest neighbour with a Hungarian
+/// fallback for ambiguous frames.
+///
+/// Each image column yields a handful of detections that must be matched
+/// to the live tracks. Most frames are easy — every detection is inside
+/// exactly one track's gate — and greedy nearest neighbour is both optimal
+/// and cheap there. Frames where gates overlap (targets crossing, a
+/// detection reachable from two tracks) are where greedy commits early and
+/// swaps identities, so the tracker detects that ambiguity and switches to
+/// the Hungarian algorithm, which minimises the *total* association cost
+/// over the frame. Costs are innovation distances in degrees; pairs outside
+/// the gate are forbidden (infinite cost) and stay unmatched.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace wivi::track {
+
+/// Sentinel for "row matched to no column" in assignment results.
+inline constexpr std::size_t kUnassigned = static_cast<std::size_t>(-1);
+
+/// Dense row-major cost table for an assignment problem: rows are tracks,
+/// columns are detections, entries are association costs (innovation
+/// distance in degrees). An entry of +infinity marks a pair outside the
+/// association gate — it can never be matched.
+class CostMatrix {
+ public:
+  /// An empty rows x cols table initialised to +infinity (all forbidden).
+  CostMatrix(std::size_t rows, std::size_t cols);
+
+  /// Mutable access to entry (r, c).
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  /// Read-only access to entry (r, c).
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  /// Number of rows (tracks).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  /// Number of columns (detections).
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  RVec data_;
+};
+
+/// Greedy gated nearest neighbour: repeatedly commit the cheapest feasible
+/// (row, column) pair until none remains. Returns, per row, the matched
+/// column or kUnassigned. Optimal whenever no two rows contend for the
+/// same column (the common, unambiguous frame); may be suboptimal when
+/// gates overlap.
+[[nodiscard]] std::vector<std::size_t> greedy_assign(const CostMatrix& cost);
+
+/// Hungarian (Kuhn-Munkres) assignment, O(n^3): the matching that
+/// minimises total cost while matching as many feasible pairs as possible
+/// (leaving a feasible pair unmatched is never cheaper). Returns, per row,
+/// the matched column or kUnassigned.
+[[nodiscard]] std::vector<std::size_t> hungarian_assign(const CostMatrix& cost);
+
+/// True when the feasibility graph is ambiguous: some connected component
+/// of the (row, column) gate graph contains at least two rows and at least
+/// two columns, so greedy commitment order can change the matching.
+[[nodiscard]] bool assignment_is_ambiguous(const CostMatrix& cost);
+
+/// The tracker's dispatcher: greedy_assign() for unambiguous frames,
+/// hungarian_assign() when assignment_is_ambiguous().
+[[nodiscard]] std::vector<std::size_t> assign(const CostMatrix& cost);
+
+}  // namespace wivi::track

@@ -1,0 +1,63 @@
+#include "src/track/detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/dsp/peaks.hpp"
+#include "src/dsp/stats.hpp"
+
+namespace wivi::track {
+
+ColumnDetector::ColumnDetector() : ColumnDetector(Config{}) {}
+
+ColumnDetector::ColumnDetector(Config cfg) : cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.min_peak_db >= 0.0, "min_peak_db must be >= 0");
+  WIVI_REQUIRE(cfg_.min_separation_deg >= 0.0,
+               "min_separation_deg must be >= 0");
+  WIVI_REQUIRE(cfg_.max_detections >= 1, "max_detections must be >= 1");
+}
+
+std::vector<Detection> ColumnDetector::detect(const core::AngleTimeImage& img,
+                                              std::size_t t) const {
+  std::vector<Detection> out;
+  detect_into(img, t, out);
+  return out;
+}
+
+void ColumnDetector::detect_into(const core::AngleTimeImage& img,
+                                 std::size_t t,
+                                 std::vector<Detection>& out) const {
+  out.clear();
+  WIVI_REQUIRE(img.num_angles() >= 2, "angle grid too small to detect peaks");
+  img.column_db_into(t, col_db_, cfg_.cap_db);
+  const double floor = dsp::median(col_db_);
+
+  const double grid_step = std::abs(img.angles_deg[1] - img.angles_deg[0]);
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = cfg_.min_peak_db;
+  opts.min_distance = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(cfg_.min_separation_deg /
+                                              std::max(grid_step, 1e-9))));
+  // Peak-find on the *unmasked* column so the DC residual is one genuine
+  // peak at ~0 degrees (whose NMS footprint also suppresses unreliable
+  // rivals hugging it) rather than a masked-out hole whose shoulder would
+  // fake a permanent mover at the exclusion boundary. DC-band peaks are
+  // then discarded, and only then is the detection budget applied.
+  opts.max_peaks = SIZE_MAX;
+  for (const dsp::Peak& p : dsp::find_peaks_over_floor(col_db_, floor, opts)) {
+    if (std::abs(img.angles_deg[p.index]) <= cfg_.dc_exclusion_deg) continue;
+    out.push_back({img.angles_deg[p.index], p.value, p.index});
+  }
+  if (out.size() > static_cast<std::size_t>(cfg_.max_detections)) {
+    std::sort(out.begin(), out.end(), [](const Detection& a, const Detection& b) {
+      return a.strength_db > b.strength_db;
+    });
+    out.resize(static_cast<std::size_t>(cfg_.max_detections));
+    std::sort(out.begin(), out.end(), [](const Detection& a, const Detection& b) {
+      return a.angle_index < b.angle_index;
+    });
+  }
+}
+
+}  // namespace wivi::track

@@ -1,0 +1,82 @@
+/// @file
+/// Multi-peak detection over MUSIC pseudospectrum columns.
+///
+/// The paper's multi-person evaluation (Figs. 5-3, 7-2: up to three humans)
+/// reads several simultaneous peaks out of each angle-time image column;
+/// this module turns one column into a set of Detection candidates. The
+/// actual peak extraction — floor-relative thresholding plus non-maximum
+/// suppression — is the shared dsp::find_peaks_over_floor() implementation
+/// that core::MotionTracker's single-target dominant-angle readout also
+/// consumes, so the two code paths can never disagree about what counts as
+/// a peak. Both find peaks on the unmasked column (the DC residual is a
+/// genuine peak, and its suppression footprint is wanted) and then discard
+/// peaks inside the DC exclusion band.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+
+namespace wivi::track {
+
+/// One candidate mover extracted from a single angle-time image column.
+struct Detection {
+  /// Spatial angle of the pseudospectrum peak in degrees.
+  double angle_deg = 0.0;
+  /// Peak height on the column's dB scale (AngleTimeImage::column_db).
+  double strength_db = 0.0;
+  /// Index of the peak in the image's angle grid.
+  std::size_t angle_index = 0;
+};
+
+/// Extracts up to a handful of mover detections from each image column.
+/// Reuses internal buffers across calls, so the per-column path allocates
+/// only when the caller-visible detection list grows; one instance is not
+/// safe for concurrent use.
+class ColumnDetector {
+ public:
+  /// Detection thresholds and geometry.
+  struct Config {
+    /// Peaks with |angle| inside this band are the DC residual of
+    /// imperfect nulling, not movers (§5.2); they are masked out.
+    double dc_exclusion_deg = 12.0;
+    /// A peak must rise this many dB above the column median floor —
+    /// the same floor-relative rule as the single-target readout.
+    double min_peak_db = 6.0;
+    /// Two reported peaks are at least this far apart in degrees; closer
+    /// rivals are suppressed in favour of the taller one (MUSIC's
+    /// resolution limit makes closer pairs unreliable anyway).
+    double min_separation_deg = 6.0;
+    /// Upper bound on detections per column. The paper tracks up to 3
+    /// humans; a little headroom lets clutter compete and lose.
+    int max_detections = 5;
+    /// dB cap of the column scale (AngleTimeImage::column_db).
+    double cap_db = 60.0;
+  };
+
+  ColumnDetector();  ///< Build a detector with the default Config.
+  /// Build a detector with the given thresholds (validated).
+  explicit ColumnDetector(Config cfg);
+
+  /// The detector's configuration.
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Extract detections from column `t` of `img`, angle-sorted.
+  [[nodiscard]] std::vector<Detection> detect(const core::AngleTimeImage& img,
+                                              std::size_t t) const;
+
+  /// Same, into a caller-owned list (cleared first): the zero-allocation
+  /// steady-state path for per-column tracking.
+  /// @param img  the angle-time image to read.
+  /// @param t    column index within `img`.
+  /// @param out  receives the detections, sorted by angle index.
+  void detect_into(const core::AngleTimeImage& img, std::size_t t,
+                   std::vector<Detection>& out) const;
+
+ private:
+  Config cfg_;
+  mutable RVec col_db_;  // column dB scratch
+};
+
+}  // namespace wivi::track

@@ -1,0 +1,53 @@
+#include "src/track/kalman.hpp"
+
+#include "src/common/error.hpp"
+
+namespace wivi::track {
+
+AngleKalman::AngleKalman(const KalmanConfig& cfg, double angle_deg)
+    : cfg_(cfg),
+      x0_(angle_deg),
+      x1_(0.0),
+      p00_(cfg.measurement_sigma_deg * cfg.measurement_sigma_deg),
+      p01_(0.0),
+      p11_(cfg.initial_velocity_sigma_dps * cfg.initial_velocity_sigma_dps) {
+  WIVI_REQUIRE(cfg_.process_noise >= 0.0, "process noise must be >= 0");
+  WIVI_REQUIRE(cfg_.measurement_sigma_deg > 0.0,
+               "measurement sigma must be positive");
+}
+
+void AngleKalman::predict(double dt_sec) {
+  WIVI_REQUIRE(dt_sec >= 0.0, "cannot predict backwards in time");
+  const double dt = dt_sec;
+  const double q = cfg_.process_noise;
+  x0_ += x1_ * dt;
+  // P <- F P F^T + Q with F = [[1, dt], [0, 1]] and the continuous
+  // white-acceleration Q = q * [[dt^3/3, dt^2/2], [dt^2/2, dt]].
+  const double p00 = p00_ + dt * (2.0 * p01_ + dt * p11_) + q * dt * dt * dt / 3.0;
+  const double p01 = p01_ + dt * p11_ + q * dt * dt / 2.0;
+  const double p11 = p11_ + q * dt;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+double AngleKalman::innovation_variance() const noexcept {
+  return p00_ + cfg_.measurement_sigma_deg * cfg_.measurement_sigma_deg;
+}
+
+void AngleKalman::update(double angle_deg) {
+  const double s = innovation_variance();
+  const double k0 = p00_ / s;
+  const double k1 = p01_ / s;
+  const double innovation = angle_deg - x0_;
+  x0_ += k0 * innovation;
+  x1_ += k1 * innovation;
+  const double p00 = (1.0 - k0) * p00_;
+  const double p01 = (1.0 - k0) * p01_;
+  const double p11 = p11_ - k1 * p01_;
+  p00_ = p00;
+  p01_ = p01;
+  p11_ = p11;
+}
+
+}  // namespace wivi::track

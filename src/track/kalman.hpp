@@ -1,0 +1,71 @@
+/// @file
+/// Per-target constant-velocity Kalman filter in spatial angle.
+///
+/// A mover's spatial angle theta (sin(theta) = v_radial / v_assumed, paper
+/// §5.1) evolves smoothly on the column timescale of the angle-time image
+/// (one column per hop = 80 ms at the paper's parameters), so a two-state
+/// constant-velocity model [theta, theta_dot] with white-acceleration
+/// process noise is the right smoother: it tracks walking humans through
+/// MUSIC grid quantisation and peak jitter, carries a predicted angle
+/// through dropped detections (coasting), and its velocity state is what
+/// keeps identities straight when two tracks cross — the association cost
+/// is distance to the *predicted* position, and two crossing targets have
+/// opposite predicted velocities.
+#pragma once
+
+#include "src/common/types.hpp"
+
+namespace wivi::track {
+
+/// Noise configuration of the constant-velocity angle filter.
+struct KalmanConfig {
+  /// Continuous white-acceleration spectral density q, in (deg/s^2)^2 * s.
+  /// Sets how fast the filter lets a target's angular velocity change:
+  /// larger follows manoeuvres faster but smooths less.
+  double process_noise = 40.0;
+  /// Standard deviation of one angle measurement in degrees. The MUSIC
+  /// grid step (1 deg) plus peak jitter makes ~1.5 deg a good default.
+  double measurement_sigma_deg = 1.5;
+  /// Standard deviation of the (unknown) initial angular velocity in
+  /// deg/s. A walking human sweeps at most a few tens of deg/s.
+  double initial_velocity_sigma_dps = 30.0;
+};
+
+/// Scalar-measurement constant-velocity Kalman filter over the state
+/// [angle (deg), angular velocity (deg/s)]. One instance per live track;
+/// the tracker calls predict() once per image column and update() when a
+/// detection is associated (coasting columns predict without updating).
+class AngleKalman {
+ public:
+  /// Start a filter at a first detection.
+  /// @param cfg        noise configuration (copied).
+  /// @param angle_deg  the detection's angle — the initial state mean.
+  AngleKalman(const KalmanConfig& cfg, double angle_deg);
+
+  /// Time-propagate the state by `dt_sec` seconds (one image column).
+  /// After predict(), angle_deg() is the gate centre for association.
+  void predict(double dt_sec);
+
+  /// Fold in an associated detection at `angle_deg` degrees.
+  void update(double angle_deg);
+
+  /// Current (predicted or updated) angle estimate in degrees.
+  [[nodiscard]] double angle_deg() const noexcept { return x0_; }
+  /// Current angular-velocity estimate in deg/s.
+  [[nodiscard]] double velocity_dps() const noexcept { return x1_; }
+  /// Variance of the angle estimate (deg^2).
+  [[nodiscard]] double angle_variance() const noexcept { return p00_; }
+  /// Innovation variance S = P_00 + R of a measurement taken now (deg^2);
+  /// the natural scale for gating decisions.
+  [[nodiscard]] double innovation_variance() const noexcept;
+
+ private:
+  KalmanConfig cfg_;
+  double x0_;   // angle (deg)
+  double x1_;   // angular velocity (deg/s)
+  double p00_;  // covariance entries (symmetric 2x2)
+  double p01_;
+  double p11_;
+};
+
+}  // namespace wivi::track

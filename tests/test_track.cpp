@@ -1,0 +1,287 @@
+// Unit tests for the wivi::track building blocks: the shared floor-relative
+// peak extractor, the per-column multi-peak detector, the constant-velocity
+// Kalman filter, and the gated NN / Hungarian association layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/common/random.hpp"
+#include "src/dsp/peaks.hpp"
+#include "src/track/assignment.hpp"
+#include "src/track/detect.hpp"
+#include "src/track/kalman.hpp"
+
+namespace wivi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ------------------------------------------------- find_peaks_over_floor ---
+
+TEST(FloorPeaks, FindsPeaksAboveFloorOnly) {
+  const RVec x{0, 1, 8, 1, 0, 2, 3, 2, 0, 1, 9, 1};
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = 5.0;
+  const auto peaks = dsp::find_peaks_over_floor(x, /*floor=*/1.0, opts);
+  ASSERT_EQ(peaks.size(), 2u);  // 8 and 9 clear floor+5; the 3 does not
+  EXPECT_EQ(peaks[0].index, 2u);
+  EXPECT_EQ(peaks[1].index, 10u);
+}
+
+TEST(FloorPeaks, EdgesAndMaskBoundariesCanPeak) {
+  const double ninf = -kInf;
+  // Global maximum at index 0 (an array edge) and a second maximum right
+  // after a masked run: both must be reported.
+  const RVec x{9, 5, 1, ninf, ninf, 7, 4, 1};
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = 2.0;
+  const auto peaks = dsp::find_peaks_over_floor(x, 0.0, opts);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 0u);
+  EXPECT_EQ(peaks[1].index, 5u);
+}
+
+TEST(FloorPeaks, MaskedEntriesNeverPeak) {
+  const RVec x{0, 1, -kInf, 1, 0};
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = 0.5;
+  for (const auto& p : dsp::find_peaks_over_floor(x, 0.0, opts))
+    EXPECT_NE(p.index, 2u);
+}
+
+TEST(FloorPeaks, MinDistanceKeepsTallerPeak) {
+  const RVec x{0, 5, 0, 6, 0, 0, 0, 4, 0};
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = 1.0;
+  opts.min_distance = 4;
+  const auto peaks = dsp::find_peaks_over_floor(x, 0.0, opts);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 3u);  // 6 beats the 5 two bins away
+  EXPECT_EQ(peaks[1].index, 7u);
+}
+
+TEST(FloorPeaks, MaxPeaksKeepsTallest) {
+  const RVec x{0, 3, 0, 9, 0, 5, 0, 7, 0};
+  dsp::FloorPeakOptions opts;
+  opts.min_over_floor = 1.0;
+  opts.max_peaks = 2;
+  const auto peaks = dsp::find_peaks_over_floor(x, 0.0, opts);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 3u);  // 9 and 7, index-sorted
+  EXPECT_EQ(peaks[1].index, 7u);
+}
+
+// --------------------------------------------------------- ColumnDetector ---
+
+/// Build a one-column image with dB bumps at the requested angles over a
+/// unit floor (column_db is median-referenced, so floor maps to ~0 dB).
+core::AngleTimeImage image_with_bumps(
+    const std::vector<std::pair<double, double>>& angle_db) {
+  core::AngleTimeImage img;
+  img.angles_deg = core::angle_grid_deg(1.0);
+  RVec col(img.angles_deg.size(), 1.0);
+  for (const auto& [angle, db] : angle_db) {
+    const auto idx = static_cast<std::size_t>(std::lround(angle + 90.0));
+    // column_db computes 10*log10(value / median).
+    col[idx] = std::pow(10.0, db / 10.0);
+  }
+  img.columns.push_back(col);
+  img.model_orders.push_back(1);
+  img.times_sec.push_back(0.0);
+  return img;
+}
+
+TEST(ColumnDetector, FindsMultipleMoversAndSkipsDc) {
+  // Movers at -35 and +50, plus a strong DC residual at 0 that must not
+  // be reported.
+  const auto img = image_with_bumps({{-35.0, 20.0}, {0.0, 40.0}, {50.0, 15.0}});
+  track::ColumnDetector detector;
+  const auto dets = detector.detect(img, 0);
+  ASSERT_EQ(dets.size(), 2u);
+  EXPECT_NEAR(dets[0].angle_deg, -35.0, 0.5);
+  EXPECT_NEAR(dets[1].angle_deg, 50.0, 0.5);
+  EXPECT_GT(dets[0].strength_db, dets[1].strength_db);
+}
+
+TEST(ColumnDetector, DcShoulderDoesNotFakeAMover) {
+  // A wide DC lobe decaying monotonically out to +/-20 degrees: no mover,
+  // so no detections — the lobe's shoulder at the exclusion boundary must
+  // not be reported as a target.
+  core::AngleTimeImage img;
+  img.angles_deg = core::angle_grid_deg(1.0);
+  RVec col(img.angles_deg.size(), 1.0);
+  for (std::size_t a = 0; a < img.angles_deg.size(); ++a) {
+    const double d = std::abs(img.angles_deg[a]);
+    if (d <= 20.0) col[a] = std::pow(10.0, (40.0 - 2.0 * d) / 10.0);
+  }
+  img.columns.push_back(col);
+  img.model_orders.push_back(1);
+  img.times_sec.push_back(0.0);
+  track::ColumnDetector detector;
+  EXPECT_TRUE(detector.detect(img, 0).empty());
+}
+
+TEST(ColumnDetector, RespectsDetectionBudget) {
+  const auto img = image_with_bumps(
+      {{-60.0, 10.0}, {-40.0, 14.0}, {20.0, 18.0}, {40.0, 16.0}, {60.0, 12.0}});
+  track::ColumnDetector::Config cfg;
+  cfg.max_detections = 3;
+  const track::ColumnDetector detector(cfg);
+  const auto dets = detector.detect(img, 0);
+  ASSERT_EQ(dets.size(), 3u);
+  // The three strongest (18, 16, 14 dB), angle-sorted.
+  EXPECT_NEAR(dets[0].angle_deg, -40.0, 0.5);
+  EXPECT_NEAR(dets[1].angle_deg, 20.0, 0.5);
+  EXPECT_NEAR(dets[2].angle_deg, 40.0, 0.5);
+}
+
+// ------------------------------------------------------------ AngleKalman ---
+
+TEST(AngleKalman, ConvergesToConstantVelocityTarget) {
+  track::KalmanConfig cfg;
+  track::AngleKalman kf(cfg, 10.0);
+  const double dt = 0.08;
+  const double velocity = 5.0;  // deg/s
+  Rng rng(7);
+  for (int k = 1; k <= 100; ++k) {
+    kf.predict(dt);
+    const double truth = 10.0 + velocity * dt * k;
+    kf.update(truth + rng.gaussian(0.0, 0.5));
+  }
+  EXPECT_NEAR(kf.velocity_dps(), velocity, 1.0);
+  EXPECT_NEAR(kf.angle_deg(), 10.0 + velocity * dt * 100, 1.0);
+}
+
+TEST(AngleKalman, PredictionCarriesThroughAGap) {
+  track::KalmanConfig cfg;
+  track::AngleKalman kf(cfg, 0.0);
+  const double dt = 0.08;
+  Rng rng(8);
+  for (int k = 1; k <= 60; ++k) {
+    kf.predict(dt);
+    kf.update(8.0 * dt * k + rng.gaussian(0.0, 0.3));
+  }
+  // 12 columns of coasting: the estimate keeps moving at ~8 deg/s and the
+  // uncertainty grows.
+  const double var_before = kf.angle_variance();
+  for (int k = 0; k < 12; ++k) kf.predict(dt);
+  EXPECT_NEAR(kf.angle_deg(), 8.0 * dt * 72, 2.0);
+  EXPECT_GT(kf.angle_variance(), var_before);
+}
+
+// ------------------------------------------------------------- assignment ---
+
+/// Total cost of a row assignment (for optimality comparisons).
+double total_cost(const track::CostMatrix& cost,
+                  const std::vector<std::size_t>& match) {
+  double sum = 0.0;
+  for (std::size_t r = 0; r < match.size(); ++r)
+    if (match[r] != track::kUnassigned) sum += cost.at(r, match[r]);
+  return sum;
+}
+
+std::size_t num_matched(const std::vector<std::size_t>& match) {
+  std::size_t n = 0;
+  for (std::size_t m : match) n += m != track::kUnassigned;
+  return n;
+}
+
+/// Brute-force optimal assignment: max matches first, then min cost.
+std::pair<std::size_t, double> brute_force_best(const track::CostMatrix& cost) {
+  const std::size_t rows = cost.rows(), cols = cost.cols();
+  std::vector<std::size_t> perm(cols);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::size_t best_matches = 0;
+  double best_cost = kInf;
+  // Try every injective map of rows into column permutations (rows <= cols
+  // assumed in tests using this helper).
+  do {
+    std::size_t matches = 0;
+    double c = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double v = cost.at(r, perm[r]);
+      if (std::isfinite(v)) {
+        ++matches;
+        c += v;
+      }
+    }
+    if (matches > best_matches ||
+        (matches == best_matches && c < best_cost)) {
+      best_matches = matches;
+      best_cost = c;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return {best_matches, best_cost};
+}
+
+TEST(Assignment, GreedySwapsWhereHungarianDoesNot) {
+  // The classic trap: greedy grabs the cheap (0,0)=1 pair, forcing
+  // (1,1)=100; Hungarian pays 2+3.
+  track::CostMatrix cost(2, 2);
+  cost.at(0, 0) = 1.0;
+  cost.at(0, 1) = 3.0;
+  cost.at(1, 0) = 2.0;
+  cost.at(1, 1) = 100.0;
+  EXPECT_TRUE(track::assignment_is_ambiguous(cost));
+  const auto greedy = track::greedy_assign(cost);
+  const auto optimal = track::hungarian_assign(cost);
+  EXPECT_EQ(total_cost(cost, greedy), 101.0);
+  EXPECT_EQ(total_cost(cost, optimal), 5.0);
+  // assign() must dispatch to the Hungarian result here.
+  EXPECT_EQ(track::assign(cost), optimal);
+}
+
+TEST(Assignment, UnambiguousFrameUsesGreedyAndMatchesHungarian) {
+  // Two tracks, two detections, gates not overlapping: one feasible pair
+  // each. Greedy is optimal and assign() takes that path.
+  track::CostMatrix cost(2, 2);
+  cost.at(0, 0) = 2.0;
+  cost.at(1, 1) = 4.0;
+  EXPECT_FALSE(track::assignment_is_ambiguous(cost));
+  const auto match = track::assign(cost);
+  EXPECT_EQ(match, track::greedy_assign(cost));
+  EXPECT_EQ(match, track::hungarian_assign(cost));
+  EXPECT_EQ(total_cost(cost, match), 6.0);
+}
+
+TEST(Assignment, GatingLeavesInfeasiblePairsUnmatched) {
+  track::CostMatrix cost(3, 2);
+  cost.at(0, 0) = 1.0;  // track 1 gated away from everything
+  cost.at(2, 1) = 2.0;
+  const auto match = track::hungarian_assign(cost);
+  EXPECT_EQ(match[0], 0u);
+  EXPECT_EQ(match[1], track::kUnassigned);
+  EXPECT_EQ(match[2], 1u);
+}
+
+TEST(Assignment, HungarianMatchesBruteForceOnRandomProblems) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto cols = static_cast<std::size_t>(rng.uniform_int(rows, 5));
+    track::CostMatrix cost(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t j = 0; j < cols; ++j)
+        if (rng.uniform() < 0.7) cost.at(r, j) = rng.uniform(0.0, 20.0);
+    const auto match = track::hungarian_assign(cost);
+    const auto [best_matches, best_cost] = brute_force_best(cost);
+    ASSERT_EQ(num_matched(match), best_matches) << "trial " << trial;
+    ASSERT_NEAR(total_cost(cost, match), best_cost, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Assignment, EmptyProblemsAreHandled) {
+  const track::CostMatrix no_tracks(0, 3);
+  EXPECT_TRUE(track::assign(no_tracks).empty());
+  const track::CostMatrix no_dets(2, 0);
+  const auto match = track::assign(no_dets);
+  ASSERT_EQ(match.size(), 2u);
+  EXPECT_EQ(match[0], track::kUnassigned);
+  EXPECT_EQ(match[1], track::kUnassigned);
+}
+
+}  // namespace
+}  // namespace wivi

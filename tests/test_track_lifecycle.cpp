@@ -1,0 +1,209 @@
+// Track lifecycle and association edge cases: birth/confirmation
+// thresholds, tentative and confirmed death, coasting through dropped
+// detections, and identity preservation through a crossing — on scripted
+// images (exact control of detections per column) and on the synthetic
+// crossing trace (full MUSIC path).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+#include "src/sim/synthetic.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi {
+namespace {
+
+using track::MultiTargetTracker;
+using track::TrackState;
+
+/// Scripted angle-time image: column c holds dB bumps at
+/// scripted[c] = {(angle, db), ...} over a unit floor, 0.1 s per column.
+core::AngleTimeImage scripted_image(
+    const std::vector<std::vector<std::pair<double, double>>>& scripted) {
+  core::AngleTimeImage img;
+  img.angles_deg = core::angle_grid_deg(1.0);
+  for (std::size_t c = 0; c < scripted.size(); ++c) {
+    RVec col(img.angles_deg.size(), 1.0);
+    for (const auto& [angle, db] : scripted[c]) {
+      const auto idx = static_cast<std::size_t>(std::lround(angle + 90.0));
+      col[idx] = std::pow(10.0, db / 10.0);
+    }
+    img.columns.push_back(std::move(col));
+    img.model_orders.push_back(1);
+    img.times_sec.push_back(0.1 * static_cast<double>(c));
+  }
+  return img;
+}
+
+MultiTargetTracker::Config test_config() {
+  MultiTargetTracker::Config cfg;
+  cfg.confirm_columns = 3;
+  cfg.max_coast_columns = 5;
+  cfg.tentative_max_misses = 2;
+  return cfg;
+}
+
+TEST(TrackLifecycle, ConfirmationRequiresConsecutiveHits) {
+  // A target present for exactly confirm_columns columns.
+  std::vector<std::vector<std::pair<double, double>>> script(
+      5, {{30.0, 15.0}});
+  const auto img = scripted_image(script);
+  MultiTargetTracker tracker(test_config());
+
+  auto snaps = tracker.step(img, 0);
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].state, TrackState::kTentative);
+  EXPECT_EQ(tracker.num_confirmed(), 0u);
+
+  tracker.step(img, 1);
+  EXPECT_EQ(tracker.snapshots()[0].state, TrackState::kTentative);
+
+  snaps = tracker.step(img, 2);  // third consecutive hit -> confirmed
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].state, TrackState::kConfirmed);
+  EXPECT_EQ(tracker.num_confirmed(), 1u);
+  EXPECT_EQ(snaps[0].id, 1);
+}
+
+TEST(TrackLifecycle, TentativeClutterDiesQuickly) {
+  // One blip, then nothing: the tentative track must die after
+  // tentative_max_misses columns and never confirm.
+  std::vector<std::vector<std::pair<double, double>>> script(6);
+  script[0] = {{-50.0, 12.0}};
+  const auto img = scripted_image(script);
+  MultiTargetTracker tracker(test_config());
+  for (std::size_t t = 0; t < img.num_times(); ++t) tracker.step(img, t);
+  EXPECT_TRUE(tracker.snapshots().empty());
+  const auto histories = tracker.histories();
+  ASSERT_EQ(histories.size(), 1u);
+  EXPECT_FALSE(histories[0].confirmed_ever);
+  EXPECT_EQ(histories[0].state, TrackState::kDead);
+  // Born at column 0, coasted misses at 1 — dead by column 2.
+  EXPECT_LE(histories[0].times_sec.size(), 2u);
+}
+
+TEST(TrackLifecycle, CoastsThroughADroppedDetectionGap) {
+  // Target at +40 moving slowly, detections dropped for 4 columns
+  // (< max_coast_columns = 5): the same id must coast through and
+  // re-acquire.
+  std::vector<std::vector<std::pair<double, double>>> script;
+  for (int c = 0; c < 8; ++c) script.push_back({{40.0 + 0.5 * c, 15.0}});
+  for (int c = 0; c < 4; ++c) script.push_back({});  // the gap
+  for (int c = 12; c < 20; ++c) script.push_back({{40.0 + 0.5 * c, 15.0}});
+  const auto img = scripted_image(script);
+
+  MultiTargetTracker tracker(test_config());
+  bool saw_coasting = false;
+  int coasting_id = 0;
+  for (std::size_t t = 0; t < img.num_times(); ++t) {
+    const auto& snaps = tracker.step(img, t);
+    for (const auto& s : snaps)
+      if (s.state == TrackState::kCoasting) {
+        saw_coasting = true;
+        coasting_id = s.id;
+      }
+  }
+  EXPECT_TRUE(saw_coasting);
+  const auto& snaps = tracker.snapshots();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].state, TrackState::kConfirmed);
+  EXPECT_EQ(snaps[0].id, coasting_id);
+  // One single track ever — the gap did not split the identity.
+  EXPECT_EQ(tracker.histories().size(), 1u);
+  EXPECT_NEAR(snaps[0].angle_deg, 40.0 + 0.5 * 19, 1.5);
+}
+
+TEST(TrackLifecycle, ConfirmedTrackDiesAfterCoastBudget) {
+  std::vector<std::vector<std::pair<double, double>>> script;
+  for (int c = 0; c < 6; ++c) script.push_back({{-25.0, 15.0}});
+  for (int c = 0; c < 10; ++c) script.push_back({});  // gone for good
+  const auto img = scripted_image(script);
+  MultiTargetTracker tracker(test_config());
+  std::size_t died_at = 0;
+  for (std::size_t t = 0; t < img.num_times(); ++t) {
+    tracker.step(img, t);
+    if (died_at == 0 && tracker.snapshots().empty()) died_at = t;
+  }
+  EXPECT_TRUE(tracker.snapshots().empty());
+  // Last hit at column 5; coast budget 5 -> dead on the 6th miss (col 11).
+  EXPECT_EQ(died_at, 11u);
+  const auto histories = tracker.histories();
+  ASSERT_EQ(histories.size(), 1u);
+  EXPECT_TRUE(histories[0].confirmed_ever);
+  EXPECT_EQ(histories[0].state, TrackState::kDead);
+}
+
+TEST(TrackLifecycle, ScriptedCrossingKeepsDistinctIds) {
+  // Two targets crossing at +35: one climbs 20 -> 50, one descends
+  // 50 -> 20, merging into a single detection for the few columns where
+  // they are closer than the detector's separation limit.
+  std::vector<std::vector<std::pair<double, double>>> script;
+  const int cols = 31;
+  for (int c = 0; c < cols; ++c) {
+    const double up = 20.0 + c;
+    const double down = 50.0 - c;
+    if (std::abs(up - down) < 2.0)
+      script.push_back({{(up + down) / 2.0, 18.0}});  // merged
+    else
+      script.push_back({{up, 15.0}, {down, 14.0}});
+  }
+  const auto img = scripted_image(script);
+
+  MultiTargetTracker tracker(test_config());
+  for (std::size_t t = 0; t < img.num_times(); ++t) tracker.step(img, t);
+
+  const auto& snaps = tracker.snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_NE(snaps[0].id, snaps[1].id);
+  // Identity check: the track that started low ends high and vice versa.
+  std::map<int, std::pair<double, double>> first_last;
+  for (const auto& h : tracker.histories())
+    if (h.confirmed_ever)
+      first_last[h.id] = {h.angles_deg.front(), h.angles_deg.back()};
+  ASSERT_EQ(first_last.size(), 2u);
+  for (const auto& [id, fl] : first_last) {
+    if (fl.first < 35.0)
+      EXPECT_GT(fl.second, 44.0) << "climbing track " << id;
+    else
+      EXPECT_LT(fl.second, 26.0) << "descending track " << id;
+  }
+}
+
+TEST(TrackLifecycle, SyntheticCrossingTraceKeepsStableIds) {
+  // Full pipeline: MUSIC image of the canonical three-mover scenario (two
+  // movers crossing near +35 degrees, one steady at -30), then the
+  // multi-target tracker over it.
+  const CVec h = sim::synthetic_crossing_trace(12.0, 1234);
+  const core::MotionTracker imager;
+  const core::AngleTimeImage img = imager.process(h);
+
+  const auto histories = track::track_image(img);
+  std::vector<const track::TrackHistory*> confirmed;
+  for (const auto& tr : histories)
+    if (tr.confirmed_ever) confirmed.push_back(&tr);
+  ASSERT_EQ(confirmed.size(), 3u) << "one track per mover";
+
+  // Each track must span (almost) the whole trace: no identity was lost
+  // and re-born at the crossing.
+  for (const auto* tr : confirmed)
+    EXPECT_GT(tr->times_sec.back() - tr->times_sec.front(), 10.0);
+
+  // The crossing movers exchanged angle bands while keeping their ids.
+  bool saw_up = false, saw_down = false, saw_steady = false;
+  for (const auto* tr : confirmed) {
+    const double a0 = tr->angles_deg.front();
+    const double a1 = tr->angles_deg.back();
+    if (a0 < -20.0 && a1 < -20.0) saw_steady = true;
+    if (a0 > 0.0 && a0 < 30.0 && a1 > 50.0) saw_up = true;
+    if (a0 > 50.0 && a1 > 0.0 && a1 < 30.0) saw_down = true;
+  }
+  EXPECT_TRUE(saw_steady);
+  EXPECT_TRUE(saw_up);
+  EXPECT_TRUE(saw_down);
+}
+
+}  // namespace
+}  // namespace wivi
