@@ -18,6 +18,7 @@ int main() {
   trial.subjects = {3};
   trial.duration_sec = 7.0;
   trial.seed = bench::trial_seed(52, 0);
+  trial.image_threads = 0;  // offline figure build: shard columns over all cores
   const sim::CountingResult r = sim::run_counting_trial(trial);
 
   bench::section("A'[theta, n] heat map (smoothed MUSIC)");

@@ -16,6 +16,7 @@ int main() {
   trial.subjects = {1, 5};
   trial.duration_sec = 4.0;
   trial.seed = bench::trial_seed(53, 0);
+  trial.image_threads = 0;  // offline figure build: shard columns over all cores
   const sim::CountingResult r = sim::run_counting_trial(trial);
 
   bench::section("A'[theta, n] heat map (smoothed MUSIC)");

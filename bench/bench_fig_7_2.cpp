@@ -18,6 +18,7 @@ int main() {
       trial.subjects = {row, (row + 3) % 8, (row + 6) % 8};
       trial.duration_sec = 7.0;
       trial.seed = bench::trial_seed(72, humans * 10 + row);
+      trial.image_threads = 0;  // offline figure build: shard columns over all cores
       const sim::CountingResult r = sim::run_counting_trial(trial);
       std::printf("\n(%c%d) %d human%s, trial %d   [spatial variance %.2fM]\n",
                   static_cast<char>('a' + humans - 1), row + 1, humans,

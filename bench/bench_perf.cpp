@@ -5,11 +5,16 @@
 // below is the direct analogue in this implementation.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "src/common/random.hpp"
 #include "src/core/nulling.hpp"
 #include "src/core/tracker.hpp"
 #include "src/dsp/fft.hpp"
 #include "src/linalg/eig.hpp"
+#include "src/par/image_builder.hpp"
 #include "src/sim/link.hpp"
 #include "src/sim/synthetic.hpp"
 
@@ -74,6 +79,24 @@ void BM_FullTraceProcessing(benchmark::State& state) {
 }
 BENCHMARK(BM_FullTraceProcessing)->Arg(25)->Unit(benchmark::kMillisecond);
 
+void BM_ParallelImageBuild(benchmark::State& state) {
+  // The same 25 s trace through the column-sharded builder, thread count
+  // as the argument. One persistent builder: pool and per-worker
+  // workspaces are reused across iterations like a batch service would.
+  // The --threads flag appends an extra point to this sweep; on a 1-core
+  // container the whole curve is flat by construction.
+  const CVec h = make_trace(static_cast<std::size_t>(25 * 312.5));
+  const par::ParallelImageBuilder builder(core::MotionTracker::Config{},
+                                          static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const core::AngleTimeImage img = builder.build(h);
+    benchmark::DoNotOptimize(img.columns.data());
+  }
+  state.SetLabel("BM_FullTraceProcessing/25s sharded over a par::ThreadPool");
+}
+BENCHMARK(BM_ParallelImageBuild)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_NullingProcedure(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -90,4 +113,44 @@ BENCHMARK(BM_NullingProcedure)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): strips a `--threads N` (or
+// `--threads=N`) flag before google-benchmark sees argv and registers one
+// extra BM_ParallelImageBuild point at exactly N threads. CI runs
+//   bench_perf --threads 4 --benchmark_format=json
+// to produce BENCH_parallel.json.
+int main(int argc, char** argv) {
+  int threads = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = hardware)\n");
+    return 1;
+  }
+  // The static sweep already covers 1/2/4/8 — only register an extra
+  // point for other counts, so `--threads 4` doesn't run the ~25 s-trace
+  // build twice and duplicate rows in the recorded JSON.
+  if (threads > 0 && threads != 1 && threads != 2 && threads != 4 &&
+      threads != 8) {
+    benchmark::RegisterBenchmark("BM_ParallelImageBuild/threads",
+                                 [](benchmark::State& st) {
+                                   BM_ParallelImageBuild(st);
+                                 })
+        ->Arg(threads)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

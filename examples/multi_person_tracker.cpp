@@ -19,9 +19,12 @@ int main(int argc, char** argv) {
   const double duration = cli.get_double("duration", 12.0, "trace seconds");
   const std::uint64_t seed = cli.get_seed("seed", 1234, "noise seed");
   const int chunk = cli.get_int("chunk", 96, "streaming chunk size (samples)");
+  const int threads = cli.get_int(
+      "threads", 0, "batch image-build workers (0 = all cores)");
   if (!cli.ok()) return 2;
-  if (duration < 2.0 || chunk < 1) {
-    std::fprintf(stderr, "--duration must be >= 2 and --chunk >= 1\n");
+  if (duration < 2.0 || chunk < 1 || threads < 0) {
+    std::fprintf(stderr,
+                 "--duration must be >= 2, --chunk >= 1, --threads >= 0\n");
     return 1;
   }
 
@@ -70,6 +73,19 @@ int main(int argc, char** argv) {
     parity = batch[i].id == streamed[i].id &&
              batch[i].angles_deg == streamed[i].angles_deg;
   std::printf("streaming == batch: %s\n\n", parity ? "yes (bit for bit)" : "NO");
+
+  // The batch-throughput route for the same trace: track_trace() rebuilds
+  // the image column-parallel (par::ParallelImageBuilder) instead of
+  // sliding sequentially — thread-count-invariant output, ~1e-9 from the
+  // streamed image, so the track picture must agree.
+  core::MotionTracker::Config image_cfg;
+  image_cfg.num_threads = threads;
+  const auto parallel = track::track_trace(h, image_cfg);
+  int parallel_confirmed = 0;
+  for (const auto& tr : parallel.histories)
+    parallel_confirmed += tr.confirmed_ever;
+  std::printf("column-parallel batch (track_trace, threads=%d): "
+              "%d confirmed tracks\n\n", threads, parallel_confirmed);
 
   std::printf("track summary (confirmed tracks only):\n");
   int confirmed = 0;

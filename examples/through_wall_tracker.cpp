@@ -23,9 +23,12 @@ int main(int argc, char** argv) {
       cli.get_string("material", "hollow", "hollow|concrete|wood|glass");
   const std::uint64_t seed = cli.get_seed("seed", 17, "scene seed");
   const double duration = cli.get_double("duration", 10.0, "trace seconds");
+  const int threads =
+      cli.get_int("threads", 0, "image-build workers (0 = all cores, 1 = "
+                                "sequential sliding path)");
   if (!cli.ok()) return 2;
-  if (people < 1 || people > 3) {
-    std::fprintf(stderr, "--people must be 1..3\n");
+  if (people < 1 || people > 3 || threads < 0) {
+    std::fprintf(stderr, "--people must be 1..3 and --threads >= 0\n");
     return 1;
   }
 
@@ -43,6 +46,7 @@ int main(int argc, char** argv) {
   trial.subjects = {0, 3, 6};
   trial.duration_sec = duration;
   trial.seed = seed;
+  trial.image_threads = threads;  // whole-trace build: column-parallel MUSIC
 
   std::printf("Wi-Vi through-wall tracker\n==========================\n");
   std::printf("scene: %d person(s) behind %s\n", people,

@@ -69,8 +69,14 @@ DopplerProcessor::DopplerProcessor(Config cfg)
       scratch_(static_cast<std::size_t>(cfg.fft_size)) {
   WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
   WIVI_REQUIRE(cfg_.sample_rate_hz > 0.0, "sample rate must be positive");
+  // Periodic Hann, not symmetric: with the default hop = fft_size/4 (or
+  // any divisor of fft_size/2) the overlapped windows sum to an exactly
+  // constant level (COLA), so spectrogram energy is hop-position
+  // invariant. The symmetric form repeats its zero endpoint one sample
+  // late and dips at every window seam.
   window_ = dsp::make_window(dsp::WindowType::kHann,
-                             static_cast<std::size_t>(cfg_.fft_size));
+                             static_cast<std::size_t>(cfg_.fft_size),
+                             /*periodic=*/true);
 }
 
 DopplerSpectrogram DopplerProcessor::process(CSpan h, double t0) const {

@@ -51,7 +51,6 @@ void SlidingCorrelation::advance_to(CSpan stream, std::size_t pos) {
   // rebuild costs S of them. Also re-anchor periodically: the subtract/add
   // chain accumulates rounding at ~eps per update, so a cheap occasional
   // rebuild keeps the streaming path within ~1e-12 of the direct one.
-  constexpr long kRebuildEvery = 4096;
   if (2 * delta >= static_cast<std::size_t>(num_subarrays_) ||
       updates_since_rebuild_ + 2 * static_cast<long>(delta) > kRebuildEvery) {
     rebuild(stream, pos);

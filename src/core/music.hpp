@@ -77,6 +77,18 @@ class SlidingCorrelation {
   /// Stream offset of the current window start.
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }
 
+  /// Rank-one updates applied since the last full rebuild: advance_to()
+  /// re-anchors (rebuilds) before this would exceed kRebuildEvery, which
+  /// bounds the rounding drift of the subtract/add chain. Exposed so tests
+  /// can pin behaviour on both sides of the re-anchor boundary.
+  [[nodiscard]] long updates_since_rebuild() const noexcept {
+    return updates_since_rebuild_;
+  }
+
+  /// Re-anchor cadence: the update budget between full rebuilds (each slid
+  /// sample costs 2 updates, so this is ~2048 slid samples).
+  static constexpr long kRebuildEvery = 4096;
+
  private:
   void accumulate_outer(const cdouble* x, double sign);
 

@@ -9,6 +9,7 @@
 #include "src/common/error.hpp"
 #include "src/dsp/peaks.hpp"
 #include "src/dsp/stats.hpp"
+#include "src/par/image_builder.hpp"
 
 namespace wivi::core {
 
@@ -52,6 +53,7 @@ MotionTracker::MotionTracker() : MotionTracker(Config{}) {}
 MotionTracker::MotionTracker(Config cfg) : cfg_(cfg) {
   WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
   WIVI_REQUIRE(cfg_.angle_step_deg > 0.0, "angle step must be positive");
+  WIVI_REQUIRE(cfg_.num_threads >= 0, "num_threads must be >= 0");
 }
 
 double MotionTracker::column_period_sec() const noexcept {
@@ -59,6 +61,15 @@ double MotionTracker::column_period_sec() const noexcept {
 }
 
 AngleTimeImage MotionTracker::process(CSpan h, double t0) const {
+  // Opt-in batch parallelism: anything but the default 1 routes through
+  // the column-sharded builder (whose output is thread-count invariant).
+  // The builder (pool + per-worker workspaces) is constructed per call —
+  // noise next to a whole-trace build, and it keeps const process()
+  // callable concurrently; loops that build many images back to back
+  // should hold a par::ParallelImageBuilder directly.
+  if (cfg_.num_threads != 1)
+    return par::ParallelImageBuilder(cfg_, cfg_.num_threads).build(h, t0);
+
   const auto w = static_cast<std::size_t>(cfg_.music.isar.window);
   const auto hop = static_cast<std::size_t>(cfg_.hop);
   WIVI_REQUIRE(h.size() >= w, "channel stream shorter than one ISAR window");

@@ -62,7 +62,13 @@ void ifft(CVec& x);
 [[nodiscard]] CVec fft_copy(CSpan x);
 [[nodiscard]] CVec ifft_copy(CSpan x);
 
-/// Rotate so the zero-frequency bin sits in the middle (plot ordering).
+/// Rotate so the zero-frequency bin sits in the middle (plot ordering):
+/// x[0] lands at index n/2 (floor), for even and odd n alike.
 [[nodiscard]] CVec fftshift(CSpan x);
+
+/// Exact inverse of fftshift. For even n the two are the same rotation;
+/// for odd n they differ by one sample — using fftshift twice there is an
+/// off-by-one, which is why this exists (parity pinned in test_dsp).
+[[nodiscard]] CVec ifftshift(CSpan x);
 
 }  // namespace wivi::dsp

@@ -7,11 +7,11 @@
 
 namespace wivi::dsp {
 
-RVec make_window(WindowType type, std::size_t n) {
+RVec make_window(WindowType type, std::size_t n, bool periodic) {
   WIVI_REQUIRE(n > 0, "window length must be positive");
   RVec w(n, 1.0);
   if (n == 1) return w;
-  const double denom = static_cast<double>(n - 1);
+  const double denom = static_cast<double>(periodic ? n : n - 1);
   for (std::size_t i = 0; i < n; ++i) {
     const double t = static_cast<double>(i) / denom;  // in [0, 1]
     switch (type) {

@@ -1,0 +1,84 @@
+/// @file
+/// Column-parallel construction of the smoothed-MUSIC angle-time image.
+///
+/// core::MotionTracker::process() walks the image columns sequentially,
+/// streaming the Eq. 5.2 correlation through rank-one updates — optimal
+/// per column, but it leaves every other core idle while the per-column
+/// pseudospectrum (~1 ms, the pipeline's dominant cost) runs. For batch
+/// consumers (whole recorded traces: figure generation, benches,
+/// rt::Engine::run_recorded) the columns can instead be sharded across a
+/// par::ThreadPool: each worker owns a private
+/// SlidingCorrelation/SmoothedMusic workspace set, rebuilds the
+/// correlation at the start of its block and slides within it, and writes
+/// into preassigned column slots.
+///
+/// Determinism: the block partition is a pure function of the column
+/// count (kColumnsPerBlock), every block's math depends only on the input
+/// stream and the block's own start position (workspaces are numerically
+/// history-independent: each call fully overwrites them), and blocks
+/// write disjoint slots — so the output is bit-identical for every thread
+/// count and every dynamic block-to-worker assignment (pinned by
+/// test_par). It is *not* bit-identical to the sequential sliding path,
+/// whose rank-one update chain rounds differently (agreement is at the
+/// 1e-9 parity level, also pinned). DESIGN.md §7 discusses when to prefer
+/// which.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+#include "src/par/thread_pool.hpp"
+
+namespace wivi::par {
+
+/// Builds core::AngleTimeImage by sharding columns over a worker pool.
+/// Reusable across build() calls (workspaces and pool persist); one
+/// build() at a time per instance — for concurrent builds give each
+/// caller its own builder.
+class ParallelImageBuilder {
+ public:
+  /// Columns per work unit: the load-balancing granularity, and the fixed
+  /// partition the determinism argument rests on. Within one block the
+  /// correlation slides (rank-one updates); across block starts it is
+  /// rebuilt from scratch.
+  static constexpr std::size_t kColumnsPerBlock = 16;
+
+  /// Build with an internally owned pool of `num_threads` workers
+  /// (0 = hardware concurrency; 1 = fully sequential, no threads).
+  /// `cfg.num_threads` is ignored here — the explicit argument wins.
+  explicit ParallelImageBuilder(core::MotionTracker::Config cfg,
+                                int num_threads = 0);
+
+  /// The imaging configuration (hop, angle grid, MUSIC parameters).
+  [[nodiscard]] const core::MotionTracker::Config& config() const noexcept {
+    return cfg_;
+  }
+  /// Worker count of the underlying pool.
+  [[nodiscard]] int num_threads() const noexcept {
+    return pool_.num_threads();
+  }
+
+  /// Compute the full angle-time image of a recorded channel-estimate
+  /// stream; identical output for every thread count. `t0` is the
+  /// absolute time of h.front().
+  [[nodiscard]] core::AngleTimeImage build(CSpan h, double t0 = 0.0) const;
+
+ private:
+  /// One worker's private estimator state (core stages are single-threaded
+  /// by design — see DESIGN.md §4 rule 4; parallelism comes from giving
+  /// every worker its own copy).
+  struct Workspace {
+    explicit Workspace(const core::MusicConfig& mc);
+
+    core::SlidingCorrelation sliding;  ///< per-block correlation state
+    core::SmoothedMusic music;         ///< eigen/steering/noise workspaces
+    linalg::CMatrix r;                 ///< normalised correlation scratch
+  };
+
+  core::MotionTracker::Config cfg_;
+  mutable ThreadPool pool_;
+  mutable std::vector<std::unique_ptr<Workspace>> workspaces_;  // per worker
+};
+
+}  // namespace wivi::par

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/par/image_builder.hpp"
+
 namespace wivi::rt {
 
 Engine::Session::Session(SessionId id_, SessionConfig cfg_)
@@ -49,6 +51,41 @@ SessionId Engine::open_session(SessionConfig cfg) {
   sessions_[n] = std::make_unique<Session>(static_cast<SessionId>(n), cfg);
   session_count_.store(n + 1, std::memory_order_release);
   return static_cast<SessionId>(n);
+}
+
+SessionId Engine::run_recorded(SessionConfig cfg, CSpan trace) {
+  const SessionId id = open_session(cfg);
+  Session& s = session(id);
+  // Claim the session for this thread. It is freshly opened with an empty
+  // ring and no close flag, so no worker ever contends for it — the
+  // exchange documents that this thread now plays the worker role.
+  while (s.busy.exchange(true, std::memory_order_acquire))
+    std::this_thread::yield();
+  s.chunks_in.fetch_add(1, std::memory_order_relaxed);
+  s.samples_in.fetch_add(trace.size(), std::memory_order_relaxed);
+  try {
+    const auto w = static_cast<std::size_t>(cfg.tracker.music.isar.window);
+    if (trace.size() >= w) {
+      // A builder per call: par::ThreadPool is one-job-at-a-time, so
+      // concurrent run_recorded callers must not share one pool.
+      par::ParallelImageBuilder builder(cfg.tracker, num_threads_);
+      s.tracker.adopt(trace, builder.build(trace, cfg.t0));
+    } else if (!trace.empty()) {
+      (void)s.tracker.push(trace);  // shorter than one window: no columns
+    }
+    s.columns_out.store(s.tracker.num_columns(), std::memory_order_relaxed);
+    emit_new_columns(s, 0);
+    s.closed.store(true, std::memory_order_release);
+    finalize(s);
+  } catch (const std::exception& e) {
+    s.closed.store(true, std::memory_order_release);
+    fail_session(s, e.what());
+  } catch (...) {
+    s.closed.store(true, std::memory_order_release);
+    fail_session(s, "unknown exception");
+  }
+  s.busy.store(false, std::memory_order_release);
+  return id;
 }
 
 bool Engine::offer(SessionId id, CVec chunk) {
@@ -194,6 +231,17 @@ bool Engine::try_process(Session& s) {
   if (s.ring.empty() && !s.closed.load(std::memory_order_acquire))
     return false;
   if (s.busy.exchange(true, std::memory_order_acquire)) return false;
+  // Re-check under the claim: the pre-claim read can go stale if another
+  // worker fails or finalises the session between the two lines, and a
+  // dead session must never be processed again — popping its ring or
+  // delivering further events (a second kError, say) for an id the
+  // consumer already saw die would corrupt the per-session event
+  // contract. All finished-transitions happen under the claim flag, so
+  // this second read is authoritative.
+  if (s.finished.load(std::memory_order_acquire)) {
+    s.busy.store(false, std::memory_order_release);
+    return false;
+  }
 
   // An exception from a stage (WIVI_REQUIRE on pathological input) or
   // from a throwing user callback must not escape the worker thread —
@@ -230,13 +278,22 @@ bool Engine::try_process(Session& s) {
 void Engine::process_chunk(Session& s, CVec chunk) {
   const std::size_t before = s.tracker.num_columns();
   s.tracker.push(chunk);
-  const core::AngleTimeImage& img = s.tracker.image();
-  const std::size_t after = img.num_times();
+  const std::size_t after = s.tracker.num_columns();
   if (after == before) return;
   s.columns_out.fetch_add(after - before, std::memory_order_relaxed);
+  emit_new_columns(s, before);
+}
+
+/// Deliver the per-column events for columns [from, end) plus one update
+/// round of each attached stage — the shared tail of both the per-chunk
+/// streaming path and the whole-trace run_recorded() path.
+void Engine::emit_new_columns(Session& s, std::size_t from) {
+  const core::AngleTimeImage& img = s.tracker.image();
+  const std::size_t after = img.num_times();
+  if (after == from) return;
 
   if (s.cfg.emit_columns) {
-    for (std::size_t c = before; c < after; ++c) {
+    for (std::size_t c = from; c < after; ++c) {
       Event e;
       e.session = s.id;
       e.type = Event::Type::kColumn;
@@ -280,6 +337,11 @@ void Engine::process_chunk(Session& s, CVec chunk) {
 }
 
 void Engine::fail_session(Session& s, const char* what) noexcept {
+  // Lifecycle guard (belt to try_process's braces): a session that is
+  // already dead — it failed or finalised earlier — must not emit another
+  // kError. Callers hold the claim flag, so this read cannot race a
+  // concurrent transition.
+  if (s.finished.load(std::memory_order_acquire)) return;
   try {
     Event e;
     e.session = s.id;

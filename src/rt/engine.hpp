@@ -166,6 +166,20 @@ class Engine {
   /// Register a new session. Thread-safe.
   SessionId open_session(SessionConfig cfg);
 
+  /// Offline fast path for a fully recorded trace: open a session, build
+  /// its whole angle-time image with the column-parallel builder
+  /// (par::ParallelImageBuilder, sized to this engine's thread count) and
+  /// run the configured downstream stages over it, delivering the same
+  /// per-session event sequence a kBlock replay would — except that
+  /// kCount/kTracks/kBits land once (after all columns) instead of once
+  /// per chunk, and the column values come from the builder's
+  /// thread-count-invariant rebuild path rather than the bit-exact
+  /// streaming slide (~1e-9 apart; see DESIGN.md §7). Blocks the calling
+  /// thread for the whole computation (events are delivered from it) and
+  /// returns the finished session's id; offer() on it is an error.
+  /// Thread-safe, and concurrent callers parallelise independently.
+  SessionId run_recorded(SessionConfig cfg, CSpan trace);
+
   /// Ingest one chunk (one producer thread per session at a time). Returns
   /// false iff the chunk was dropped: kDropNewest with a full ring, or —
   /// under either policy — the engine being stopped. kBlock otherwise
@@ -239,6 +253,7 @@ class Engine {
   void worker_loop(int wid);
   bool try_process(Session& s);
   void process_chunk(Session& s, CVec chunk);
+  void emit_new_columns(Session& s, std::size_t from);
   void finalize(Session& s);
   void fail_session(Session& s, const char* what) noexcept;
   void deliver(Event&& e);

@@ -68,10 +68,18 @@ class SpscRing {
     return true;
   }
 
-  /// Racy but monotone-safe estimate: exact when the other side is quiet.
+  /// Racy estimate, callable from any thread (the engine's pre-claim check
+  /// reads rings it does not own): exact when both sides are quiet, and
+  /// always in [0, capacity()]. Tail is loaded first: a pop landing
+  /// between the two loads can then only push `head` past the sampled
+  /// tail, which the wrap check below clamps to 0 — sampling the other
+  /// order could pair a stale head with a fresh tail and report a huge
+  /// wrapped value.
   [[nodiscard]] std::size_t size() const noexcept {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t n = t - h;
+    return n <= capacity() ? n : 0;
   }
   /// True when size() == 0 (same caveat as size()).
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }

@@ -55,6 +55,30 @@ std::size_t StreamingTracker::push(CSpan chunk) {
   return emitted;
 }
 
+void StreamingTracker::adopt(CSpan stream, core::AngleTimeImage&& img) {
+  WIVI_REQUIRE(base_ == 0 && buf_.empty() && next_col_ == 0,
+               "adopt() requires a fresh tracker");
+  const auto w = static_cast<std::size_t>(cfg_.music.isar.window);
+  const auto hop = static_cast<std::size_t>(cfg_.hop);
+  const std::size_t expect_cols =
+      stream.size() >= w ? (stream.size() - w) / hop + 1 : 0;
+  WIVI_REQUIRE(img.num_times() == expect_cols,
+               "adopted image does not match the stream length");
+  WIVI_REQUIRE(img.angles_deg.size() == img_.angles_deg.size(),
+               "adopted image is on a different angle grid");
+
+  img_ = std::move(img);
+  next_col_ = expect_cols;
+  // Keep exactly the tail a future column could still need (everything
+  // from the next window start on); sliding state starts fresh, so the
+  // next advance rebuilds — the same numerics as any re-anchor.
+  base_ = std::min(next_col_ * hop, stream.size());
+  buf_.assign(stream.begin() + static_cast<std::ptrdiff_t>(base_),
+              stream.end());
+  sliding_ = core::SlidingCorrelation(cfg_.music.subarray,
+                                      cfg_.music.isar.window);
+}
+
 void StreamingTracker::compact() {
   // The incremental advance still reads from the *previous* window start
   // (= sliding_.position()), so that is the earliest sample we must keep.

@@ -42,6 +42,17 @@ class StreamingTracker {
   /// Ingest one chunk; returns the number of columns it completed.
   std::size_t push(CSpan chunk);
 
+  /// Adopt the image of a fully recorded stream that was built externally
+  /// (par::ParallelImageBuilder — the Engine::run_recorded offline fast
+  /// path). Requires a fresh tracker (nothing pushed yet) and an image
+  /// whose shape matches what push(stream) would have produced for this
+  /// configuration. Afterwards the tracker reads as if `stream` had been
+  /// pushed: samples_seen(), num_columns() and image() all line up, and
+  /// further push() calls continue the stream (the window tail is
+  /// retained) — though columns appended later come from a fresh
+  /// correlation rebuild, like any post-compaction column.
+  void adopt(CSpan stream, core::AngleTimeImage&& img);
+
   /// Columns produced so far; grows by push(). Identical to
   /// core::MotionTracker(cfg).process(all samples so far, t0) whenever at
   /// least one window has completed.

@@ -33,7 +33,9 @@ CountingResult run_counting_trial(const CountingTrial& trial) {
   result.trace = runner.run();
   result.effective_nulling_db = result.trace.effective_nulling_db;
 
-  const core::MotionTracker tracker;
+  core::MotionTracker::Config tracker_cfg;
+  tracker_cfg.num_threads = trial.image_threads;
+  const core::MotionTracker tracker(tracker_cfg);
   result.image = tracker.process(result.trace.h, result.trace.t0);
   result.spatial_variance = core::spatial_variance(result.image);
   return result;

@@ -26,6 +26,11 @@ struct CountingTrial {
   std::vector<int> subjects;
   double duration_sec = 25.0;
   std::uint64_t seed = 1;
+  /// Threads for the smoothed-MUSIC image build
+  /// (core::MotionTracker::Config::num_threads semantics: 1 = sequential
+  /// sliding default; 0 / >1 = par::ParallelImageBuilder). Figure benches
+  /// opt in; tests keep the bit-stable sequential default.
+  int image_threads = 1;
 };
 
 struct CountingResult {

@@ -187,4 +187,14 @@ std::vector<TrackHistory> track_image(const core::AngleTimeImage& img,
   return tracker.histories();
 }
 
+TraceTrackResult track_trace(CSpan h,
+                             const core::MotionTracker::Config& image_cfg,
+                             const MultiTargetTracker::Config& cfg,
+                             double t0) {
+  TraceTrackResult out;
+  out.image = core::MotionTracker(image_cfg).process(h, t0);
+  out.histories = track_image(out.image, cfg);
+  return out;
+}
+
 }  // namespace wivi::track

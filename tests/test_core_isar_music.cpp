@@ -276,5 +276,46 @@ TEST(Tracker, RejectsTooShortStream) {
   EXPECT_THROW((void)tracker.process(CVec(50)), InvalidArgument);
 }
 
+TEST(SlidingCorrelation, StaysDirectAccurateAcrossReanchorBoundary) {
+  // The rank-one subtract/add chain re-anchors (full rebuild) once
+  // kRebuildEvery updates accumulate; the streaming result must stay
+  // within 1e-12 of the direct per-window computation on both sides of
+  // that boundary, and the update counter must actually reset there.
+  constexpr int kSubarray = 8;
+  constexpr int kWindow = 24;
+  constexpr std::size_t kHop = 3;  // 6 updates/step: incremental (S = 17)
+  Rng rng(77);
+  CVec h(static_cast<std::size_t>(kWindow) + kHop * 800);
+  for (auto& v : h) v = rng.complex_gaussian();
+
+  MusicConfig mc;
+  mc.subarray = kSubarray;
+  mc.max_sources = 4;  // validation: must leave noise eigenvectors at w'=8
+  const SmoothedMusic music(mc);
+  SlidingCorrelation sliding(kSubarray, kWindow);
+  linalg::CMatrix r;
+  linalg::CMatrix ref;
+
+  bool saw_reanchor = false;
+  long prev_updates = 0;
+  for (std::size_t pos = 0;
+       pos + static_cast<std::size_t>(kWindow) <= h.size(); pos += kHop) {
+    sliding.advance_to(h, pos);
+    if (sliding.updates_since_rebuild() < prev_updates) saw_reanchor = true;
+    prev_updates = sliding.updates_since_rebuild();
+    ASSERT_LE(prev_updates, SlidingCorrelation::kRebuildEvery);
+
+    sliding.correlation_into(r);
+    music.smoothed_correlation_into(
+        CSpan(h).subspan(pos, static_cast<std::size_t>(kWindow)), ref);
+    for (std::size_t i = 0; i < ref.rows(); ++i)
+      for (std::size_t j = 0; j < ref.cols(); ++j)
+        ASSERT_NEAR(std::abs(r(i, j) - ref(i, j)), 0.0, 1e-12)
+            << "pos=" << pos << " (" << i << "," << j << ")";
+  }
+  // 800 steps x 6 updates = 4800 > kRebuildEvery: the boundary was crossed.
+  EXPECT_TRUE(saw_reanchor);
+}
+
 }  // namespace
 }  // namespace wivi::core

@@ -75,6 +75,38 @@ TEST(Fft, FftShiftCentersDc) {
   EXPECT_DOUBLE_EQ(s[0].real(), 4.0);
 }
 
+TEST(Fft, FftShiftCentersDcForOddLength) {
+  CVec x = {0, 1, 2, 3, 4};
+  const CVec s = fftshift(x);
+  // DC lands at floor(n/2) = 2: [3, 4, 0, 1, 2] (the MATLAB convention).
+  EXPECT_DOUBLE_EQ(s[2].real(), 0.0);
+  EXPECT_DOUBLE_EQ(s[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(s[4].real(), 2.0);
+}
+
+TEST(Fft, IfftShiftInvertsFftShiftBothParities) {
+  Rng rng(21);
+  for (const std::size_t n : {1ul, 2ul, 5ul, 8ul, 9ul, 64ul, 101ul}) {
+    CVec x(n);
+    for (auto& v : x) v = rng.complex_gaussian();
+    const CVec round1 = ifftshift(fftshift(x));
+    const CVec round2 = fftshift(ifftshift(x));
+    ASSERT_EQ(round1.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(round1[i], x[i]) << "n=" << n << " i=" << i;
+      EXPECT_EQ(round2[i], x[i]) << "n=" << n << " i=" << i;
+    }
+    if (n % 2 == 1 && n > 1) {
+      // Odd lengths are why ifftshift exists: fftshift is NOT its own
+      // inverse there (applying it twice is off by one sample).
+      const CVec twice = fftshift(fftshift(x));
+      bool identical = true;
+      for (std::size_t i = 0; i < n; ++i) identical &= (twice[i] == x[i]);
+      EXPECT_FALSE(identical) << "n=" << n;
+    }
+  }
+}
+
 // ------------------------------------------------------------- Window ---
 
 TEST(Window, HannEndsAtZeroAndPeaksAtCenter) {
@@ -95,6 +127,73 @@ TEST(Window, AllTypesAreSymmetric) {
     const RVec w = make_window(type, 33);
     for (std::size_t i = 0; i < w.size(); ++i)
       EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Window, PeriodicEqualsSymmetricOfOneMorePoint) {
+  // The defining relation between the two conventions: the periodic
+  // n-window is the first n points of the symmetric (n+1)-window.
+  for (auto type : {WindowType::kHann, WindowType::kHamming,
+                    WindowType::kBlackman, WindowType::kTriangular}) {
+    for (const std::size_t n : {16ul, 33ul, 64ul}) {
+      const RVec p = make_window(type, n, /*periodic=*/true);
+      const RVec s = make_window(type, n + 1);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(p[i], s[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Window, PeriodicHannIsColaAtStftHops) {
+  // The DopplerProcessor STFT contract: periodic-Hann windows overlapped
+  // at hop = n/4 (the default 64/16 shape) or n/2 sum to an exactly
+  // constant level, so spectrogram energy cannot depend on where a window
+  // seam falls. The symmetric form fails this — its endpoint seam
+  // double-counts — which is exactly why the STFT must not use it.
+  const std::size_t n = 64;
+  for (const std::size_t hop : {n / 4, n / 2}) {
+    const RVec w = make_window(WindowType::kHann, n, /*periodic=*/true);
+    // Sum shifted copies over one hop-period of the steady-state overlap.
+    for (std::size_t offset = 0; offset < hop; ++offset) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k * hop + offset < n; ++k)
+        acc += w[k * hop + offset];
+      const double expected = 0.5 * static_cast<double>(n) /
+                              static_cast<double>(hop);  // mean * n/hop
+      EXPECT_NEAR(acc, expected, 1e-12) << "hop=" << hop << " off=" << offset;
+    }
+  }
+  // Symmetric Hann violates COLA at the same hop: the overlap sum is not
+  // flat (don't pin the exact dip, just that it moves).
+  const RVec sym = make_window(WindowType::kHann, n);
+  double first = 0.0;
+  double worst_dev = 0.0;
+  for (std::size_t offset = 0; offset < n / 4; ++offset) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k * (n / 4) + offset < n; ++k)
+      acc += sym[k * (n / 4) + offset];
+    if (offset == 0) first = acc;
+    worst_dev = std::max(worst_dev, std::abs(acc - first));
+  }
+  EXPECT_GT(worst_dev, 1e-3);
+}
+
+TEST(Window, GainPinnedForOddLengths) {
+  // Closed forms for the coefficient sums (the amplitude-normalisation
+  // denominator), pinned especially at odd lengths where the symmetric
+  // cosine sum leaves the extra endpoint term:
+  //   symmetric Hann(n):    (n-1)/2        periodic Hann(n):    n/2
+  //   symmetric Hamming(n): 0.54n - 0.46   periodic Hamming(n): 0.54n
+  for (const std::size_t n : {33ul, 65ul, 101ul}) {
+    const double nd = static_cast<double>(n);
+    EXPECT_NEAR(window_gain(make_window(WindowType::kHann, n)),
+                (nd - 1.0) / 2.0, 1e-9) << "n=" << n;
+    EXPECT_NEAR(window_gain(make_window(WindowType::kHann, n, true)),
+                nd / 2.0, 1e-9) << "n=" << n;
+    EXPECT_NEAR(window_gain(make_window(WindowType::kHamming, n)),
+                0.54 * nd - 0.46, 1e-9) << "n=" << n;
+    EXPECT_NEAR(window_gain(make_window(WindowType::kHamming, n, true)),
+                0.54 * nd, 1e-9) << "n=" << n;
   }
 }
 

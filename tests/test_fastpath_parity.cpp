@@ -42,7 +42,11 @@ core::DopplerSpectrogram legacy_stft(CSpan h,
                                      const core::DopplerProcessor::Config& cfg,
                                      double t0 = 0.0) {
   const auto nfft = static_cast<std::size_t>(cfg.fft_size);
-  const RVec window = dsp::make_window(dsp::WindowType::kHann, nfft);
+  // Periodic to match the production STFT's COLA-correct window choice;
+  // this parity suite pins the buffer-reuse refactor, not the window
+  // convention (which test_dsp pins separately).
+  const RVec window =
+      dsp::make_window(dsp::WindowType::kHann, nfft, /*periodic=*/true);
   core::DopplerSpectrogram out;
   out.freqs_hz.resize(nfft);
   for (std::size_t f = 0; f < nfft; ++f) {

@@ -1,0 +1,301 @@
+// wivi::par — the thread pool and the column-parallel image builder.
+//
+// The load-bearing property is determinism: ParallelImageBuilder output
+// must be bit-identical (same doubles, same model orders) for every
+// thread count 1..8 and for repeated builds on one instance, because the
+// block partition is fixed and every workspace is numerically
+// history-independent. The sliding sequential path is a *different*
+// rounding chain, so against it we only assert the 1e-9 parity bound (on
+// the noise projection 1/A', same convention as test_fastpath_parity).
+// The pool stress tests here also run under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/tracker.hpp"
+#include "src/par/image_builder.hpp"
+#include "src/par/thread_pool.hpp"
+#include "src/rt/engine.hpp"
+#include "src/sim/synthetic.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi {
+namespace {
+
+constexpr double kParityTol = 1e-9;
+
+CVec make_trace(std::size_t n) {
+  return sim::synthetic_mover_trace(n, 404, 0.6);
+}
+
+void expect_images_bit_identical(const core::AngleTimeImage& a,
+                                 const core::AngleTimeImage& b) {
+  ASSERT_EQ(a.num_times(), b.num_times());
+  ASSERT_EQ(a.num_angles(), b.num_angles());
+  for (std::size_t t = 0; t < a.num_times(); ++t) {
+    ASSERT_EQ(a.times_sec[t], b.times_sec[t]) << "column " << t;
+    ASSERT_EQ(a.model_orders[t], b.model_orders[t]) << "column " << t;
+    for (std::size_t x = 0; x < a.num_angles(); ++x)
+      ASSERT_EQ(a.columns[t][x], b.columns[t][x])
+          << "column " << t << " angle " << x;
+  }
+}
+
+// ---------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  par::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, pool.num_threads());
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  par::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(16, [&](std::size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(i);  // no synchronisation needed: inline execution
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ZeroCountIsANoop) {
+  par::ThreadPool pool(3);
+  pool.parallel_for(0, [&](std::size_t, int) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  // TSan target: the publish/claim/retire cycle repeated back to back,
+  // with job sizes straddling the worker count.
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    const auto count = static_cast<std::size_t>(1 + round % 9);
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(count, [&](std::size_t i, int) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), count * (count + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, FirstExceptionIsRethrownAndEveryTaskStillRuns) {
+  // The contract is pool-size independent: the inline (size 1) path must
+  // drain the range and rethrow exactly like the threaded path.
+  for (const int size : {1, 4}) {
+    par::ThreadPool pool(size);
+    std::vector<std::atomic<int>> hits(64);
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t i, int) {
+                            hits[i].fetch_add(1, std::memory_order_relaxed);
+                            if (i % 7 == 3)
+                              throw std::runtime_error("task boom");
+                          }),
+        std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      EXPECT_EQ(hits[i].load(), 1) << "pool=" << size << " index " << i;
+    // The pool survives a throwing job.
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&](std::size_t, int) { ++ran; });
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+TEST(ThreadPool, RejectsNestedParallelFor) {
+  par::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4,
+                   [&](std::size_t, int) {
+                     pool.parallel_for(2, [](std::size_t, int) {});
+                   }),
+               std::exception);
+}
+
+// ------------------------------------------------ ParallelImageBuilder ---
+
+TEST(ParallelImageBuilder, BitIdenticalAcrossThreadCounts1To8) {
+  // The acceptance-criterion sweep: one trace, eight thread counts, all
+  // images equal double for double. Long enough for several blocks so the
+  // partition actually fans out.
+  const CVec h = make_trace(2000);
+  const core::MotionTracker::Config cfg;
+  const par::ParallelImageBuilder reference(cfg, 1);
+  const core::AngleTimeImage ref = reference.build(h, 0.25);
+  EXPECT_GT(ref.num_times(),
+            par::ParallelImageBuilder::kColumnsPerBlock * 3);
+  for (int threads = 2; threads <= 8; ++threads) {
+    const par::ParallelImageBuilder builder(cfg, threads);
+    expect_images_bit_identical(ref, builder.build(h, 0.25));
+  }
+}
+
+TEST(ParallelImageBuilder, RepeatedBuildsOnOneInstanceAreIdentical) {
+  // Workspace reuse must be numerically invisible: warm workspaces from a
+  // previous build (even of a different trace) change nothing.
+  const CVec h = make_trace(1200);
+  const par::ParallelImageBuilder builder(core::MotionTracker::Config{}, 4);
+  const core::AngleTimeImage first = builder.build(h);
+  (void)builder.build(make_trace(700));  // dirty the workspaces
+  expect_images_bit_identical(first, builder.build(h));
+}
+
+TEST(ParallelImageBuilder, MatchesSequentialSlidingPathAtParityTolerance) {
+  // Rebuild-per-block vs rank-one-slide are different rounding chains; the
+  // agreement contract is 1e-9 on the bounded noise projection 1/A'
+  // (the test_fastpath_parity convention), with identical model orders
+  // and identical (exactly computed) time stamps.
+  const CVec h = make_trace(1500);
+  const core::MotionTracker tracker;  // num_threads = 1: sliding path
+  const core::AngleTimeImage seq = tracker.process(h, 0.0);
+  const core::AngleTimeImage p =
+      par::ParallelImageBuilder(tracker.config(), 4).build(h, 0.0);
+  ASSERT_EQ(seq.num_times(), p.num_times());
+  ASSERT_EQ(seq.num_angles(), p.num_angles());
+  for (std::size_t t = 0; t < seq.num_times(); ++t) {
+    EXPECT_EQ(seq.times_sec[t], p.times_sec[t]);
+    EXPECT_EQ(seq.model_orders[t], p.model_orders[t]) << "column " << t;
+    for (std::size_t a = 0; a < seq.num_angles(); ++a)
+      ASSERT_NEAR(1.0 / seq.columns[t][a], 1.0 / p.columns[t][a], kParityTol)
+          << "column " << t << " angle " << a;
+  }
+}
+
+TEST(ParallelImageBuilder, MotionTrackerNumThreadsRoutesToBuilder) {
+  const CVec h = make_trace(900);
+  core::MotionTracker::Config cfg;
+  cfg.num_threads = 3;
+  const core::AngleTimeImage via_tracker = core::MotionTracker(cfg).process(h);
+  expect_images_bit_identical(
+      via_tracker, par::ParallelImageBuilder(cfg, 3).build(h));
+  // And thread-count invariance holds through the tracker API too.
+  cfg.num_threads = 5;
+  expect_images_bit_identical(via_tracker,
+                              core::MotionTracker(cfg).process(h));
+}
+
+TEST(ParallelImageBuilder, ShortTraceSingleBlockStillWorks) {
+  const core::MotionTracker::Config cfg;
+  const auto w = static_cast<std::size_t>(cfg.music.isar.window);
+  const CVec h = make_trace(w + 3 * static_cast<std::size_t>(cfg.hop));
+  const core::AngleTimeImage img =
+      par::ParallelImageBuilder(cfg, 8).build(h);  // workers >> blocks
+  EXPECT_EQ(img.num_times(), 4u);
+  expect_images_bit_identical(img,
+                              par::ParallelImageBuilder(cfg, 1).build(h));
+}
+
+TEST(ParallelImageBuilder, RejectsTooShortStream) {
+  const core::MotionTracker::Config cfg;
+  const CVec h = make_trace(static_cast<std::size_t>(cfg.music.isar.window) - 1);
+  EXPECT_THROW((void)par::ParallelImageBuilder(cfg, 2).build(h),
+               std::exception);
+}
+
+// ------------------------------------------------- batch entry wiring ---
+
+TEST(TrackTrace, MatchesManualImageThenTrack) {
+  const CVec h = sim::synthetic_crossing_trace(6.0, 17);
+  core::MotionTracker::Config icfg;
+  icfg.num_threads = 4;
+  const track::TraceTrackResult got = track::track_trace(h, icfg);
+  const core::AngleTimeImage img = core::MotionTracker(icfg).process(h);
+  expect_images_bit_identical(img, got.image);
+  const auto want = track::track_image(img);
+  ASSERT_EQ(want.size(), got.histories.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got.histories[i].id);
+    EXPECT_EQ(want[i].state, got.histories[i].state);
+    ASSERT_EQ(want[i].angles_deg.size(), got.histories[i].angles_deg.size());
+    for (std::size_t t = 0; t < want[i].angles_deg.size(); ++t)
+      EXPECT_EQ(want[i].angles_deg[t], got.histories[i].angles_deg[t]);
+  }
+}
+
+TEST(RunRecorded, MatchesBuilderOutputAndDeliversFullEventStream) {
+  const CVec h = make_trace(1100);
+  rt::Engine::Config ec;
+  ec.num_threads = 3;
+  rt::Engine engine(ec);
+
+  rt::SessionConfig sc;
+  sc.count_movers = true;
+  sc.t0 = 1.5;
+  const rt::SessionId id = engine.run_recorded(sc, h);
+
+  // The session is finished on return and the image is the builder's.
+  EXPECT_TRUE(engine.stats(id).finished);
+  const core::AngleTimeImage want =
+      par::ParallelImageBuilder(sc.tracker, ec.num_threads).build(h, sc.t0);
+  expect_images_bit_identical(want, engine.tracker(id).image());
+  EXPECT_EQ(engine.tracker(id).samples_seen(), h.size());
+  EXPECT_EQ(engine.stats(id).columns_out, want.num_times());
+
+  // Events: every column once in order, one kCount, then kFinished with
+  // the batch spatial variance of the (parallel) image.
+  std::vector<rt::Event> events;
+  engine.poll(events);
+  std::size_t next_col = 0;
+  std::size_t counts = 0;
+  bool finished = false;
+  for (const rt::Event& e : events) {
+    ASSERT_EQ(e.session, id);
+    if (e.type == rt::Event::Type::kColumn) {
+      EXPECT_FALSE(finished);
+      EXPECT_EQ(e.column_index, next_col);
+      ASSERT_EQ(e.column.size(), want.num_angles());
+      for (std::size_t a = 0; a < e.column.size(); ++a)
+        EXPECT_EQ(e.column[a], want.columns[next_col][a]);
+      ++next_col;
+    } else if (e.type == rt::Event::Type::kCount) {
+      ++counts;
+    } else if (e.type == rt::Event::Type::kFinished) {
+      finished = true;
+      EXPECT_EQ(e.spatial_variance, core::spatial_variance(want));
+      EXPECT_EQ(e.columns_seen, want.num_times());
+    }
+  }
+  EXPECT_EQ(next_col, want.num_times());
+  EXPECT_EQ(counts, 1u);
+  EXPECT_TRUE(finished);
+
+  // A recorded session is closed: offering afterwards is an error.
+  EXPECT_THROW((void)engine.offer(id, CVec(10)), std::exception);
+}
+
+TEST(RunRecorded, TrackTargetsSessionMatchesBatchTrackImage) {
+  const CVec h = sim::synthetic_crossing_trace(5.0, 22);
+  rt::Engine::Config ec;
+  ec.num_threads = 2;
+  rt::Engine engine(ec);
+  rt::SessionConfig sc;
+  sc.emit_columns = false;
+  sc.track_targets = true;
+  const rt::SessionId id = engine.run_recorded(sc, h);
+  EXPECT_TRUE(engine.stats(id).finished);
+
+  const core::AngleTimeImage img =
+      par::ParallelImageBuilder(sc.tracker, ec.num_threads).build(h);
+  const auto want = track::track_image(img, sc.multi_track);
+  const auto got = engine.multi_tracker(id).histories();
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].id, got[i].id);
+    EXPECT_EQ(want[i].confirmed_ever, got[i].confirmed_ever);
+  }
+}
+
+}  // namespace
+}  // namespace wivi

@@ -319,6 +319,74 @@ TEST(Engine, ThrowingCallbackFailsOnlyItsSession) {
   EXPECT_EQ(good_events.back().type, rt::Event::Type::kFinished);
 }
 
+TEST(Engine, DeadSessionNeverEmitsASecondErrorOrAnyLaterEvent) {
+  // Error-path lifecycle: once a session has died (kError delivered), no
+  // worker may touch it again — in particular a stale pre-claim check must
+  // not let a second worker process its still-filling ring and deliver
+  // another kError (or any event) for the already-dead id. Poisoned
+  // callbacks + concurrent producers + small rings widen the race window;
+  // repeated engine lifetimes cover the construction/teardown edges too.
+  constexpr std::size_t kSessions = 4;
+  constexpr int kRounds = 15;
+  const auto traces = make_session_traces(kSessions, 500);
+
+  for (int round = 0; round < kRounds; ++round) {
+    rt::Engine::Config ec;
+    ec.num_threads = 3;
+    ec.chunks_per_claim = 1;  // maximise claim churn
+    rt::Engine engine(ec);
+
+    std::mutex mu;
+    std::map<rt::SessionId, std::vector<rt::Event::Type>> seen;
+    engine.set_callback([&](rt::Event&& e) {
+      {
+        std::lock_guard lk(mu);
+        seen[e.session].push_back(e.type);
+      }
+      // Every session's first kColumn poisons it.
+      if (e.type == rt::Event::Type::kColumn)
+        throw std::runtime_error("poisoned consumer");
+    });
+
+    std::vector<rt::SessionId> ids;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      rt::SessionConfig sc;
+      sc.count_movers = true;
+      sc.ring_capacity = 2;
+      sc.backpressure = rt::Backpressure::kBlock;
+      ids.push_back(engine.open_session(sc));
+    }
+    std::vector<std::thread> producers;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      producers.emplace_back([&, s] {
+        for (std::size_t pos = 0; pos < traces[s].size(); pos += 40) {
+          CVec c(traces[s].begin() + static_cast<std::ptrdiff_t>(pos),
+                 traces[s].begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(pos + 40, traces[s].size())));
+          engine.offer(ids[s], std::move(c));
+        }
+        engine.close_session(ids[s]);
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    engine.drain();
+
+    std::lock_guard lk(mu);
+    for (rt::SessionId id : ids) {
+      EXPECT_TRUE(engine.stats(id).finished);
+      const auto& events = seen[id];
+      const std::size_t errors = static_cast<std::size_t>(
+          std::count(events.begin(), events.end(), rt::Event::Type::kError));
+      ASSERT_EQ(errors, 1u) << "session " << id << " round " << round;
+      // kError is terminal: nothing may follow it.
+      const auto first_err =
+          std::find(events.begin(), events.end(), rt::Event::Type::kError);
+      EXPECT_EQ(first_err + 1, events.end())
+          << "session " << id << " got events after kError";
+    }
+  }
+}
+
 TEST(Engine, RejectsMisuse) {
   rt::Engine engine;  // default config
   EXPECT_THROW((void)engine.stats(0), std::exception);

@@ -3,9 +3,11 @@
 // checks; test_rt_engine stresses the full engine).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <numeric>
 #include <thread>
+#include <vector>
 
 #include "src/rt/spsc_ring.hpp"
 
@@ -60,6 +62,50 @@ TEST(SpscRing, MoveOnlyPayload) {
   ASSERT_TRUE(ring.try_pop(out));
   ASSERT_NE(out, nullptr);
   EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRing, SizeIsBoundedUnderConcurrentPushPop) {
+  // size() is an estimate readable from *any* thread (the engine's
+  // pre-claim check reads rings it does not own). The old implementation
+  // could pair a fresh tail with a stale head mid-pop and wrap to a huge
+  // value; this stress pins the contract size() <= capacity() under
+  // concurrent push/pop with racing observers (a TSan target in CI).
+  constexpr std::size_t kCount = 100000;
+  SpscRing<std::size_t> ring(8);
+  std::atomic<bool> done{false};
+  std::atomic<bool> violated{false};
+
+  std::vector<std::thread> observers;
+  for (int o = 0; o < 2; ++o) {
+    observers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t n = ring.size();
+        if (n > ring.capacity()) violated.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(std::size_t{i})) std::this_thread::yield();
+      // The producer may read size() too (its side of the contract).
+      if (ring.size() > ring.capacity()) violated.store(true);
+    }
+  });
+  std::size_t popped = 0;
+  std::size_t v = 0;
+  while (popped < kCount) {
+    if (ring.try_pop(v)) {
+      ++popped;
+      if (ring.size() > ring.capacity()) violated.store(true);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : observers) t.join();
+  EXPECT_FALSE(violated.load()) << "size() exceeded capacity";
+  EXPECT_TRUE(ring.empty());
 }
 
 TEST(SpscRing, TwoThreadStressPreservesSequence) {
