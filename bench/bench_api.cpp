@@ -1,0 +1,82 @@
+// Facade-overhead microbenchmarks: wivi::Session is a thin compilation of
+// the rt streaming stages, and its per-chunk cost must stay within 1% of
+// driving rt::StreamingTracker directly (the pin the DESIGN.md §8
+// deprecation story rests on — downstream code loses nothing by moving to
+// the facade).
+//
+// BM_DirectStreamingPush and BM_SessionPush run the identical workload —
+// the same synthetic trace, the same chunking, a fresh stage per
+// iteration — so their ratio is the facade overhead. The event machinery
+// is also measured separately (BM_SessionPushColumns/BM_SessionPushPoll)
+// because emitting ColumnEvents pays for one column copy by design.
+#include <benchmark/benchmark.h>
+
+#include "src/api/session.hpp"
+#include "src/rt/streaming.hpp"
+#include "src/sim/synthetic.hpp"
+
+namespace wivi {
+namespace {
+
+constexpr std::size_t kTraceLen = 2000;  // ~77 columns at hop 25
+constexpr std::size_t kChunk = 100;      // 4 columns per chunk
+
+const CVec& trace() {
+  static const CVec h = sim::synthetic_mover_trace(kTraceLen);
+  return h;
+}
+
+template <typename PushFn>
+void push_chunked(PushFn&& push) {
+  const CVec& h = trace();
+  for (std::size_t pos = 0; pos < h.size(); pos += kChunk)
+    push(CSpan(h).subspan(pos, std::min(kChunk, h.size() - pos)));
+}
+
+/// Baseline: the raw streaming image stage, no facade.
+void BM_DirectStreamingPush(benchmark::State& state) {
+  for (auto _ : state) {
+    rt::StreamingTracker tracker;
+    push_chunked([&](CSpan c) { benchmark::DoNotOptimize(tracker.push(c)); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTraceLen / kChunk));
+}
+BENCHMARK(BM_DirectStreamingPush)->Unit(benchmark::kMillisecond);
+
+/// The facade running the identical workload: image stage only, column
+/// events off — the apples-to-apples overhead number (pinned <= 1%).
+void BM_SessionPush(benchmark::State& state) {
+  for (auto _ : state) {
+    api::PipelineSpec spec;
+    spec.image.emit_columns = false;
+    api::Session session(std::move(spec));
+    push_chunked([&](CSpan c) { benchmark::DoNotOptimize(session.push(c)); });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTraceLen / kChunk));
+}
+BENCHMARK(BM_SessionPush)->Unit(benchmark::kMillisecond);
+
+/// The facade with ColumnEvents on and polled — adds one column copy per
+/// column plus the queue traffic (the price of consuming typed events).
+void BM_SessionPushPoll(benchmark::State& state) {
+  std::vector<api::Event> events;
+  for (auto _ : state) {
+    api::PipelineSpec spec;  // emit_columns defaults on
+    api::Session session(std::move(spec));
+    push_chunked([&](CSpan c) {
+      session.push(c);
+      events.clear();
+      benchmark::DoNotOptimize(session.poll(events));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kTraceLen / kChunk));
+}
+BENCHMARK(BM_SessionPushPoll)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wivi
+
+BENCHMARK_MAIN();

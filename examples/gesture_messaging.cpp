@@ -8,8 +8,9 @@
 #include <cstring>
 #include <string>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;

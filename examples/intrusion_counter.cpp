@@ -6,9 +6,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/core/counting.hpp"
-#include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;

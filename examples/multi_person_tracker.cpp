@@ -1,17 +1,15 @@
 // Multi-person tracking demo (paper §5.2, Figs. 5-3 / 7-2): three synthetic
 // movers — two of them crossing in angle mid-trace — streamed chunk by
-// chunk through the rt streaming stages, with the track:: subsystem
-// assigning stable identities through the crossing.
+// chunk through one wivi::Session, with the track stage assigning stable
+// identities through the crossing.
 //
 //   ./multi_person_tracker [--duration S] [--seed N] [--chunk SAMPLES]
 #include <cmath>
 #include <cstdio>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/core/tracker.hpp"
-#include "src/rt/streaming.hpp"
-#include "src/sim/synthetic.hpp"
-#include "src/track/multi_tracker.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
@@ -33,58 +31,71 @@ int main(int argc, char** argv) {
   std::printf("3 synthetic movers, %.1f s, %zu channel samples; movers 1+2 "
               "cross mid-trace\n\n", duration, h.size());
 
-  // Stream the trace through the chunk-resumable stages exactly as a live
-  // session would see it.
-  rt::StreamingTracker image_stage;
-  rt::StreamingMultiTracker tracks;
+  // One declarative pipeline: image + multi-target tracking. Stream the
+  // trace through it exactly as a live session would see it and read the
+  // live snapshots off the typed event stream.
+  PipelineSpec spec;
+  spec.image.emit_columns = false;  // TracksEvents are all this demo needs
+  spec.track = api::TrackStage{};
+  Session session(std::move(spec));
+
   const double report_every_sec = 1.0;
   double next_report = 0.0;
+  std::vector<api::Event> events;
   for (std::size_t pos = 0; pos < h.size(); pos += static_cast<std::size_t>(chunk)) {
     const std::size_t len =
         std::min<std::size_t>(static_cast<std::size_t>(chunk), h.size() - pos);
-    image_stage.push(CSpan(h).subspan(pos, len));
-    tracks.update(image_stage.image());
-    if (tracks.columns_seen() == 0) continue;
-    const auto& snaps = tracks.snapshots();
-    const double now = snaps.empty()
-                           ? image_stage.image().times_sec.back()
-                           : snaps.front().time_sec;
-    if (now < next_report) continue;
-    next_report = now + report_every_sec;
-    std::printf("t=%5.1fs  ", now);
-    if (snaps.empty()) std::printf("(no tracks)");
-    for (const auto& s : snaps) {
-      if (s.state == track::TrackState::kTentative) continue;
-      std::printf("[#%d %s %+5.1f deg %+5.1f deg/s%s] ", s.id,
-                  track::to_string(s.state), s.angle_deg, s.velocity_dps,
-                  s.updated ? "" : " (coast)");
+    session.push(CSpan(h).subspan(pos, len));
+    events.clear();
+    session.poll(events);
+    for (const api::Event& e : events) {
+      const auto* update = std::get_if<api::TracksEvent>(&e);
+      if (update == nullptr || update->columns_seen == 0) continue;
+      const auto& snaps = update->tracks;
+      const double now = snaps.empty()
+                             ? session.image().times_sec.back()
+                             : snaps.front().time_sec;
+      if (now < next_report) continue;
+      next_report = now + report_every_sec;
+      std::printf("t=%5.1fs  ", now);
+      if (snaps.empty()) std::printf("(no tracks)");
+      for (const auto& s : snaps) {
+        if (s.state == track::TrackState::kTentative) continue;
+        std::printf("[#%d %s %+5.1f deg %+5.1f deg/s%s] ", s.id,
+                    track::to_string(s.state), s.angle_deg, s.velocity_dps,
+                    s.updated ? "" : " (coast)");
+      }
+      std::printf("\n");
     }
-    std::printf("\n");
   }
+  session.finish();
 
-  std::printf("\n%s\n", core::render_ascii(image_stage.image()).c_str());
+  std::printf("\n%s\n", core::render_ascii(session.image()).c_str());
 
   // Batch pass over the finished image: must match the streamed result
-  // bit for bit (the rt parity contract).
-  const auto batch = track::track_image(image_stage.image());
-  const auto streamed = tracks.tracker().histories();
+  // bit for bit (the facade inherits the rt parity contract).
+  const auto batch = track::track_image(session.image());
+  const auto streamed = session.multi_tracker().histories();
   bool parity = batch.size() == streamed.size();
   for (std::size_t i = 0; parity && i < batch.size(); ++i)
     parity = batch[i].id == streamed[i].id &&
              batch[i].angles_deg == streamed[i].angles_deg;
   std::printf("streaming == batch: %s\n\n", parity ? "yes (bit for bit)" : "NO");
 
-  // The batch-throughput route for the same trace: track_trace() rebuilds
-  // the image column-parallel (par::ParallelImageBuilder) instead of
-  // sliding sequentially — thread-count-invariant output, ~1e-9 from the
-  // streamed image, so the track picture must agree.
-  core::MotionTracker::Config image_cfg;
-  image_cfg.num_threads = threads;
-  const auto parallel = track::track_trace(h, image_cfg);
+  // The batch-throughput route for the same trace: the same spec, executed
+  // in the parallel-offline mode — the image rebuilt column-parallel
+  // (par::ParallelImageBuilder) instead of slid sequentially, with
+  // thread-count-invariant output ~1e-9 from the streamed image, so the
+  // track picture must agree.
+  PipelineSpec parallel_spec;
+  parallel_spec.image.emit_columns = false;
+  parallel_spec.track = api::TrackStage{};
+  Session parallel_session(std::move(parallel_spec));
+  parallel_session.run(h, Parallelism{threads});
   int parallel_confirmed = 0;
-  for (const auto& tr : parallel.histories)
+  for (const auto& tr : parallel_session.multi_tracker().histories())
     parallel_confirmed += tr.confirmed_ever;
-  std::printf("column-parallel batch (track_trace, threads=%d): "
+  std::printf("column-parallel batch (Parallelism{%d}): "
               "%d confirmed tracks\n\n", threads, parallel_confirmed);
 
   std::printf("track summary (confirmed tracks only):\n");

@@ -18,9 +18,9 @@
 #include <thread>
 #include <vector>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/rt/engine.hpp"
-#include "src/sim/feeder.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
@@ -72,12 +72,15 @@ int main(int argc, char** argv) {
   std::vector<rt::SessionId> ids;
   std::vector<sim::ChunkedTrace> feeds;
   for (int s = 0; s < sessions; ++s) {
-    rt::SessionConfig sc;
-    sc.t0 = traces[static_cast<std::size_t>(s)].t0;
-    sc.emit_columns = false;  // counting service: variance updates suffice
-    sc.count_movers = true;
-    sc.backpressure = rt::Backpressure::kBlock;  // replay: lossless
-    ids.push_back(engine.open_session(sc));
+    // Each sensor runs the same declarative pipeline: image + counting
+    // (variance updates suffice for an occupancy service, so no columns).
+    PipelineSpec spec;
+    spec.t0 = traces[static_cast<std::size_t>(s)].t0;
+    spec.image.emit_columns = false;
+    spec.count = api::CountStage{};
+    rt::IngestConfig ingest;
+    ingest.backpressure = rt::Backpressure::kBlock;  // replay: lossless
+    ids.push_back(engine.open_session(std::move(spec), ingest));
     feeds.emplace_back(std::move(traces[static_cast<std::size_t>(s)]),
                        static_cast<std::size_t>(chunk));
   }
@@ -98,9 +101,12 @@ int main(int argc, char** argv) {
     }
     events.clear();
     engine.poll(events);
+    // The engine's wire format is the legacy multiplexer Event; convert to
+    // the typed api::Event and dispatch on the variant.
     for (const rt::Event& e : events) {
-      if (e.type == rt::Event::Type::kCount) {
-        last_variance[e.session] = e.spatial_variance;
+      const api::Event typed = rt::to_api_event(e);
+      if (const auto* c = std::get_if<api::CountEvent>(&typed)) {
+        last_variance[e.session] = c->spatial_variance;
         ++count_updates;
       }
     }
@@ -114,10 +120,13 @@ int main(int argc, char** argv) {
   events.clear();
   engine.poll(events);
   for (const rt::Event& e : events) {
-    if (e.type == rt::Event::Type::kCount) ++count_updates;
-    if (e.type == rt::Event::Type::kCount ||
-        e.type == rt::Event::Type::kFinished)
-      last_variance[e.session] = e.spatial_variance;
+    const api::Event typed = rt::to_api_event(e);
+    if (const auto* c = std::get_if<api::CountEvent>(&typed)) {
+      ++count_updates;
+      last_variance[e.session] = c->spatial_variance;
+    } else if (const auto* f = std::get_if<api::FinishedEvent>(&typed)) {
+      last_variance[e.session] = f->spatial_variance;
+    }
   }
 
   // --- Report. The variance -> count mapping uses thresholds in the same

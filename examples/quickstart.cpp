@@ -3,7 +3,9 @@
 //   1. Build a scene: a closed conference room behind a 6" hollow wall,
 //      with one person walking inside (they never carry any device).
 //   2. Run MIMO nulling to erase the wall flash and all static clutter.
-//   3. Capture the post-nulling channel stream and run smoothed MUSIC.
+//   3. Capture the post-nulling channel stream and run it through a
+//      wivi::Session (the declarative pipeline facade) to build the
+//      smoothed-MUSIC angle-time image.
 //   4. Print the angle-time heat map (the paper's Fig. 5-2) as ASCII art.
 //
 // Build & run:  ./quickstart [--seed N] [--duration S]
@@ -11,9 +13,9 @@
 #include <cstdlib>
 #include <string>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/core/tracker.hpp"
-#include "src/sim/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
@@ -51,13 +53,17 @@ int main(int argc, char** argv) {
                   trace.nulling.initial_residual_power_db,
               trace.nulling.iterations_used);
 
-  // --- Track.
-  const core::MotionTracker tracker;
-  const core::AngleTimeImage img = tracker.process(trace.h, trace.t0);
+  // --- Track: one declarative pipeline (image stage only), batch-run.
+  PipelineSpec spec;
+  spec.t0 = trace.t0;
+  spec.image.emit_columns = false;  // the image is read back whole below
+  Session session(std::move(spec));
+  session.run(trace.h);
+  const core::AngleTimeImage& img = session.image();
   std::printf("\nA'[theta, n] - one person moving behind the wall:\n%s\n",
               core::render_ascii(img).c_str());
 
-  const RVec angles = tracker.dominant_angle_trace(img);
+  const RVec angles = core::MotionTracker().dominant_angle_trace(img);
   std::printf("dominant angle per column (NaN = no confident mover):\n");
   for (std::size_t i = 0; i < angles.size(); ++i)
     std::printf("%s%+.0f", i ? " " : "", angles[i]);

@@ -9,10 +9,9 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/core/tracker.hpp"
-#include "src/sim/experiment.hpp"
-#include "src/sim/robot.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;
@@ -40,11 +39,15 @@ int main(int argc, char** argv) {
               speed, std::asin(std::min(speed, 1.0) / 1.0) * 180.0 / kPi);
   std::printf("nulling: %.1f dB\n\n", trace.effective_nulling_db);
 
-  const core::MotionTracker tracker;
-  const core::AngleTimeImage img = tracker.process(trace.h, trace.t0);
+  PipelineSpec spec;
+  spec.t0 = trace.t0;
+  spec.image.emit_columns = false;  // the image is read back whole below
+  Session session(std::move(spec));
+  session.run(trace.h);
+  const core::AngleTimeImage& img = session.image();
   std::printf("%s\n", core::render_ascii(img).c_str());
 
-  const RVec angles = tracker.dominant_angle_trace(img);
+  const RVec angles = core::MotionTracker().dominant_angle_trace(img);
   int approach = 0;
   int recede = 0;
   for (double a : angles) {

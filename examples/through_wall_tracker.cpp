@@ -11,9 +11,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <wivi/wivi.hpp>
+
 #include "examples/example_cli.hpp"
-#include "src/core/tracker.hpp"
-#include "src/sim/protocols.hpp"
 
 int main(int argc, char** argv) {
   using namespace wivi;

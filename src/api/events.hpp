@@ -1,0 +1,93 @@
+/// @file
+/// Typed pipeline output events of the wivi::Session facade.
+///
+/// Every unit of output a compiled pipeline produces is one alternative of
+/// the api::Event variant — one struct per stage kind instead of the fat
+/// union-style rt::Event whose payload fields only mean something for some
+/// Event::Type values. Consumers dispatch with std::visit or std::get_if
+/// and the type system guarantees they can only read fields that exist.
+///
+/// Delivery order within one session is deterministic: for every batch of
+/// freshly completed image columns, ColumnEvents (one per column, in column
+/// order) precede the stage updates, which arrive in the fixed order
+/// CountEvent, TracksEvent, BitsEvent; FinishedEvent (or ErrorEvent) is
+/// always last.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/core/gesture.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi::api {
+
+/// @addtogroup wivi_api
+/// @{
+
+/// One new angle-time image column (emitted when ImageStage::emit_columns).
+struct ColumnEvent {
+  /// Index of the new column in the session's image.
+  std::size_t column_index = 0;
+  /// Absolute time of the column (window centre).
+  double time_sec = 0.0;
+  /// Linear MUSIC pseudospectrum over the session's angle grid.
+  RVec column;
+  /// MUSIC model order of the column.
+  int model_order = 0;
+};
+
+/// Live multi-target snapshots after the newest processed columns (emitted
+/// once per batch of new columns when a TrackStage is attached).
+struct TracksEvent {
+  /// Live track snapshots after the newest processed column, id order.
+  std::vector<track::TrackSnapshot> tracks;
+  /// Currently live confirmed-or-coasting targets.
+  std::size_t num_confirmed = 0;
+  /// Image columns processed so far.
+  std::size_t columns_seen = 0;
+};
+
+/// Newly stable decoded gesture bits, time order (emitted when a
+/// GestureStage is attached and new bits stabilised).
+struct BitsEvent {
+  /// The newly stable bits (each bit time is delivered at most once).
+  std::vector<core::GestureDecoder::DecodedBit> bits;
+};
+
+/// Running Eq. 5.5 spatial-variance update (emitted once per batch of new
+/// columns when a CountStage is attached).
+struct CountEvent {
+  /// Running experiment-level spatial variance.
+  double spatial_variance = 0.0;
+  /// Image columns accumulated so far.
+  std::size_t columns_seen = 0;
+};
+
+/// End of stream: the session is finalised (always the last event of a
+/// healthy session).
+struct FinishedEvent {
+  /// Image columns produced over the whole session.
+  std::size_t columns_seen = 0;
+  /// Final spatial variance (0 unless a CountStage was attached).
+  double spatial_variance = 0.0;
+  /// Final confirmed-target count (0 unless a TrackStage was attached).
+  std::size_t num_confirmed = 0;
+};
+
+/// The session failed (a stage or the event sink threw) and is dead; no
+/// further events follow.
+struct ErrorEvent {
+  /// What the failing stage or sink threw.
+  std::string message;
+};
+
+/// One unit of pipeline output: exactly one of the event structs above.
+using Event = std::variant<ColumnEvent, TracksEvent, BitsEvent, CountEvent,
+                           FinishedEvent, ErrorEvent>;
+
+/// @}
+
+}  // namespace wivi::api

@@ -1,0 +1,208 @@
+#include "src/api/session.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/par/image_builder.hpp"
+
+namespace wivi::api {
+
+Session::Session(PipelineSpec spec)
+    : spec_(std::move(spec)), tracker_(spec_.image.tracker, spec_.t0) {
+  // Compiling validates: every stage constructor (tracker_ above, the
+  // emplaces below) enforces its own invariants — the same checks
+  // PipelineSpec::validate() drives, so the spec is not re-validated
+  // wholesale here.
+  if (spec_.track) multi_.emplace(spec_.track->tracker);
+  if (spec_.gesture) gesture_.emplace(spec_.gesture->gesture);
+  if (spec_.count) counter_.emplace(spec_.count->cap_db);
+}
+
+core::AngleTimeImage Session::take_image() {
+  WIVI_REQUIRE(state_ != State::kOpen,
+               "take_image() requires a finished session");
+  return tracker_.take_image();
+}
+
+core::GestureDecoder::Result Session::take_gesture_result() {
+  WIVI_REQUIRE(gesture_.has_value(), "the spec has no GestureStage");
+  WIVI_REQUIRE(state_ != State::kOpen,
+               "take_gesture_result() requires a finished session");
+  return gesture_->take_result();
+}
+
+const track::MultiTargetTracker& Session::multi_tracker() const {
+  WIVI_REQUIRE(multi_.has_value(), "the spec has no TrackStage");
+  return multi_->tracker();
+}
+
+const core::GestureDecoder::Result& Session::gesture_result() const {
+  WIVI_REQUIRE(gesture_.has_value(), "the spec has no GestureStage");
+  return gesture_->result();
+}
+
+double Session::spatial_variance() const {
+  WIVI_REQUIRE(counter_.has_value(), "the spec has no CountStage");
+  return counter_->variance();
+}
+
+void Session::fail(const char* what) noexcept {
+  state_ = State::kFailed;
+  error_ = what;
+  // Best effort: the sink may be the very thing that threw.
+  try {
+    emit(ErrorEvent{error_});
+  } catch (...) {
+  }
+}
+
+/// Run `fn`; on any exception mark the session failed (delivering a
+/// best-effort ErrorEvent) and rethrow to the caller.
+template <typename Fn>
+decltype(auto) Session::guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& e) {
+    fail(e.what());
+    throw;
+  } catch (...) {
+    fail("unknown exception");
+    throw;
+  }
+}
+
+void Session::emit(Event&& e) {
+  if (callback_) {
+    callback_(std::move(e));
+    return;
+  }
+  queue_.push_back(std::move(e));
+}
+
+/// Deliver the per-column events for columns [from, end) plus one update
+/// round of each attached stage — the shared tail of every execution mode
+/// (ColumnEvents, then CountEvent, TracksEvent, BitsEvent).
+void Session::emit_new_columns(std::size_t from) {
+  const core::AngleTimeImage& img = tracker_.image();
+  const std::size_t after = img.num_times();
+  if (after == from) return;
+
+  if (spec_.image.emit_columns) {
+    for (std::size_t c = from; c < after; ++c) {
+      ColumnEvent e;
+      e.column_index = c;
+      e.time_sec = img.times_sec[c];
+      e.column = img.columns[c];
+      e.model_order = img.model_orders[c];
+      emit(std::move(e));
+    }
+  }
+  if (counter_) {
+    counter_->update(img);
+    emit(CountEvent{counter_->variance(), counter_->columns_seen()});
+  }
+  if (multi_) {
+    multi_->update(img);
+    TracksEvent e;
+    e.tracks = multi_->snapshots();
+    e.num_confirmed = multi_->tracker().num_confirmed();
+    e.columns_seen = multi_->columns_seen();
+    emit(std::move(e));
+  }
+  if (gesture_) {
+    auto bits = gesture_->poll(img, /*flush=*/false);
+    if (!bits.empty()) {
+      bits_emitted_ += bits.size();
+      emit(BitsEvent{std::move(bits)});
+    }
+  }
+}
+
+std::size_t Session::push(CSpan chunk) {
+  WIVI_REQUIRE(state_ == State::kOpen, "push() on a finished session");
+  return guarded([&]() -> std::size_t {
+    const std::size_t before = tracker_.num_columns();
+    tracker_.push(chunk);
+    emit_new_columns(before);
+    return tracker_.num_columns() - before;
+  });
+}
+
+void Session::finish() {
+  WIVI_REQUIRE(state_ == State::kOpen, "finish() on a finished session");
+  guarded([&] {
+    const core::AngleTimeImage& img = tracker_.image();
+    if (gesture_) {
+      auto bits = gesture_->poll(img, /*flush=*/true);
+      if (!bits.empty()) {
+        bits_emitted_ += bits.size();
+        emit(BitsEvent{std::move(bits)});
+      }
+    }
+    if (counter_) counter_->update(img);
+    if (multi_) multi_->update(img);
+
+    FinishedEvent e;
+    e.columns_seen = tracker_.num_columns();
+    if (counter_) e.spatial_variance = counter_->variance();
+    if (multi_) e.num_confirmed = multi_->tracker().num_confirmed();
+    emit(std::move(e));
+    state_ = State::kFinished;
+  });
+}
+
+void Session::run(CSpan trace) {
+  push(trace);
+  finish();
+}
+
+void Session::run(CSpan trace, int num_threads) {
+  if (num_threads == 1)
+    run(trace);
+  else
+    run(trace, Parallelism{num_threads});
+}
+
+void Session::run(CSpan trace, Parallelism parallel) {
+  WIVI_REQUIRE(state_ == State::kOpen, "run() on a finished session");
+  WIVI_REQUIRE(parallel.num_threads >= 0,
+               "Parallelism num_threads must be >= 0");
+  // Checked before guarded(): a precondition slip here should not poison
+  // the session like a mid-stream stage failure would.
+  WIVI_REQUIRE(samples_seen() == 0,
+               "parallel run() requires a fresh session (nothing pushed)");
+  guarded([&] {
+    const auto w =
+        static_cast<std::size_t>(spec_.image.tracker.music.isar.window);
+    if (trace.size() >= w) {
+      // A builder per call: par::ThreadPool is one-job-at-a-time, so
+      // concurrent Sessions must not share one pool.
+      ::wivi::par::ParallelImageBuilder builder(spec_.image.tracker,
+                                                parallel.num_threads);
+      tracker_.adopt(trace, builder.build(trace, spec_.t0));
+    } else if (!trace.empty()) {
+      (void)tracker_.push(trace);  // shorter than one window: no columns
+    }
+    emit_new_columns(0);
+  });
+  finish();
+}
+
+std::size_t Session::poll(std::vector<Event>& out) {
+  const std::size_t n = queue_.size();
+  if (n > 0) {
+    out.insert(out.end(), std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.end()));
+    queue_.clear();
+  }
+  return n;
+}
+
+void Session::set_callback(std::function<void(Event&&)> cb) {
+  WIVI_REQUIRE(state_ == State::kOpen && samples_seen() == 0 &&
+                   queue_.empty(),
+               "install the callback on a fresh session, before push()");
+  callback_ = std::move(cb);
+}
+
+}  // namespace wivi::api

@@ -1,0 +1,19 @@
+#include "src/api/spec.hpp"
+
+#include "src/core/music.hpp"
+
+namespace wivi::api {
+
+void PipelineSpec::validate() const {
+  // Drive every invariant through the constructors that own it — the spec
+  // deliberately has no validation rules of its own to drift from the
+  // stages. The constructed objects are discarded; compiling a Session
+  // does the same work and keeps them.
+  (void)core::MotionTracker(image.tracker);
+  (void)core::SmoothedMusic(image.tracker.music);
+  if (track) (void)track::MultiTargetTracker(track->tracker);
+  if (gesture) (void)rt::StreamingGesture(gesture->gesture);
+  if (count) (void)rt::StreamingCounter(count->cap_db);
+}
+
+}  // namespace wivi::api

@@ -1,0 +1,90 @@
+/// @file
+/// The declarative pipeline specification the wivi::Session facade compiles.
+///
+/// Wi-Vi's pipeline is one dataflow — nulled channel stream → smoothed-MUSIC
+/// angle-time image → detect/track/gesture/count — and a PipelineSpec is its
+/// complete declarative description: the mandatory image stage plus an
+/// optional<> per downstream stage (replacing the bool-flag + loose-config
+/// pairs of the legacy rt::SessionConfig). A spec says *what* to compute;
+/// *how* it executes — batch, chunked streaming, column-parallel offline,
+/// or multiplexed inside rt::Engine — is chosen per call on the compiled
+/// wivi::Session, and every mode produces identical results (see
+/// DESIGN.md §8).
+///
+/// The per-stage configuration structs are the single source of truth the
+/// rest of the library already validates (core::MotionTracker::Config,
+/// track::MultiTargetTracker::Config, rt::StreamingGesture::Config), so the
+/// spec cannot drift from the stages it describes.
+#pragma once
+
+#include <optional>
+
+#include "src/core/tracker.hpp"
+#include "src/rt/streaming.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi::api {
+
+/// @addtogroup wivi_api
+/// @{
+
+/// The mandatory front end: channel-estimate samples → smoothed-MUSIC
+/// angle-time image (§5.2).
+struct ImageStage {
+  /// Imaging configuration (hop, angle grid, MUSIC parameters).
+  /// `tracker.num_threads` is ignored by the Session — the execution mode
+  /// (and thread count) is chosen per run()/push() call, not in the spec.
+  core::MotionTracker::Config tracker;
+  /// Emit a ColumnEvent per completed image column (costs one column copy;
+  /// turn off for counting- or tracking-only workloads).
+  bool emit_columns = true;
+};
+
+/// Optional multi-target detect + track stage (§5.2 / §7.2): per-column
+/// multi-peak detection, gated association, per-target Kalman smoothing and
+/// lifecycle management. Emits TracksEvents.
+struct TrackStage {
+  /// Tracker configuration; `tracker.detector` holds the per-column
+  /// detection thresholds (the shared core::PeakPolicy plus NMS geometry).
+  track::MultiTargetTracker::Config tracker;
+};
+
+/// Optional gesture-decoding stage (§6). Emits BitsEvents as decoded bits
+/// stabilise; the final flush decode equals the batch decode exactly.
+struct GestureStage {
+  /// Decoder configuration plus the incremental-emission cadence.
+  rt::StreamingGesture::Config gesture;
+};
+
+/// Optional occupancy-counting stage (§7.4): running Eq. 5.5 spatial
+/// variance. Emits CountEvents.
+struct CountStage {
+  /// dB cap of the column scale (Eq. 5.4's cap).
+  double cap_db = 60.0;
+};
+
+/// One complete declarative pipeline description: what to compute for one
+/// sensor stream. Compile it with wivi::Session.
+struct PipelineSpec {
+  /// The mandatory image stage.
+  ImageStage image;
+  /// Absolute time of the session's first sample.
+  double t0 = 0.0;
+  /// Attach multi-target tracking (TracksEvents).
+  std::optional<TrackStage> track;
+  /// Attach gesture decoding (BitsEvents).
+  std::optional<GestureStage> gesture;
+  /// Attach occupancy counting (CountEvents).
+  std::optional<CountStage> count;
+
+  /// Check every invariant of the spec and its stage configurations by
+  /// driving them through the same validation the stages themselves
+  /// enforce; throws InvalidArgument on the first violation. Compiling a
+  /// Session validates implicitly — call this to vet a spec without
+  /// paying for workspace allocation.
+  void validate() const;
+};
+
+/// @}
+
+}  // namespace wivi::api

@@ -78,7 +78,9 @@ class GestureDecoder {
     /// Physical step/gesture timing the matched filters are built from.
     GestureProfile profile;
     /// Columns with |theta| below this are the DC line; excluded (§5.2).
-    double dc_exclusion_deg = 12.0;
+    /// Default comes from the shared core::PeakPolicy so the decoder and
+    /// the tracking readouts can never disagree about the band width.
+    double dc_exclusion_deg = PeakPolicy{}.dc_exclusion_deg;
     /// Decode gate: gestures below this matched-filter SNR are erased
     /// (paper: 3 dB, Fig. 7-4 caption).
     double snr_gate_db = 3.0;

@@ -1,0 +1,29 @@
+/// @file
+/// The shared peak-acceptance policy of the angle-time image readouts.
+///
+/// Three consumers read "mover" peaks out of MUSIC pseudospectrum columns —
+/// the single-target dominant-angle readout (core::MotionTracker), the
+/// gesture decoder's signed angle projection (core::GestureDecoder) and the
+/// multi-target column detector (track::ColumnDetector) — and all three must
+/// agree on the same two §5.2 thresholds: how wide the DC residual band of
+/// imperfect nulling is, and how far a peak must rise above the column's
+/// median floor to count as a mover. These defaults used to be triplicated
+/// literals; they now live here, once, so the readouts can never drift
+/// apart.
+#pragma once
+
+namespace wivi::core {
+
+/// Which pseudospectrum peaks count as movers (§5.2): the DC-residual
+/// exclusion band and the floor-relative acceptance threshold shared by
+/// every image readout (single-target, gesture, multi-target detection).
+struct PeakPolicy {
+  /// Peaks with |angle| at or below this band are the DC residual of
+  /// imperfect nulling, not movers (§5.2); they are excluded.
+  double dc_exclusion_deg = 12.0;
+  /// A peak must rise this many dB above the column's median floor to be
+  /// accepted (the floor-relative rule all readouts share).
+  double min_peak_db = 6.0;
+};
+
+}  // namespace wivi::core

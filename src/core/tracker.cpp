@@ -104,11 +104,10 @@ AngleTimeImage MotionTracker::process(CSpan h, double t0) const {
 }
 
 RVec MotionTracker::dominant_angle_trace(const AngleTimeImage& img,
-                                         double dc_exclusion_deg,
-                                         double min_peak_db) const {
+                                         const PeakPolicy& peaks) const {
   RVec trace(img.num_times(), std::numeric_limits<double>::quiet_NaN());
   dsp::FloorPeakOptions opts;
-  opts.min_over_floor = min_peak_db;
+  opts.min_over_floor = peaks.min_peak_db;
   opts.min_distance = 1;
   RVec col_db;
   for (std::size_t t = 0; t < img.num_times(); ++t) {
@@ -122,7 +121,7 @@ RVec MotionTracker::dominant_angle_trace(const AngleTimeImage& img,
     double best_db = -std::numeric_limits<double>::infinity();
     for (const dsp::Peak& p :
          dsp::find_peaks_over_floor(col_db, baseline, opts)) {
-      if (std::abs(img.angles_deg[p.index]) <= dc_exclusion_deg) continue;
+      if (std::abs(img.angles_deg[p.index]) <= peaks.dc_exclusion_deg) continue;
       if (p.value > best_db) {
         best_db = p.value;
         trace[t] = img.angles_deg[p.index];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/core/music.hpp"
+#include "src/core/peak_policy.hpp"
 
 namespace wivi::core {
 
@@ -75,12 +76,12 @@ class MotionTracker {
   [[nodiscard]] AngleTimeImage process(CSpan h, double t0 = 0.0) const;
 
   /// Dominant non-DC angle per column: the angle of the strongest
-  /// pseudospectrum peak outside +/- dc_exclusion_deg, or NaN when that
-  /// peak is less than min_peak_db above the column's median level (no
-  /// confident mover).
+  /// pseudospectrum peak outside the policy's DC exclusion band, or NaN
+  /// when that peak is less than `peaks.min_peak_db` above the column's
+  /// median level (no confident mover). The default PeakPolicy is the
+  /// shared §5.2 thresholds every image readout uses.
   [[nodiscard]] RVec dominant_angle_trace(const AngleTimeImage& img,
-                                          double dc_exclusion_deg = 12.0,
-                                          double min_peak_db = 6.0) const;
+                                          const PeakPolicy& peaks = {}) const;
 
  private:
   Config cfg_;

@@ -1,0 +1,107 @@
+#include "src/rt/compat.hpp"
+
+#include <utility>
+#include <variant>
+
+#include "src/common/error.hpp"
+
+namespace wivi::rt {
+
+api::PipelineSpec to_pipeline_spec(const SessionConfig& cfg) {
+  api::PipelineSpec spec;
+  spec.image.tracker = cfg.tracker;
+  spec.image.emit_columns = cfg.emit_columns;
+  spec.t0 = cfg.t0;
+  if (cfg.track_targets) spec.track = api::TrackStage{cfg.multi_track};
+  if (cfg.decode_gestures) spec.gesture = api::GestureStage{cfg.gesture};
+  if (cfg.count_movers) spec.count = api::CountStage{cfg.counter_cap_db};
+  return spec;
+}
+
+IngestConfig to_ingest_config(const SessionConfig& cfg) {
+  return IngestConfig{cfg.ring_capacity, cfg.backpressure};
+}
+
+SessionConfig to_session_config(const api::PipelineSpec& spec,
+                                const IngestConfig& ingest) {
+  SessionConfig cfg;
+  cfg.tracker = spec.image.tracker;
+  cfg.emit_columns = spec.image.emit_columns;
+  cfg.t0 = spec.t0;
+  if (spec.track) {
+    cfg.track_targets = true;
+    cfg.multi_track = spec.track->tracker;
+  }
+  if (spec.gesture) {
+    cfg.decode_gestures = true;
+    cfg.gesture = spec.gesture->gesture;
+  }
+  if (spec.count) {
+    cfg.count_movers = true;
+    cfg.counter_cap_db = spec.count->cap_db;
+  }
+  cfg.ring_capacity = ingest.ring_capacity;
+  cfg.backpressure = ingest.backpressure;
+  return cfg;
+}
+
+Event to_legacy_event(SessionId session, api::Event e) {
+  Event out;
+  out.session = session;
+  std::visit(
+      [&out](auto&& ev) {
+        using T = std::decay_t<decltype(ev)>;
+        if constexpr (std::is_same_v<T, api::ColumnEvent>) {
+          out.type = Event::Type::kColumn;
+          out.column_index = ev.column_index;
+          out.time_sec = ev.time_sec;
+          out.column = std::move(ev.column);
+          out.model_order = ev.model_order;
+        } else if constexpr (std::is_same_v<T, api::TracksEvent>) {
+          out.type = Event::Type::kTracks;
+          out.tracks = std::move(ev.tracks);
+          out.num_confirmed = ev.num_confirmed;
+          out.columns_seen = ev.columns_seen;
+        } else if constexpr (std::is_same_v<T, api::BitsEvent>) {
+          out.type = Event::Type::kBits;
+          out.bits = std::move(ev.bits);
+        } else if constexpr (std::is_same_v<T, api::CountEvent>) {
+          out.type = Event::Type::kCount;
+          out.spatial_variance = ev.spatial_variance;
+          out.columns_seen = ev.columns_seen;
+        } else if constexpr (std::is_same_v<T, api::FinishedEvent>) {
+          out.type = Event::Type::kFinished;
+          out.columns_seen = ev.columns_seen;
+          out.spatial_variance = ev.spatial_variance;
+          out.num_confirmed = ev.num_confirmed;
+        } else {
+          static_assert(std::is_same_v<T, api::ErrorEvent>);
+          out.type = Event::Type::kError;
+          out.error = std::move(ev.message);
+        }
+      },
+      std::move(e));
+  return out;
+}
+
+api::Event to_api_event(const Event& e) {
+  switch (e.type) {
+    case Event::Type::kColumn:
+      return api::ColumnEvent{e.column_index, e.time_sec, e.column,
+                              e.model_order};
+    case Event::Type::kTracks:
+      return api::TracksEvent{e.tracks, e.num_confirmed, e.columns_seen};
+    case Event::Type::kBits:
+      return api::BitsEvent{e.bits};
+    case Event::Type::kCount:
+      return api::CountEvent{e.spatial_variance, e.columns_seen};
+    case Event::Type::kFinished:
+      return api::FinishedEvent{e.columns_seen, e.spatial_variance,
+                                e.num_confirmed};
+    case Event::Type::kError:
+      return api::ErrorEvent{e.error};
+  }
+  throw InvalidArgument("unknown legacy event type");
+}
+
+}  // namespace wivi::rt

@@ -2,19 +2,28 @@
 
 #include <algorithm>
 #include <chrono>
+#include <variant>
 
-#include "src/par/image_builder.hpp"
+#include "src/common/error.hpp"
+#include "src/rt/compat.hpp"
 
 namespace wivi::rt {
 
-Engine::Session::Session(SessionId id_, SessionConfig cfg_)
+Engine::Session::Session(Engine* engine, SessionId id_,
+                         api::PipelineSpec spec_, IngestConfig ingest_)
     : id(id_),
-      cfg(cfg_),
-      ring(cfg_.ring_capacity),
-      tracker(cfg_.tracker, cfg_.t0) {
-  if (cfg.decode_gestures) gesture.emplace(cfg.gesture);
-  if (cfg.count_movers) counter.emplace(cfg.counter_cap_db);
-  if (cfg.track_targets) multi.emplace(cfg.multi_track);
+      ingest(ingest_),
+      pipeline(std::move(spec_)),
+      ring(ingest_.ring_capacity) {
+  // The conversion sink: every typed event the pipeline emits becomes one
+  // legacy Event tagged with this session's id. Runs under the session's
+  // claim flag (the pipeline is only driven from there), so the counter
+  // updates and delivery order stay per-session sequential.
+  pipeline.set_callback([engine, this](api::Event&& e) {
+    if (const auto* b = std::get_if<api::BitsEvent>(&e))
+      bits_out.fetch_add(b->bits.size(), std::memory_order_relaxed);
+    engine->deliver(to_legacy_event(id, std::move(e)));
+  });
 }
 
 Engine::Engine() : Engine(Config{}) {}
@@ -44,17 +53,22 @@ Engine::Session& Engine::session(SessionId id) const {
   return *sessions_[id];
 }
 
-SessionId Engine::open_session(SessionConfig cfg) {
+SessionId Engine::open_session(api::PipelineSpec spec, IngestConfig ingest) {
   std::lock_guard lk(register_mu_);
   const std::size_t n = session_count_.load(std::memory_order_relaxed);
   WIVI_REQUIRE(n < cfg_.max_sessions, "session table full");
-  sessions_[n] = std::make_unique<Session>(static_cast<SessionId>(n), cfg);
+  sessions_[n] = std::make_unique<Session>(this, static_cast<SessionId>(n),
+                                           std::move(spec), ingest);
   session_count_.store(n + 1, std::memory_order_release);
   return static_cast<SessionId>(n);
 }
 
-SessionId Engine::run_recorded(SessionConfig cfg, CSpan trace) {
-  const SessionId id = open_session(cfg);
+SessionId Engine::open_session(SessionConfig cfg) {
+  return open_session(to_pipeline_spec(cfg), to_ingest_config(cfg));
+}
+
+SessionId Engine::run_recorded(api::PipelineSpec spec, CSpan trace) {
+  const SessionId id = open_session(std::move(spec), IngestConfig{});
   Session& s = session(id);
   // Claim the session for this thread. It is freshly opened with an empty
   // ring and no close flag, so no worker ever contends for it — the
@@ -64,19 +78,10 @@ SessionId Engine::run_recorded(SessionConfig cfg, CSpan trace) {
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(trace.size(), std::memory_order_relaxed);
   try {
-    const auto w = static_cast<std::size_t>(cfg.tracker.music.isar.window);
-    if (trace.size() >= w) {
-      // A builder per call: par::ThreadPool is one-job-at-a-time, so
-      // concurrent run_recorded callers must not share one pool.
-      par::ParallelImageBuilder builder(cfg.tracker, num_threads_);
-      s.tracker.adopt(trace, builder.build(trace, cfg.t0));
-    } else if (!trace.empty()) {
-      (void)s.tracker.push(trace);  // shorter than one window: no columns
-    }
-    s.columns_out.store(s.tracker.num_columns(), std::memory_order_relaxed);
-    emit_new_columns(s, 0);
+    s.pipeline.run(trace, api::Parallelism{num_threads_});
+    s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
     s.closed.store(true, std::memory_order_release);
-    finalize(s);
+    s.finished.store(true, std::memory_order_release);
   } catch (const std::exception& e) {
     s.closed.store(true, std::memory_order_release);
     fail_session(s, e.what());
@@ -88,6 +93,10 @@ SessionId Engine::run_recorded(SessionConfig cfg, CSpan trace) {
   return id;
 }
 
+SessionId Engine::run_recorded(SessionConfig cfg, CSpan trace) {
+  return run_recorded(to_pipeline_spec(cfg), trace);
+}
+
 bool Engine::offer(SessionId id, CVec chunk) {
   Session& s = session(id);
   WIVI_REQUIRE(!s.closed.load(std::memory_order_relaxed),
@@ -96,7 +105,7 @@ bool Engine::offer(SessionId id, CVec chunk) {
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(samples, std::memory_order_relaxed);
 
-  if (s.cfg.backpressure == Backpressure::kBlock) {
+  if (s.ingest.backpressure == Backpressure::kBlock) {
     while (!s.ring.try_push(std::move(chunk))) {
       // A stopped engine — or a failed (finished) session, whose ring no
       // worker will ever drain again — would leave this loop spinning
@@ -167,21 +176,21 @@ Engine::SessionStats Engine::stats(SessionId id) const {
   return st;
 }
 
+const api::Session& Engine::pipeline(SessionId id) const {
+  return session(id).pipeline;
+}
+
 const StreamingTracker& Engine::tracker(SessionId id) const {
-  return session(id).tracker;
+  return session(id).pipeline.tracker();
 }
 
 const core::GestureDecoder::Result& Engine::gesture_result(
     SessionId id) const {
-  const Session& s = session(id);
-  WIVI_REQUIRE(s.gesture.has_value(), "session has no gesture decoder");
-  return s.gesture->result();
+  return session(id).pipeline.gesture_result();
 }
 
 const track::MultiTargetTracker& Engine::multi_tracker(SessionId id) const {
-  const Session& s = session(id);
-  WIVI_REQUIRE(s.multi.has_value(), "session has no multi-target tracker");
-  return s.multi->tracker();
+  return session(id).pipeline.multi_tracker();
 }
 
 void Engine::drain() {
@@ -243,11 +252,12 @@ bool Engine::try_process(Session& s) {
     return false;
   }
 
-  // An exception from a stage (WIVI_REQUIRE on pathological input) or
-  // from a throwing user callback must not escape the worker thread —
-  // that would std::terminate the whole service. It kills this session
-  // only: kError is delivered and the session counts as finished so
-  // drain() still returns.
+  // An exception from a pipeline stage (WIVI_REQUIRE on pathological
+  // input) or from a throwing user callback must not escape the worker
+  // thread — that would std::terminate the whole service. It kills this
+  // session only: the pipeline delivers its own ErrorEvent (converted to
+  // kError) on the way out, and the session counts as finished so drain()
+  // still returns.
   bool did_work = false;
   try {
     CVec chunk;
@@ -276,64 +286,24 @@ bool Engine::try_process(Session& s) {
 }
 
 void Engine::process_chunk(Session& s, CVec chunk) {
-  const std::size_t before = s.tracker.num_columns();
-  s.tracker.push(chunk);
-  const std::size_t after = s.tracker.num_columns();
-  if (after == before) return;
-  s.columns_out.fetch_add(after - before, std::memory_order_relaxed);
-  emit_new_columns(s, before);
+  // The pipeline emits every event itself (through the conversion sink
+  // installed at construction); the engine only maintains the counters.
+  // The counter is synced even when event delivery throws mid-chunk: the
+  // image columns were completed before delivery started, and some may
+  // already have reached the consumer.
+  try {
+    s.pipeline.push(chunk);
+  } catch (...) {
+    s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+    throw;
+  }
+  s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
 }
 
-/// Deliver the per-column events for columns [from, end) plus one update
-/// round of each attached stage — the shared tail of both the per-chunk
-/// streaming path and the whole-trace run_recorded() path.
-void Engine::emit_new_columns(Session& s, std::size_t from) {
-  const core::AngleTimeImage& img = s.tracker.image();
-  const std::size_t after = img.num_times();
-  if (after == from) return;
-
-  if (s.cfg.emit_columns) {
-    for (std::size_t c = from; c < after; ++c) {
-      Event e;
-      e.session = s.id;
-      e.type = Event::Type::kColumn;
-      e.column_index = c;
-      e.time_sec = img.times_sec[c];
-      e.column = img.columns[c];
-      e.model_order = img.model_orders[c];
-      deliver(std::move(e));
-    }
-  }
-  if (s.counter) {
-    s.counter->update(img);
-    Event e;
-    e.session = s.id;
-    e.type = Event::Type::kCount;
-    e.spatial_variance = s.counter->variance();
-    e.columns_seen = s.counter->columns_seen();
-    deliver(std::move(e));
-  }
-  if (s.multi) {
-    s.multi->update(img);
-    Event e;
-    e.session = s.id;
-    e.type = Event::Type::kTracks;
-    e.tracks = s.multi->snapshots();
-    e.num_confirmed = s.multi->tracker().num_confirmed();
-    e.columns_seen = s.multi->columns_seen();
-    deliver(std::move(e));
-  }
-  if (s.gesture) {
-    auto bits = s.gesture->poll(img, /*flush=*/false);
-    if (!bits.empty()) {
-      s.bits_out.fetch_add(bits.size(), std::memory_order_relaxed);
-      Event e;
-      e.session = s.id;
-      e.type = Event::Type::kBits;
-      e.bits = std::move(bits);
-      deliver(std::move(e));
-    }
-  }
+void Engine::finalize(Session& s) {
+  s.pipeline.finish();  // final flush + FinishedEvent via the sink
+  s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+  s.finished.store(true, std::memory_order_release);
 }
 
 void Engine::fail_session(Session& s, const char* what) noexcept {
@@ -342,41 +312,21 @@ void Engine::fail_session(Session& s, const char* what) noexcept {
   // kError. Callers hold the claim flag, so this read cannot race a
   // concurrent transition.
   if (s.finished.load(std::memory_order_acquire)) return;
-  try {
-    Event e;
-    e.session = s.id;
-    e.type = Event::Type::kError;
-    e.error = what;
-    deliver(std::move(e));
-  } catch (...) {
-    // The callback threw again (or allocation failed): the error event is
-    // lost but the session still dies cleanly.
-  }
-  s.finished.store(true, std::memory_order_release);
-}
-
-void Engine::finalize(Session& s) {
-  if (s.gesture) {
-    auto bits = s.gesture->poll(s.tracker.image(), /*flush=*/true);
-    if (!bits.empty()) {
-      s.bits_out.fetch_add(bits.size(), std::memory_order_relaxed);
+  // The pipeline delivers its own ErrorEvent (already converted to kError
+  // by the session sink) when one of its stages or the sink threw; only
+  // engine-side failures outside the pipeline still need one here.
+  if (!s.pipeline.failed()) {
+    try {
       Event e;
       e.session = s.id;
-      e.type = Event::Type::kBits;
-      e.bits = std::move(bits);
+      e.type = Event::Type::kError;
+      e.error = what;
       deliver(std::move(e));
+    } catch (...) {
+      // The callback threw again (or allocation failed): the error event
+      // is lost but the session still dies cleanly.
     }
   }
-  if (s.counter) s.counter->update(s.tracker.image());
-  if (s.multi) s.multi->update(s.tracker.image());
-
-  Event e;
-  e.session = s.id;
-  e.type = Event::Type::kFinished;
-  e.columns_seen = s.tracker.num_columns();
-  if (s.counter) e.spatial_variance = s.counter->variance();
-  if (s.multi) e.num_confirmed = s.multi->tracker().num_confirmed();
-  deliver(std::move(e));
   s.finished.store(true, std::memory_order_release);
 }
 

@@ -2,20 +2,26 @@
 /// The streaming runtime engine: N live sensor sessions multiplexed over a
 /// shared worker pool.
 ///
-/// Shape (after the ndn-dpdk worker/queue decomposition): each session owns
-/// a lock-free SPSC ring of sample chunks plus its single-threaded streaming
-/// stages; a pool of workers drains the rings — each worker walks its own
-/// shard (session id mod thread count) first and steals from any other
-/// shard when its own is idle. A per-session claim flag guarantees at most
-/// one worker touches a session's stages at a time, so per-session results
-/// are in stream order and independent of thread count and interleaving
-/// (pinned by test_rt_engine). Results come back either through poll() or a
-/// caller-supplied callback (invoked on worker threads).
+/// Since the wivi::api facade landed, the Engine is a *thin multiplexer*:
+/// each session owns a lock-free SPSC ring of sample chunks plus one
+/// compiled wivi::Session pipeline; a pool of workers drains the rings —
+/// each worker walks its own shard (session id mod thread count) first and
+/// steals from any other shard when its own is idle. A per-session claim
+/// flag guarantees at most one worker touches a session's pipeline at a
+/// time, so per-session results are in stream order and independent of
+/// thread count and interleaving (pinned by test_rt_engine). Results come
+/// back either through poll() or a caller-supplied callback (invoked on
+/// worker threads).
+///
+/// Sessions are opened from an api::PipelineSpec plus an IngestConfig (the
+/// ring/backpressure knobs that only exist in the multiplexed setting).
+/// The legacy SessionConfig/Event surface is kept as deprecated shims that
+/// convert to/from the api types (src/rt/compat.hpp).
 ///
 /// Ownership/threading rules are spelled out in DESIGN.md §4. The short
 /// version: one producer thread per session at a time; Engine owns every
-/// Session; a session's streaming state is only ever touched under its
-/// claim flag.
+/// Session; a session's pipeline is only ever touched under its claim
+/// flag.
 #pragma once
 
 #include <atomic>
@@ -24,11 +30,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/api/session.hpp"
 #include "src/rt/spsc_ring.hpp"
 #include "src/rt/streaming.hpp"
 
@@ -47,7 +53,20 @@ enum class Backpressure {
   kBlock,
 };
 
+/// The ingestion-edge knobs of one multiplexed session — everything about
+/// *feeding* the pipeline that has no meaning for a standalone
+/// wivi::Session (which is handed its chunks directly).
+struct IngestConfig {
+  /// Ingest ring depth in chunks (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  /// What offer() does when the ring is full.
+  Backpressure backpressure = Backpressure::kDropNewest;
+};
+
 /// Per-session processing configuration.
+/// @deprecated Legacy bool-flag surface, kept as a shim: it converts to an
+/// api::PipelineSpec + IngestConfig (src/rt/compat.hpp). New code should
+/// open sessions with Engine::open_session(api::PipelineSpec, IngestConfig).
 struct SessionConfig {
   /// Image-stage (smoothed MUSIC) configuration of the session.
   core::MotionTracker::Config tracker;
@@ -56,11 +75,11 @@ struct SessionConfig {
   /// Emit a kColumn event per completed image column (costs one column
   /// copy; turn off for counting-only workloads).
   bool emit_columns = true;
-  /// Attach a StreamingGesture stage to the session.
+  /// Attach a gesture stage to the session.
   bool decode_gestures = false;
-  /// Attach a StreamingCounter stage to the session.
+  /// Attach a counting stage to the session.
   bool count_movers = false;
-  /// Attach a StreamingMultiTracker stage: kTracks events carry the live
+  /// Attach a multi-target tracking stage: kTracks events carry the live
   /// multi-target snapshots after each processed batch of columns.
   bool track_targets = false;
   /// Gesture-stage configuration (used when decode_gestures).
@@ -77,6 +96,10 @@ struct SessionConfig {
 
 /// One unit of output, delivered via poll() or the callback. Per-session
 /// event order is deterministic; the interleaving across sessions is not.
+/// @deprecated Legacy fat-union event, kept as a shim over the typed
+/// api::Event variant the pipelines emit: which payload fields are
+/// meaningful depends on `type`. Convert with rt::to_api_event() or
+/// consume api::Events from a standalone wivi::Session instead.
 struct Event {
   /// What this event reports.
   enum class Type {
@@ -107,10 +130,10 @@ struct Event {
 
   /// kTracks: live track snapshots after the newest processed column.
   std::vector<track::TrackSnapshot> tracks;
-  /// kTracks / kFinished (when track_targets): confirmed-target count.
+  /// kTracks / kFinished (when tracking): confirmed-target count.
   std::size_t num_confirmed = 0;
 
-  /// kCount / kFinished (when count_movers): running spatial variance.
+  /// kCount / kFinished (when counting): running spatial variance.
   double spatial_variance = 0.0;
   /// kCount / kTracks / kFinished: image columns processed so far.
   std::size_t columns_seen = 0;
@@ -120,7 +143,7 @@ struct Event {
 };
 
 /// The session table plus worker pool: opens sessions, ingests chunks,
-/// drains them through the streaming stages and delivers Events.
+/// drains them through their compiled pipelines and delivers Events.
 class Engine {
  public:
   /// Engine-wide (not per-session) configuration.
@@ -163,13 +186,21 @@ class Engine {
     return session_count_.load(std::memory_order_acquire);
   }
 
-  /// Register a new session. Thread-safe.
+  /// Register a new session running the given compiled-on-open pipeline
+  /// spec, fed through a ring with the given ingestion policy.
+  /// Thread-safe.
+  SessionId open_session(api::PipelineSpec spec, IngestConfig ingest = {});
+
+  /// Register a new session from the legacy bool-flag configuration.
+  /// Thread-safe.
+  /// @deprecated Shim: converts `cfg` with rt::to_pipeline_spec() /
+  /// rt::to_ingest_config() and behaves identically to the spec overload.
   SessionId open_session(SessionConfig cfg);
 
-  /// Offline fast path for a fully recorded trace: open a session, build
-  /// its whole angle-time image with the column-parallel builder
-  /// (par::ParallelImageBuilder, sized to this engine's thread count) and
-  /// run the configured downstream stages over it, delivering the same
+  /// Offline fast path for a fully recorded trace: open a session and
+  /// execute its pipeline in the parallel-offline mode
+  /// (wivi::Session::run(trace, Parallelism) — the image built
+  /// column-parallel over this engine's thread count), delivering the same
   /// per-session event sequence a kBlock replay would — except that
   /// kCount/kTracks/kBits land once (after all columns) instead of once
   /// per chunk, and the column values come from the builder's
@@ -178,6 +209,10 @@ class Engine {
   /// thread for the whole computation (events are delivered from it) and
   /// returns the finished session's id; offer() on it is an error.
   /// Thread-safe, and concurrent callers parallelise independently.
+  SessionId run_recorded(api::PipelineSpec spec, CSpan trace);
+
+  /// Offline fast path from the legacy configuration.
+  /// @deprecated Shim: converts `cfg` and calls the spec overload.
   SessionId run_recorded(SessionConfig cfg, CSpan trace);
 
   /// Ingest one chunk (one producer thread per session at a time). Returns
@@ -209,34 +244,36 @@ class Engine {
   /// exact once it is finished).
   [[nodiscard]] SessionStats stats(SessionId id) const;
 
-  /// The session's streaming tracker — safe to read once the session is
+  /// The session's compiled pipeline — safe to read once the session is
   /// finished (kFinished observed or drain() returned).
+  [[nodiscard]] const api::Session& pipeline(SessionId id) const;
+
+  /// The session's streaming image stage — safe to read once the session
+  /// is finished, like pipeline().
   [[nodiscard]] const StreamingTracker& tracker(SessionId id) const;
-  /// Final gesture decode (sessions with decode_gestures; post-drain).
+  /// Final gesture decode (sessions with a gesture stage; post-drain).
   [[nodiscard]] const core::GestureDecoder::Result& gesture_result(
       SessionId id) const;
-  /// The session's multi-target tracker (sessions with track_targets) —
-  /// safe to read once the session is finished, like tracker().
+  /// The session's multi-target tracker (sessions with a track stage) —
+  /// safe to read once the session is finished, like pipeline().
   [[nodiscard]] const track::MultiTargetTracker& multi_tracker(
       SessionId id) const;
 
  private:
   struct Session {
-    Session(SessionId id_, SessionConfig cfg_);
+    Session(Engine* engine, SessionId id_, api::PipelineSpec spec_,
+            IngestConfig ingest_);
 
     SessionId id;
-    SessionConfig cfg;
+    IngestConfig ingest;
+    api::Session pipeline;
     SpscRing<CVec> ring;
-    StreamingTracker tracker;
-    std::optional<StreamingGesture> gesture;
-    std::optional<StreamingCounter> counter;
-    std::optional<StreamingMultiTracker> multi;
 
     std::atomic<bool> closed{false};
     std::atomic<bool> finished{false};
     /// Claim flag: exchange(true, acquire) to take the session, store
     /// (false, release) to hand it back. The acquire/release pair carries
-    /// the streaming state (and the ring's consumer cache) between
+    /// the pipeline state (and the ring's consumer cache) between
     /// workers.
     std::atomic<bool> busy{false};
 
@@ -253,7 +290,6 @@ class Engine {
   void worker_loop(int wid);
   bool try_process(Session& s);
   void process_chunk(Session& s, CVec chunk);
-  void emit_new_columns(Session& s, std::size_t from);
   void finalize(Session& s);
   void fail_session(Session& s, const char* what) noexcept;
   void deliver(Event&& e);

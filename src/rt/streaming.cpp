@@ -64,8 +64,15 @@ void StreamingTracker::adopt(CSpan stream, core::AngleTimeImage&& img) {
       stream.size() >= w ? (stream.size() - w) / hop + 1 : 0;
   WIVI_REQUIRE(img.num_times() == expect_cols,
                "adopted image does not match the stream length");
-  WIVI_REQUIRE(img.angles_deg.size() == img_.angles_deg.size(),
+  WIVI_REQUIRE(img.angles_deg == img_.angles_deg,
                "adopted image is on a different angle grid");
+  WIVI_REQUIRE(img.times_sec.size() == expect_cols &&
+                   img.model_orders.size() == expect_cols,
+               "adopted image is internally inconsistent "
+               "(times/model_orders vs columns)");
+  for (const RVec& col : img.columns)
+    WIVI_REQUIRE(col.size() == img.angles_deg.size(),
+                 "adopted image has a column of the wrong height");
 
   img_ = std::move(img);
   next_col_ = expect_cols;
@@ -77,6 +84,13 @@ void StreamingTracker::adopt(CSpan stream, core::AngleTimeImage&& img) {
               stream.end());
   sliding_ = core::SlidingCorrelation(cfg_.music.subarray,
                                       cfg_.music.isar.window);
+}
+
+core::AngleTimeImage StreamingTracker::take_image() {
+  core::AngleTimeImage out = std::move(img_);
+  img_ = core::AngleTimeImage{};
+  img_.angles_deg = out.angles_deg;
+  return out;
 }
 
 void StreamingTracker::compact() {

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/core/counting.hpp"
 #include "src/core/gesture.hpp"
 #include "src/core/tracker.hpp"
@@ -46,7 +47,9 @@ class StreamingTracker {
   /// (par::ParallelImageBuilder — the Engine::run_recorded offline fast
   /// path). Requires a fresh tracker (nothing pushed yet) and an image
   /// whose shape matches what push(stream) would have produced for this
-  /// configuration. Afterwards the tracker reads as if `stream` had been
+  /// configuration — column count, angle grid (values, not just size) and
+  /// internal consistency are all enforced; a violation throws
+  /// InvalidArgument. Afterwards the tracker reads as if `stream` had been
   /// pushed: samples_seen(), num_columns() and image() all line up, and
   /// further push() calls continue the stream (the window tail is
   /// retained) — though columns appended later come from a fresh
@@ -60,9 +63,17 @@ class StreamingTracker {
     return img_;
   }
 
-  /// Image columns completed so far.
+  /// Move the accumulated image out — the cheap alternative to copying
+  /// image() when the stream is done and the tracker is about to be
+  /// discarded. The tracker keeps its angle grid and the moved-out
+  /// columns stay counted by num_columns(), but image() reads empty, so
+  /// only call this once no further push() will follow.
+  [[nodiscard]] core::AngleTimeImage take_image();
+
+  /// Image columns completed so far (counts columns moved out by
+  /// take_image() too; equals image().num_times() until then).
   [[nodiscard]] std::size_t num_columns() const noexcept {
-    return img_.num_times();
+    return next_col_;
   }
   /// Total samples ingested since construction / the last reset().
   [[nodiscard]] std::size_t samples_seen() const noexcept {
@@ -133,6 +144,15 @@ class StreamingGesture {
   [[nodiscard]] const core::GestureDecoder::Result& result() const noexcept {
     return last_;
   }
+
+  /// Move the most recent decode result out — the cheap alternative to
+  /// copying result() when the stage is about to be discarded. result()
+  /// reads empty afterwards.
+  [[nodiscard]] core::GestureDecoder::Result take_result() {
+    core::GestureDecoder::Result out = std::move(last_);
+    last_ = core::GestureDecoder::Result{};
+    return out;
+  }
   /// Total bits returned by poll() so far.
   [[nodiscard]] std::size_t bits_emitted() const noexcept { return emitted_; }
 
@@ -190,8 +210,11 @@ class StreamingMultiTracker {
 /// bit (same left-to-right accumulation).
 class StreamingCounter {
  public:
-  /// Accumulate columns on the [0, cap_db] dB scale (Eq. 5.4's cap).
-  explicit StreamingCounter(double cap_db = 60.0) : cap_db_(cap_db) {}
+  /// Accumulate columns on the [0, cap_db] dB scale (Eq. 5.4's cap;
+  /// must be positive).
+  explicit StreamingCounter(double cap_db = 60.0) : cap_db_(cap_db) {
+    WIVI_REQUIRE(cap_db_ > 0.0, "cap_db must be positive");
+  }
 
   /// Accumulate any image columns not yet seen; returns how many.
   std::size_t update(const core::AngleTimeImage& img);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/api/session.hpp"
 #include "src/common/constants.hpp"
 #include "src/common/db.hpp"
 #include "src/common/error.hpp"
@@ -33,11 +34,17 @@ CountingResult run_counting_trial(const CountingTrial& trial) {
   result.trace = runner.run();
   result.effective_nulling_db = result.trace.effective_nulling_db;
 
-  core::MotionTracker::Config tracker_cfg;
-  tracker_cfg.num_threads = trial.image_threads;
-  const core::MotionTracker tracker(tracker_cfg);
-  result.image = tracker.process(result.trace.h, result.trace.t0);
-  result.spatial_variance = core::spatial_variance(result.image);
+  // One declarative pipeline: image + counting, executed batch (the
+  // sequential sliding path) or column-parallel per image_threads — the
+  // same num_threads semantics the tracker config historically had.
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.t0 = result.trace.t0;
+  spec.count = api::CountStage{};
+  api::Session session(std::move(spec));
+  session.run(result.trace.h, trial.image_threads);
+  result.spatial_variance = session.spatial_variance();
+  result.image = session.take_image();
   return result;
 }
 
@@ -145,15 +152,20 @@ GestureResult run_gesture_trial(const GestureTrial& trial) {
   ExperimentRunner runner(scene, cfg, rng.fork());
   const TraceResult trace = runner.run();
 
-  const core::MotionTracker tracker;
-  const core::AngleTimeImage img = tracker.process(trace.h, trace.t0);
-
-  core::GestureDecoder::Config dec_cfg;
-  dec_cfg.profile = profile;
-  const core::GestureDecoder decoder(dec_cfg);
+  // One declarative pipeline: image + gesture decoding, batch-executed.
+  // The session's flush decode is exactly the batch decode of the full
+  // image (the pinned streaming==batch gesture contract).
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.t0 = trace.t0;
+  api::GestureStage gesture_stage;
+  gesture_stage.gesture.decoder.profile = profile;
+  spec.gesture = gesture_stage;
+  api::Session session(std::move(spec));
+  session.run(trace.h);
 
   GestureResult result;
-  result.decoded = decoder.decode(img);
+  result.decoded = session.take_gesture_result();
   result.effective_nulling_db = trace.effective_nulling_db;
   score_decoded_bits(trial.message, result.decoded.bits, result, &trace);
   return result;

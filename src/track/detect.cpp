@@ -12,7 +12,10 @@ namespace wivi::track {
 ColumnDetector::ColumnDetector() : ColumnDetector(Config{}) {}
 
 ColumnDetector::ColumnDetector(Config cfg) : cfg_(cfg) {
-  WIVI_REQUIRE(cfg_.min_peak_db >= 0.0, "min_peak_db must be >= 0");
+  WIVI_REQUIRE(cfg_.peaks.min_peak_db >= 0.0, "min_peak_db must be >= 0");
+  WIVI_REQUIRE(cfg_.peaks.dc_exclusion_deg >= 0.0 &&
+                   cfg_.peaks.dc_exclusion_deg < 90.0,
+               "dc_exclusion_deg must be in [0, 90)");
   WIVI_REQUIRE(cfg_.min_separation_deg >= 0.0,
                "min_separation_deg must be >= 0");
   WIVI_REQUIRE(cfg_.max_detections >= 1, "max_detections must be >= 1");
@@ -35,7 +38,7 @@ void ColumnDetector::detect_into(const core::AngleTimeImage& img,
 
   const double grid_step = std::abs(img.angles_deg[1] - img.angles_deg[0]);
   dsp::FloorPeakOptions opts;
-  opts.min_over_floor = cfg_.min_peak_db;
+  opts.min_over_floor = cfg_.peaks.min_peak_db;
   opts.min_distance = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::lround(cfg_.min_separation_deg /
                                               std::max(grid_step, 1e-9))));
@@ -46,7 +49,8 @@ void ColumnDetector::detect_into(const core::AngleTimeImage& img,
   // then discarded, and only then is the detection budget applied.
   opts.max_peaks = SIZE_MAX;
   for (const dsp::Peak& p : dsp::find_peaks_over_floor(col_db_, floor, opts)) {
-    if (std::abs(img.angles_deg[p.index]) <= cfg_.dc_exclusion_deg) continue;
+    if (std::abs(img.angles_deg[p.index]) <= cfg_.peaks.dc_exclusion_deg)
+      continue;
     out.push_back({img.angles_deg[p.index], p.value, p.index});
   }
   if (out.size() > static_cast<std::size_t>(cfg_.max_detections)) {

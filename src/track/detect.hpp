@@ -38,12 +38,10 @@ class ColumnDetector {
  public:
   /// Detection thresholds and geometry.
   struct Config {
-    /// Peaks with |angle| inside this band are the DC residual of
-    /// imperfect nulling, not movers (§5.2); they are masked out.
-    double dc_exclusion_deg = 12.0;
-    /// A peak must rise this many dB above the column median floor —
-    /// the same floor-relative rule as the single-target readout.
-    double min_peak_db = 6.0;
+    /// The shared DC-exclusion / floor-relative acceptance thresholds
+    /// (§5.2) — the same core::PeakPolicy the single-target readout and
+    /// the gesture decoder consume, so the paths can never drift apart.
+    core::PeakPolicy peaks;
     /// Two reported peaks are at least this far apart in degrees; closer
     /// rivals are suppressed in favour of the taller one (MUSIC's
     /// resolution limit makes closer pairs unreliable anyway).

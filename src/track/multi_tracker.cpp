@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/api/session.hpp"
 #include "src/common/error.hpp"
 #include "src/track/assignment.hpp"
 
@@ -191,9 +192,24 @@ TraceTrackResult track_trace(CSpan h,
                              const core::MotionTracker::Config& image_cfg,
                              const MultiTargetTracker::Config& cfg,
                              double t0) {
+  // Built through the declarative facade: one spec, image + track stages.
+  // image_cfg.num_threads keeps its historical meaning by selecting the
+  // execution mode — 1 = sequential batch (the sliding path), anything
+  // else = the column-parallel offline mode (DESIGN.md §7).
+  api::PipelineSpec spec;
+  spec.image.tracker = image_cfg;
+  spec.image.emit_columns = false;  // the image is read back whole below
+  spec.t0 = t0;
+  spec.track = api::TrackStage{cfg};
+  api::Session session(std::move(spec));
+  WIVI_REQUIRE(h.size() >=
+                   static_cast<std::size_t>(image_cfg.music.isar.window),
+               "channel stream shorter than one ISAR window");
+  session.run(h, image_cfg.num_threads);
+
   TraceTrackResult out;
-  out.image = core::MotionTracker(image_cfg).process(h, t0);
-  out.histories = track_image(out.image, cfg);
+  out.histories = session.multi_tracker().histories();
+  out.image = session.take_image();
   return out;
 }
 

@@ -1,0 +1,529 @@
+// The wivi::api facade contract: every PipelineSpec / stage-config
+// invariant rejects bad input through WIVI_REQUIRE, and the compiled
+// wivi::Session is *bit-identical* to the legacy entry points in every
+// execution mode — batch (core::MotionTracker / GestureDecoder /
+// spatial_variance / track_image), chunked streaming, column-parallel
+// offline (par::ParallelImageBuilder) and engine-multiplexed (rt::Engine,
+// through both the new spec entry point and the deprecated SessionConfig
+// shim).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <variant>
+
+#include "src/api/session.hpp"
+#include "src/common/error.hpp"
+#include "src/core/counting.hpp"
+#include "src/core/gesture.hpp"
+#include "src/core/tracker.hpp"
+#include "src/par/image_builder.hpp"
+#include "src/rt/compat.hpp"
+#include "src/rt/engine.hpp"
+#include "src/sim/synthetic.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi {
+namespace {
+
+// ---------------------------------------------------------- test helpers ---
+
+/// The canonical three-mover trace every parity test runs on (long enough
+/// for confirmed tracks and a crossing, short enough to stay fast).
+const CVec& crossing_trace() {
+  static const CVec h = sim::synthetic_crossing_trace(8.0, 1234);
+  return h;
+}
+
+/// A spec with every stage attached and column events on.
+api::PipelineSpec full_spec() {
+  api::PipelineSpec spec;
+  spec.track = api::TrackStage{};
+  spec.gesture = api::GestureStage{};
+  spec.count = api::CountStage{};
+  return spec;
+}
+
+void expect_images_identical(const core::AngleTimeImage& a,
+                             const core::AngleTimeImage& b,
+                             const char* label) {
+  ASSERT_EQ(a.num_times(), b.num_times()) << label;
+  ASSERT_EQ(a.angles_deg, b.angles_deg) << label;
+  ASSERT_EQ(a.times_sec, b.times_sec) << label;
+  ASSERT_EQ(a.model_orders, b.model_orders) << label;
+  for (std::size_t t = 0; t < a.num_times(); ++t)
+    ASSERT_EQ(a.columns[t], b.columns[t]) << label << " col " << t;
+}
+
+void expect_histories_identical(const std::vector<track::TrackHistory>& a,
+                                const std::vector<track::TrackHistory>& b,
+                                const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << label;
+    EXPECT_EQ(a[i].birth_column, b[i].birth_column) << label;
+    EXPECT_EQ(a[i].state, b[i].state) << label;
+    EXPECT_EQ(a[i].confirmed_ever, b[i].confirmed_ever) << label;
+    EXPECT_EQ(a[i].times_sec, b[i].times_sec) << label;
+    EXPECT_EQ(a[i].angles_deg, b[i].angles_deg) << label;
+    EXPECT_EQ(a[i].updated, b[i].updated) << label;
+  }
+}
+
+void expect_events_identical(const std::vector<api::Event>& a,
+                             const std::vector<api::Event>& b,
+                             const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].index(), b[i].index()) << label << " event " << i;
+    std::visit(
+        [&](const auto& ea) {
+          using T = std::decay_t<decltype(ea)>;
+          const auto& eb = std::get<T>(b[i]);
+          if constexpr (std::is_same_v<T, api::ColumnEvent>) {
+            EXPECT_EQ(ea.column_index, eb.column_index) << label;
+            EXPECT_EQ(ea.time_sec, eb.time_sec) << label;
+            EXPECT_EQ(ea.column, eb.column) << label;
+            EXPECT_EQ(ea.model_order, eb.model_order) << label;
+          } else if constexpr (std::is_same_v<T, api::TracksEvent>) {
+            EXPECT_EQ(ea.num_confirmed, eb.num_confirmed) << label;
+            EXPECT_EQ(ea.columns_seen, eb.columns_seen) << label;
+            ASSERT_EQ(ea.tracks.size(), eb.tracks.size()) << label;
+            for (std::size_t k = 0; k < ea.tracks.size(); ++k) {
+              EXPECT_EQ(ea.tracks[k].id, eb.tracks[k].id) << label;
+              EXPECT_EQ(ea.tracks[k].angle_deg, eb.tracks[k].angle_deg)
+                  << label;
+              EXPECT_EQ(ea.tracks[k].state, eb.tracks[k].state) << label;
+            }
+          } else if constexpr (std::is_same_v<T, api::BitsEvent>) {
+            ASSERT_EQ(ea.bits.size(), eb.bits.size()) << label;
+            for (std::size_t k = 0; k < ea.bits.size(); ++k) {
+              EXPECT_EQ(ea.bits[k].value, eb.bits[k].value) << label;
+              EXPECT_EQ(ea.bits[k].time_sec, eb.bits[k].time_sec) << label;
+              EXPECT_EQ(ea.bits[k].snr_db, eb.bits[k].snr_db) << label;
+            }
+          } else if constexpr (std::is_same_v<T, api::CountEvent>) {
+            EXPECT_EQ(ea.spatial_variance, eb.spatial_variance) << label;
+            EXPECT_EQ(ea.columns_seen, eb.columns_seen) << label;
+          } else if constexpr (std::is_same_v<T, api::FinishedEvent>) {
+            EXPECT_EQ(ea.columns_seen, eb.columns_seen) << label;
+            EXPECT_EQ(ea.spatial_variance, eb.spatial_variance) << label;
+            EXPECT_EQ(ea.num_confirmed, eb.num_confirmed) << label;
+          } else {
+            static_assert(std::is_same_v<T, api::ErrorEvent>);
+            EXPECT_EQ(ea.message, std::get<T>(b[i]).message) << label;
+          }
+        },
+        a[i]);
+  }
+}
+
+// ------------------------------------------------------- spec validation ---
+
+TEST(PipelineSpecValidation, RejectsBadImageStage) {
+  {
+    api::PipelineSpec s;
+    s.image.tracker.hop = 0;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+  {
+    api::PipelineSpec s;
+    s.image.tracker.angle_step_deg = 0.0;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+  {
+    api::PipelineSpec s;
+    s.image.tracker.music.subarray = 1;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+  {
+    api::PipelineSpec s;
+    s.image.tracker.music.max_sources = 0;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+}
+
+TEST(PipelineSpecValidation, RejectsBadTrackStage) {
+  const auto invalid = [](auto&& mutate) {
+    api::PipelineSpec s;
+    s.track = api::TrackStage{};
+    mutate(s.track->tracker);
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  };
+  invalid([](auto& t) { t.gate_deg = 0.0; });
+  invalid([](auto& t) { t.confirm_columns = 0; });
+  invalid([](auto& t) { t.max_coast_columns = -1; });
+  invalid([](auto& t) { t.tentative_max_misses = 0; });
+  invalid([](auto& t) { t.detector.max_detections = 0; });
+  invalid([](auto& t) { t.detector.min_separation_deg = -1.0; });
+  invalid([](auto& t) { t.detector.peaks.min_peak_db = -1.0; });
+  invalid([](auto& t) { t.detector.peaks.dc_exclusion_deg = 95.0; });
+}
+
+TEST(PipelineSpecValidation, RejectsBadGestureStage) {
+  {
+    api::PipelineSpec s;
+    s.gesture = api::GestureStage{};
+    s.gesture->gesture.decode_interval_cols = 0;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+  {
+    api::PipelineSpec s;
+    s.gesture = api::GestureStage{};
+    s.gesture->gesture.decoder.dc_exclusion_deg = -1.0;
+    EXPECT_THROW(s.validate(), InvalidArgument);
+    EXPECT_THROW(api::Session{s}, InvalidArgument);
+  }
+}
+
+TEST(PipelineSpecValidation, RejectsBadCountStage) {
+  api::PipelineSpec s;
+  s.count = api::CountStage{0.0};
+  EXPECT_THROW(s.validate(), InvalidArgument);
+  EXPECT_THROW(api::Session{s}, InvalidArgument);
+}
+
+TEST(PipelineSpecValidation, AcceptsTheFullDefaultSpec) {
+  api::PipelineSpec s = full_spec();
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_NO_THROW(api::Session{s});
+}
+
+// ----------------------------------------------------------- batch parity ---
+
+TEST(SessionBatch, BitIdenticalToLegacyEntryPoints) {
+  const CVec& h = crossing_trace();
+  api::Session session(full_spec());
+  session.run(h);
+  ASSERT_TRUE(session.finished());
+  ASSERT_FALSE(session.failed());
+
+  // Image == core::MotionTracker::process.
+  const core::AngleTimeImage batch_img =
+      core::MotionTracker().process(h, 0.0);
+  expect_images_identical(batch_img, session.image(), "batch image");
+
+  // Count == core::spatial_variance.
+  EXPECT_EQ(session.spatial_variance(), core::spatial_variance(batch_img));
+
+  // Tracks == track::track_image.
+  expect_histories_identical(track::track_image(batch_img),
+                             session.multi_tracker().histories(),
+                             "batch tracks");
+
+  // Gesture == core::GestureDecoder::decode (the synthetic trace holds no
+  // gestures, so this pins the *whole result*, not just the bits).
+  const auto batch_dec = core::GestureDecoder().decode(batch_img);
+  const auto& facade_dec = session.gesture_result();
+  ASSERT_EQ(facade_dec.bits.size(), batch_dec.bits.size());
+  ASSERT_EQ(facade_dec.symbols.size(), batch_dec.symbols.size());
+  EXPECT_EQ(facade_dec.matched_output, batch_dec.matched_output);
+  EXPECT_EQ(facade_dec.noise_sigma, batch_dec.noise_sigma);
+}
+
+TEST(SessionBatch, TrackTraceIsTheSamePipeline) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.track = api::TrackStage{};
+  api::Session session(std::move(spec));
+  session.run(h);
+
+  const auto via_helper = track::track_trace(h);
+  expect_images_identical(via_helper.image, session.image(), "track_trace");
+  expect_histories_identical(via_helper.histories,
+                             session.multi_tracker().histories(),
+                             "track_trace");
+}
+
+// ------------------------------------------------------- streaming parity ---
+
+TEST(SessionStreaming, BitIdenticalToBatchAcrossChunkSizes) {
+  const CVec& h = crossing_trace();
+  api::Session batch(full_spec());
+  batch.run(h);
+  std::vector<api::Event> batch_events;
+  batch.poll(batch_events);
+
+  for (const std::size_t chunk :
+       {std::size_t{64}, std::size_t{311}, h.size()}) {
+    api::Session streaming(full_spec());
+    for (std::size_t pos = 0; pos < h.size(); pos += chunk)
+      streaming.push(CSpan(h).subspan(pos, std::min(chunk, h.size() - pos)));
+    streaming.finish();
+
+    const std::string label = "chunk=" + std::to_string(chunk);
+    expect_images_identical(batch.image(), streaming.image(), label.c_str());
+    EXPECT_EQ(streaming.spatial_variance(), batch.spatial_variance()) << label;
+    expect_histories_identical(batch.multi_tracker().histories(),
+                               streaming.multi_tracker().histories(),
+                               label.c_str());
+
+    // The ColumnEvent stream is chunking-invariant (stage-update events
+    // arrive per chunk by design, so only their *final* values are pinned
+    // above).
+    std::vector<api::Event> streamed_events;
+    streaming.poll(streamed_events);
+    const auto columns_only = [](const std::vector<api::Event>& in) {
+      std::vector<api::Event> out;
+      for (const api::Event& e : in)
+        if (std::holds_alternative<api::ColumnEvent>(e)) out.push_back(e);
+      return out;
+    };
+    expect_events_identical(columns_only(batch_events),
+                            columns_only(streamed_events), label.c_str());
+  }
+}
+
+TEST(SessionStreaming, CallbackSinkSeesTheSameSequenceAsPoll) {
+  const CVec& h = crossing_trace();
+  api::Session polled(full_spec());
+  std::vector<api::Event> poll_events;
+  for (std::size_t pos = 0; pos < h.size(); pos += 128) {
+    polled.push(CSpan(h).subspan(pos, std::min<std::size_t>(128, h.size() - pos)));
+    polled.poll(poll_events);
+  }
+  polled.finish();
+  polled.poll(poll_events);
+
+  api::Session called(full_spec());
+  std::vector<api::Event> cb_events;
+  called.set_callback([&cb_events](api::Event&& e) {
+    cb_events.push_back(std::move(e));
+  });
+  for (std::size_t pos = 0; pos < h.size(); pos += 128)
+    called.push(CSpan(h).subspan(pos, std::min<std::size_t>(128, h.size() - pos)));
+  called.finish();
+
+  expect_events_identical(poll_events, cb_events, "poll vs callback");
+}
+
+// -------------------------------------------------------- parallel parity ---
+
+TEST(SessionParallel, BitIdenticalToTheParallelBuilder) {
+  const CVec& h = crossing_trace();
+  const core::AngleTimeImage built =
+      par::ParallelImageBuilder(core::MotionTracker::Config{}, 2).build(h);
+
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.track = api::TrackStage{};
+  api::Session session(std::move(spec));
+  session.run(h, api::Parallelism{2});
+
+  expect_images_identical(built, session.image(), "parallel image");
+  // The tracking pass over the adopted image equals the batch pass.
+  expect_histories_identical(track::track_image(built),
+                             session.multi_tracker().histories(),
+                             "parallel tracks");
+}
+
+TEST(SessionParallel, ThreadCountInvariant) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  api::Session one(spec);
+  one.run(h, api::Parallelism{1});
+  api::Session three(spec);
+  three.run(h, api::Parallelism{3});
+  expect_images_identical(one.image(), three.image(), "1 vs 3 threads");
+}
+
+// ----------------------------------------------------- engine multiplexed ---
+
+TEST(EngineFacadeParity, MultiplexedEqualsStandaloneSession) {
+  const CVec& h = crossing_trace();
+
+  // Standalone facade session, chunked exactly as the engine will see it.
+  api::Session standalone(full_spec());
+  std::vector<api::Event> standalone_events;
+  for (std::size_t pos = 0; pos < h.size(); pos += 96)
+    standalone.push(CSpan(h).subspan(pos, std::min<std::size_t>(96, h.size() - pos)));
+  standalone.finish();
+  standalone.poll(standalone_events);
+
+  rt::Engine engine({.num_threads = 2});
+  rt::IngestConfig ingest;
+  ingest.backpressure = rt::Backpressure::kBlock;
+  const rt::SessionId id = engine.open_session(full_spec(), ingest);
+  for (std::size_t pos = 0; pos < h.size(); pos += 96) {
+    CSpan c = CSpan(h).subspan(pos, std::min<std::size_t>(96, h.size() - pos));
+    engine.offer(id, CVec(c.begin(), c.end()));
+  }
+  engine.close_session(id);
+  engine.drain();
+
+  expect_images_identical(standalone.image(), engine.tracker(id).image(),
+                          "engine image");
+  expect_histories_identical(standalone.multi_tracker().histories(),
+                             engine.multi_tracker(id).histories(),
+                             "engine tracks");
+  EXPECT_EQ(engine.pipeline(id).spatial_variance(),
+            standalone.spatial_variance());
+
+  // The engine's legacy event stream, converted back to typed events, is
+  // the standalone session's event stream.
+  std::vector<rt::Event> legacy;
+  engine.poll(legacy);
+  std::vector<api::Event> engine_events;
+  for (const rt::Event& e : legacy) {
+    ASSERT_EQ(e.session, id);
+    engine_events.push_back(rt::to_api_event(e));
+  }
+  expect_events_identical(standalone_events, engine_events, "engine events");
+}
+
+TEST(EngineFacadeParity, LegacySessionConfigShimEqualsSpec) {
+  const CVec& h = crossing_trace();
+
+  rt::SessionConfig legacy_cfg;
+  legacy_cfg.track_targets = true;
+  legacy_cfg.count_movers = true;
+  legacy_cfg.decode_gestures = true;
+  legacy_cfg.backpressure = rt::Backpressure::kBlock;
+
+  // The shim conversion round-trips.
+  const api::PipelineSpec spec = rt::to_pipeline_spec(legacy_cfg);
+  EXPECT_TRUE(spec.track && spec.gesture && spec.count);
+  const rt::SessionConfig round =
+      rt::to_session_config(spec, rt::to_ingest_config(legacy_cfg));
+  EXPECT_EQ(round.track_targets, legacy_cfg.track_targets);
+  EXPECT_EQ(round.count_movers, legacy_cfg.count_movers);
+  EXPECT_EQ(round.decode_gestures, legacy_cfg.decode_gestures);
+  EXPECT_EQ(round.emit_columns, legacy_cfg.emit_columns);
+  EXPECT_EQ(round.counter_cap_db, legacy_cfg.counter_cap_db);
+  EXPECT_EQ(round.ring_capacity, legacy_cfg.ring_capacity);
+  EXPECT_EQ(round.backpressure, legacy_cfg.backpressure);
+  EXPECT_EQ(round.t0, legacy_cfg.t0);
+
+  // Both engine entry points produce identical results.
+  rt::Engine engine({.num_threads = 2});
+  const rt::SessionId via_legacy = engine.open_session(legacy_cfg);
+  const rt::SessionId via_spec = engine.open_session(
+      rt::to_pipeline_spec(legacy_cfg), rt::to_ingest_config(legacy_cfg));
+  for (std::size_t pos = 0; pos < h.size(); pos += 128) {
+    CSpan c = CSpan(h).subspan(pos, std::min<std::size_t>(128, h.size() - pos));
+    engine.offer(via_legacy, CVec(c.begin(), c.end()));
+    engine.offer(via_spec, CVec(c.begin(), c.end()));
+  }
+  engine.close_session(via_legacy);
+  engine.close_session(via_spec);
+  engine.drain();
+  expect_images_identical(engine.tracker(via_legacy).image(),
+                          engine.tracker(via_spec).image(), "shim image");
+  expect_histories_identical(engine.multi_tracker(via_legacy).histories(),
+                             engine.multi_tracker(via_spec).histories(),
+                             "shim tracks");
+}
+
+TEST(EngineFacadeParity, RunRecordedEqualsParallelRun) {
+  const CVec& h = crossing_trace();
+  rt::Engine engine({.num_threads = 2});
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.count = api::CountStage{};
+  const rt::SessionId id = engine.run_recorded(spec, h);
+  ASSERT_TRUE(engine.stats(id).finished);
+
+  api::Session session(spec);
+  session.run(h, api::Parallelism{engine.num_threads()});
+  expect_images_identical(session.image(), engine.tracker(id).image(),
+                          "run_recorded");
+  EXPECT_EQ(engine.pipeline(id).spatial_variance(),
+            session.spatial_variance());
+}
+
+// ------------------------------------------------------- lifecycle/errors ---
+
+TEST(SessionLifecycle, RejectsUseAfterFinish) {
+  api::PipelineSpec spec;
+  api::Session session(spec);
+  session.finish();
+  EXPECT_TRUE(session.finished());
+  EXPECT_FALSE(session.failed());
+  const CVec h(8, cdouble{0.0, 0.0});
+  EXPECT_THROW(session.push(h), InvalidArgument);
+  EXPECT_THROW(session.finish(), InvalidArgument);
+  EXPECT_THROW(session.run(h), InvalidArgument);
+}
+
+TEST(SessionLifecycle, AccessorsRequireTheirStage) {
+  api::PipelineSpec spec;  // image only
+  api::Session session(spec);
+  EXPECT_THROW(session.multi_tracker(), InvalidArgument);
+  EXPECT_THROW(session.gesture_result(), InvalidArgument);
+  EXPECT_THROW(session.spatial_variance(), InvalidArgument);
+}
+
+TEST(SessionLifecycle, CallbackMustBeInstalledFresh) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;
+  api::Session session(spec);
+  session.push(CSpan(h).subspan(0, 128));
+  EXPECT_THROW(session.set_callback([](api::Event&&) {}), InvalidArgument);
+}
+
+TEST(SessionLifecycle, ParallelRunRequiresAFreshSession) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;
+  api::Session session(spec);
+  session.push(CSpan(h).subspan(0, 128));
+  EXPECT_THROW(session.run(h, api::Parallelism{1}), InvalidArgument);
+  // A precondition slip is not a stage failure: the session stays usable.
+  EXPECT_FALSE(session.failed());
+  EXPECT_NO_THROW(session.push(CSpan(h).subspan(128, 128)));
+}
+
+TEST(SessionLifecycle, TakeAccessorsMoveResultsOutOfAFinishedSession) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;
+  spec.image.emit_columns = false;
+  spec.gesture = api::GestureStage{};
+  api::Session session(spec);
+  EXPECT_THROW((void)session.take_image(), InvalidArgument);  // still open
+  session.run(h);
+
+  const core::AngleTimeImage batch = core::MotionTracker().process(h, 0.0);
+  const core::AngleTimeImage taken = session.take_image();
+  expect_images_identical(batch, taken, "take_image");
+  EXPECT_EQ(session.image().num_times(), 0u);
+  // The moved-out columns stay counted.
+  EXPECT_EQ(session.columns_seen(), batch.num_times());
+
+  const auto batch_dec = core::GestureDecoder().decode(batch);
+  const auto taken_dec = session.take_gesture_result();
+  EXPECT_EQ(taken_dec.matched_output, batch_dec.matched_output);
+  EXPECT_TRUE(session.gesture_result().matched_output.empty());
+}
+
+TEST(SessionErrors, ThrowingCallbackFailsTheSessionWithAnErrorEvent) {
+  const CVec& h = crossing_trace();
+  api::PipelineSpec spec;  // column events on
+  api::Session session(spec);
+  std::string error_seen;
+  session.set_callback([&error_seen](api::Event&& e) {
+    if (const auto* err = std::get_if<api::ErrorEvent>(&e)) {
+      error_seen = err->message;
+      return;  // the error report itself is accepted
+    }
+    throw std::runtime_error("poisoned sink");
+  });
+  // Enough samples to complete a column -> the callback fires and throws.
+  EXPECT_THROW(session.push(CSpan(h).subspan(0, 512)), std::runtime_error);
+  EXPECT_TRUE(session.failed());
+  EXPECT_TRUE(session.finished());
+  EXPECT_EQ(session.error(), "poisoned sink");
+  EXPECT_EQ(error_seen, "poisoned sink");
+  // A dead session rejects further input.
+  EXPECT_THROW(session.push(CSpan(h).subspan(0, 8)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace wivi

@@ -11,6 +11,7 @@
 #include <cmath>
 #include <string>
 
+#include "src/common/error.hpp"
 #include "src/common/random.hpp"
 #include "src/core/counting.hpp"
 #include "src/core/gesture.hpp"
@@ -94,6 +95,68 @@ TEST(StreamingCounter, RunningVarianceMatchesBatch) {
   }
   EXPECT_EQ(counter.columns_seen(), batch.num_times());
   EXPECT_EQ(counter.variance(), batch_variance) << "not bit-for-bit";
+}
+
+// adopt() preconditions are enforced, not doc-comments: a non-fresh
+// tracker or a shape-mismatched / internally inconsistent image throws
+// InvalidArgument instead of silently corrupting the stream state.
+
+TEST(StreamingTrackerAdopt, AcceptsAMatchingImage) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  const core::MotionTracker tracker;
+  rt::StreamingTracker streaming;
+  streaming.adopt(h, tracker.process(h, 0.0));
+  EXPECT_EQ(streaming.samples_seen(), h.size());
+  EXPECT_EQ(streaming.num_columns(), tracker.process(h, 0.0).num_times());
+}
+
+TEST(StreamingTrackerAdopt, RejectsANonFreshTracker) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  core::AngleTimeImage img = core::MotionTracker().process(h, 0.0);
+  rt::StreamingTracker streaming;
+  streaming.push(CSpan(h).subspan(0, 10));  // no column yet, but not fresh
+  EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+}
+
+TEST(StreamingTrackerAdopt, RejectsAWrongColumnCount) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  core::AngleTimeImage img =
+      core::MotionTracker().process(CSpan(h).subspan(0, 400), 0.0);
+  rt::StreamingTracker streaming;
+  EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+}
+
+TEST(StreamingTrackerAdopt, RejectsADifferentAngleGrid) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  core::MotionTracker::Config coarse;
+  coarse.angle_step_deg = 2.0;
+  core::AngleTimeImage img = core::MotionTracker(coarse).process(h, 0.0);
+  rt::StreamingTracker streaming;  // default 1-degree grid
+  EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+}
+
+TEST(StreamingTrackerAdopt, RejectsAlteredAngleValues) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  core::AngleTimeImage img = core::MotionTracker().process(h, 0.0);
+  img.angles_deg.front() += 0.25;  // same size, different grid
+  rt::StreamingTracker streaming;
+  EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+}
+
+TEST(StreamingTrackerAdopt, RejectsAnInternallyInconsistentImage) {
+  const CVec h = sim::synthetic_mover_trace(600);
+  {
+    core::AngleTimeImage img = core::MotionTracker().process(h, 0.0);
+    img.times_sec.pop_back();  // times no longer cover every column
+    rt::StreamingTracker streaming;
+    EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+  }
+  {
+    core::AngleTimeImage img = core::MotionTracker().process(h, 0.0);
+    img.columns.back().pop_back();  // one column of the wrong height
+    rt::StreamingTracker streaming;
+    EXPECT_THROW(streaming.adopt(h, std::move(img)), InvalidArgument);
+  }
 }
 
 /// Gesture parity runs on a real simulated gesture trial (the §7.5 setup,
