@@ -15,10 +15,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "src/common/error.hpp"
 #include "src/core/gesture.hpp"
 #include "src/track/multi_tracker.hpp"
 
@@ -77,16 +79,63 @@ struct FinishedEvent {
   std::size_t num_confirmed = 0;
 };
 
-/// The session failed (a stage or the event sink threw) and is dead; no
-/// further events follow.
+/// The session failed (a stage or the event sink threw, or a runtime
+/// policy killed it) and is dead; no further events follow — except under
+/// an rt::RestartPolicy, where a RecoveredEvent may follow and only the
+/// last ErrorEvent is terminal (DESIGN.md §9).
 struct ErrorEvent {
+  /// What the failing stage or sink threw.
+  std::string message;
+  /// Machine-readable failure class (wivi::error_code_name() for the
+  /// string form; taxonomy in DESIGN.md §9).
+  ErrorCode code = ErrorCode::kStageFailure;
+};
+
+/// Watchdog warning: the session's feeder has delivered nothing for longer
+/// than its liveness deadline (rt::WatchdogConfig). Advisory — the session
+/// is still alive; if silence continues, a terminal ErrorEvent with
+/// ErrorCode::kTimeout follows. Emitted by the rt::Engine only.
+struct StalledEvent {
+  /// How long the feeder has been silent.
+  double silent_sec = 0.0;
+  /// Chunks the session had received when the stall was detected.
+  std::uint64_t chunks_seen = 0;
+};
+
+/// The session failed but was re-armed under its rt::RestartPolicy: a fresh
+/// pipeline now continues consuming the stream (earlier columns are lost;
+/// column indices restart from 0). Emitted by the rt::Engine only.
+struct RecoveredEvent {
+  /// Restarts consumed so far, this one included.
+  int restarts = 0;
+  /// Failure class of the fault that forced the restart.
+  ErrorCode cause = ErrorCode::kStageFailure;
   /// What the failing stage or sink threw.
   std::string message;
 };
 
+/// Graceful-degradation transition under overload (rt::OverloadPolicy):
+/// the session moved down the ladder to a coarser MUSIC angle grid, or —
+/// with `degraded == false` — recovered full fidelity after the hysteresis
+/// window of drop-free input. Emitted by the rt::Engine only.
+struct OverloadEvent {
+  /// True when entering degraded mode, false when restoring full fidelity.
+  bool degraded = false;
+  /// Angle-grid decimation now in effect (1 = full fidelity).
+  int fidelity = 1;
+  /// Cumulative chunks lost to backpressure at the transition.
+  std::uint64_t chunks_dropped = 0;
+  /// Cumulative samples lost to backpressure at the transition.
+  std::uint64_t samples_dropped = 0;
+};
+
 /// One unit of pipeline output: exactly one of the event structs above.
+/// StalledEvent/RecoveredEvent/OverloadEvent are runtime-health events only
+/// the multiplexing rt::Engine produces; a standalone Session never emits
+/// them.
 using Event = std::variant<ColumnEvent, TracksEvent, BitsEvent, CountEvent,
-                           FinishedEvent, ErrorEvent>;
+                           FinishedEvent, ErrorEvent, StalledEvent,
+                           RecoveredEvent, OverloadEvent>;
 
 /// @}
 

@@ -1,5 +1,6 @@
 #include "src/api/session.hpp"
 
+#include <cmath>
 #include <utility>
 
 #include "src/common/error.hpp"
@@ -46,37 +47,79 @@ double Session::spatial_variance() const {
   return counter_->variance();
 }
 
-void Session::fail(const char* what) noexcept {
+void Session::fail(ErrorCode code, const char* what) noexcept {
   state_ = State::kFailed;
   error_ = what;
+  error_code_ = code;
   // Best effort: the sink may be the very thing that threw.
   try {
-    emit(ErrorEvent{error_});
+    emit(ErrorEvent{error_, code});
   } catch (...) {
   }
 }
 
 /// Run `fn`; on any exception mark the session failed (delivering a
-/// best-effort ErrorEvent) and rethrow to the caller.
+/// best-effort ErrorEvent carrying the failure's ErrorCode) and rethrow
+/// to the caller. TypedError keeps its own classification (a throwing
+/// sink surfaces as kSinkFailure via emit()'s wrapping); anything else a
+/// stage throws is kStageFailure.
 template <typename Fn>
 decltype(auto) Session::guarded(Fn&& fn) {
   try {
     return fn();
+  } catch (const TypedError& e) {
+    fail(e.code(), e.what());
+    throw;
   } catch (const std::exception& e) {
-    fail(e.what());
+    fail(ErrorCode::kStageFailure, e.what());
     throw;
   } catch (...) {
-    fail("unknown exception");
+    fail(ErrorCode::kStageFailure, "unknown exception");
     throw;
   }
 }
 
 void Session::emit(Event&& e) {
   if (callback_) {
-    callback_(std::move(e));
+    // Classify sink deaths at the throw site: the message survives
+    // verbatim, the wrapper only adds ErrorCode::kSinkFailure for the
+    // guard above (and the Engine's restart policy) to dispatch on.
+    try {
+      callback_(std::move(e));
+    } catch (const TypedError&) {
+      throw;
+    } catch (const std::exception& ex) {
+      throw TypedError(ErrorCode::kSinkFailure, ex.what());
+    } catch (...) {
+      throw TypedError(ErrorCode::kSinkFailure, "unknown sink exception");
+    }
     return;
   }
   queue_.push_back(std::move(e));
+}
+
+/// The InputGuard scan: every rejection throws TypedError{kInvalidChunk}
+/// before any pipeline state has mutated, so the caller may simply drop
+/// the chunk and continue the stream.
+void Session::guard_chunk(CSpan chunk) const {
+  const InputGuard& g = spec_.guard;
+  if (chunk.empty())
+    throw TypedError(ErrorCode::kInvalidChunk, "rejected chunk: empty");
+  if (chunk.size() > g.max_chunk_samples)
+    throw TypedError(ErrorCode::kInvalidChunk,
+                     "rejected chunk: exceeds guard.max_chunk_samples");
+  if (g.frame_samples != 0 && chunk.size() % g.frame_samples != 0)
+    throw TypedError(
+        ErrorCode::kInvalidChunk,
+        "rejected chunk: length is not a whole number of sensor frames "
+        "(guard.frame_samples)");
+  if (g.check_finite) {
+    for (const cdouble& z : chunk) {
+      if (!std::isfinite(z.real()) || !std::isfinite(z.imag()))
+        throw TypedError(ErrorCode::kInvalidChunk,
+                         "rejected chunk: non-finite sample");
+    }
+  }
 }
 
 /// Deliver the per-column events for columns [from, end) plus one update
@@ -120,7 +163,11 @@ void Session::emit_new_columns(std::size_t from) {
 
 std::size_t Session::push(CSpan chunk) {
   WIVI_REQUIRE(state_ == State::kOpen, "push() on a finished session");
+  // Outside guarded(): a rejected chunk is a no-op, not a session death.
+  guard_chunk(chunk);
   return guarded([&]() -> std::size_t {
+    if (fault_hook_) fault_hook_(pushes_accepted_);
+    ++pushes_accepted_;
     const std::size_t before = tracker_.num_columns();
     tracker_.push(chunk);
     emit_new_columns(before);
@@ -152,7 +199,9 @@ void Session::finish() {
 }
 
 void Session::run(CSpan trace) {
-  push(trace);
+  // An empty recorded trace is a legal degenerate batch (0 columns), not
+  // a malformed chunk — skip straight to the finalisation.
+  if (!trace.empty()) push(trace);
   finish();
 }
 
@@ -171,6 +220,9 @@ void Session::run(CSpan trace, Parallelism parallel) {
   // the session like a mid-stream stage failure would.
   WIVI_REQUIRE(samples_seen() == 0,
                "parallel run() requires a fresh session (nothing pushed)");
+  // Same ingress boundary as the streaming path (a batch trace is one big
+  // chunk), same no-op-on-rejection semantics: checked before guarded().
+  if (!trace.empty()) guard_chunk(trace);
   guarded([&] {
     const auto w =
         static_cast<std::size_t>(spec_.image.tracker.music.isar.window);
@@ -203,6 +255,18 @@ void Session::set_callback(std::function<void(Event&&)> cb) {
                    queue_.empty(),
                "install the callback on a fresh session, before push()");
   callback_ = std::move(cb);
+}
+
+void Session::set_fault_hook(std::function<void(std::size_t)> hook) {
+  WIVI_REQUIRE(state_ == State::kOpen && samples_seen() == 0,
+               "install the fault hook on a fresh session, before push()");
+  fault_hook_ = std::move(hook);
+}
+
+void Session::set_fidelity(int angle_decimation) {
+  WIVI_REQUIRE(state_ == State::kOpen,
+               "set_fidelity() on a finished session");
+  tracker_.set_angle_decimation(angle_decimation);
 }
 
 }  // namespace wivi::api

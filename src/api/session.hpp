@@ -63,8 +63,15 @@ class Session {
 
   /// Streaming execution: ingest one chunk of any size and emit the events
   /// it completes. Returns the number of image columns the chunk finished.
-  /// Exceptions from a stage or the event sink propagate after the session
-  /// delivers a best-effort ErrorEvent and marks itself failed().
+  ///
+  /// The chunk is first validated against the spec's InputGuard (ingress
+  /// trust boundary): an empty, oversized, frame-misaligned or non-finite
+  /// chunk throws TypedError{ErrorCode::kInvalidChunk} *before any state
+  /// mutates* — the rejected chunk is a no-op and the session stays open
+  /// for the next chunk. Exceptions from a stage or the event sink, by
+  /// contrast, propagate after the session delivers a best-effort
+  /// ErrorEvent (sink exceptions wrapped as ErrorCode::kSinkFailure,
+  /// everything else classified kStageFailure) and marks itself failed().
   std::size_t push(CSpan chunk);
 
   /// End of stream: final gesture flush, final stage updates, then
@@ -101,6 +108,26 @@ class Session {
   /// poll() queue. Install on a fresh session, before the first push().
   /// A throwing callback fails the session (see push()).
   void set_callback(std::function<void(Event&&)> cb);
+
+  /// Chaos-engineering failpoint: `hook` runs at the start of every
+  /// accepted push() with the 0-based index of that push, *inside* the
+  /// failure guard — a throwing hook behaves exactly like a pipeline stage
+  /// throwing at that chunk (ErrorEvent, failed(), rethrow). This is how
+  /// the fault-injection suites script stage exceptions at exact chunk
+  /// indices (fault::throw_hook); rejected chunks do not advance the
+  /// index. Install on a fresh session, before the first push().
+  void set_fault_hook(std::function<void(std::size_t)> hook);
+
+  /// Graceful degradation: run the image stage at the given angle-grid
+  /// decimation from the next column on (1 = full fidelity; see
+  /// rt::StreamingTracker::set_angle_decimation for the exact semantics).
+  /// Callable any time while the session is open — the rt::Engine drives
+  /// this from its overload ladder.
+  void set_fidelity(int angle_decimation);
+  /// Angle-grid decimation currently in effect (1 = full fidelity).
+  [[nodiscard]] int fidelity() const noexcept {
+    return tracker_.angle_decimation();
+  }
 
   /// The angle-time image produced so far.
   [[nodiscard]] const core::AngleTimeImage& image() const noexcept {
@@ -155,15 +182,18 @@ class Session {
   }
   /// What the failing stage or sink threw (empty unless failed()).
   [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Failure classification of the death (kNone unless failed()).
+  [[nodiscard]] ErrorCode error_code() const noexcept { return error_code_; }
 
  private:
   enum class State { kOpen, kFinished, kFailed };
 
   template <typename Fn>
   decltype(auto) guarded(Fn&& fn);
+  void guard_chunk(CSpan chunk) const;
   void emit(Event&& e);
   void emit_new_columns(std::size_t from);
-  void fail(const char* what) noexcept;
+  void fail(ErrorCode code, const char* what) noexcept;
 
   PipelineSpec spec_;
   rt::StreamingTracker tracker_;
@@ -172,10 +202,13 @@ class Session {
   std::optional<rt::StreamingCounter> counter_;
 
   std::function<void(Event&&)> callback_;
+  std::function<void(std::size_t)> fault_hook_;
   std::vector<Event> queue_;
   State state_ = State::kOpen;
   std::string error_;
+  ErrorCode error_code_ = ErrorCode::kNone;
   std::size_t bits_emitted_ = 0;
+  std::size_t pushes_accepted_ = 0;
 };
 
 /// @}

@@ -1,5 +1,6 @@
 #include "src/api/spec.hpp"
 
+#include "src/common/error.hpp"
 #include "src/core/music.hpp"
 
 namespace wivi::api {
@@ -14,6 +15,14 @@ void PipelineSpec::validate() const {
   if (track) (void)track::MultiTargetTracker(track->tracker);
   if (gesture) (void)rt::StreamingGesture(gesture->gesture);
   if (count) (void)rt::StreamingCounter(count->cap_db);
+  // The guard is the one spec member with no stage constructor behind it
+  // (it configures the push() boundary itself), so it is checked here and
+  // in the Session constructor.
+  WIVI_REQUIRE(guard.max_chunk_samples >= 1,
+               "guard.max_chunk_samples must be >= 1");
+  WIVI_REQUIRE(guard.frame_samples == 0 ||
+                   guard.frame_samples <= guard.max_chunk_samples,
+               "guard.frame_samples must not exceed max_chunk_samples");
 }
 
 }  // namespace wivi::api

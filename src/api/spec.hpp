@@ -63,6 +63,26 @@ struct CountStage {
   double cap_db = 60.0;
 };
 
+/// Ingress trust-boundary validation of every chunk handed to
+/// Session::push (and, via the Session, to every chunk an rt::Engine
+/// worker feeds a multiplexed pipeline). A violating chunk is rejected
+/// with a TypedError of ErrorCode::kInvalidChunk *before* any pipeline
+/// state mutates, so a rejected chunk is a no-op: the session stays open
+/// and the next valid chunk continues the stream (DESIGN.md §9).
+struct InputGuard {
+  /// Largest accepted chunk, in samples (a DoS/fat-finger bound; the
+  /// default admits ~56 min of 312.5 Hz stream in one batch run() call).
+  std::size_t max_chunk_samples = std::size_t{1} << 20;
+  /// When non-zero, every chunk length must be a multiple of this many
+  /// samples — the sensor's frame size, so a frame with missing or extra
+  /// antenna rows is rejected at the boundary. 0 accepts any length.
+  std::size_t frame_samples = 0;
+  /// Reject chunks containing non-finite (NaN/Inf) samples. Costs one
+  /// predictable scan per chunk (pinned ≤1% of pipeline cost by
+  /// bench_fault); turn off only for pre-validated replay traces.
+  bool check_finite = true;
+};
+
 /// One complete declarative pipeline description: what to compute for one
 /// sensor stream. Compile it with wivi::Session.
 struct PipelineSpec {
@@ -76,6 +96,8 @@ struct PipelineSpec {
   std::optional<GestureStage> gesture;
   /// Attach occupancy counting (CountEvents).
   std::optional<CountStage> count;
+  /// Ingress validation policy applied to every pushed chunk.
+  InputGuard guard;
 
   /// Check every invariant of the spec and its stage configurations by
   /// driving them through the same validation the stages themselves

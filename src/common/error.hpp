@@ -25,6 +25,51 @@ class ComputeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Machine-readable classification of a runtime failure — the taxonomy every
+/// api::ErrorEvent (and the engine's legacy kError/kRecovered events)
+/// carries, so consumers can branch on *what kind* of fault killed or
+/// degraded a session instead of parsing what() strings. The failure model
+/// (which code is raised where, and which are terminal) is DESIGN.md §9.
+enum class ErrorCode {
+  kNone = 0,       ///< no failure (default for non-error events)
+  kInvalidChunk,   ///< malformed input rejected at the ingress boundary
+                   ///  (empty / oversized / misaligned / non-finite chunk)
+  kStageFailure,   ///< a pipeline stage threw while processing
+  kSinkFailure,    ///< the consumer's event callback threw
+  kTimeout,        ///< watchdog: the feeder went silent past its deadline
+  kOverload,       ///< backpressure exhausted every degradation rung
+};
+
+/// Stable identifier string of an ErrorCode ("InvalidChunk", "Timeout", ...).
+[[nodiscard]] constexpr const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kNone: return "None";
+    case ErrorCode::kInvalidChunk: return "InvalidChunk";
+    case ErrorCode::kStageFailure: return "StageFailure";
+    case ErrorCode::kSinkFailure: return "SinkFailure";
+    case ErrorCode::kTimeout: return "Timeout";
+    case ErrorCode::kOverload: return "Overload";
+  }
+  return "Unknown";
+}
+
+/// A runtime failure that already knows its ErrorCode classification.
+/// Guards at trust boundaries throw these directly (kInvalidChunk); the
+/// session's failure path wraps sink exceptions into kSinkFailure and
+/// classifies everything else as kStageFailure.
+class TypedError : public std::runtime_error {
+ public:
+  /// Build a failure of class `code` with the given human-readable detail.
+  TypedError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The machine-readable failure class.
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
 namespace detail {
 [[noreturn]] inline void fail_require(const char* expr, const char* file,
                                       int line, const std::string& msg) {

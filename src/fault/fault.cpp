@@ -1,0 +1,182 @@
+#include "src/fault/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace wivi::fault {
+
+namespace {
+
+// Per-fault-kind salts so one chunk's decisions are independent draws.
+constexpr std::uint64_t kSaltDrop = 0xD09;
+constexpr std::uint64_t kSaltDuplicate = 0xD7B;
+constexpr std::uint64_t kSaltReorder = 0x4E0;
+constexpr std::uint64_t kSaltTruncate = 0x74C;
+constexpr std::uint64_t kSaltTruncateLen = 0x74D;
+constexpr std::uint64_t kSaltCorrupt = 0xC04;
+constexpr std::uint64_t kSaltCorruptPos = 0xC05;
+constexpr std::uint64_t kSaltGap = 0x6A9;
+
+/// SplitMix64 finaliser: the stateless hash behind every fault decision.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool scripted(const std::vector<std::size_t>& at, std::size_t index) {
+  return std::find(at.begin(), at.end(), index) != at.end();
+}
+
+}  // namespace
+
+FaultyFeeder::FaultyFeeder(sim::ChunkedTrace trace, FaultSpec spec)
+    : trace_(std::move(trace)), spec_(std::move(spec)) {
+  WIVI_REQUIRE(spec_.silence_chunks >= 1, "silence_chunks must be >= 1");
+  const double probs[] = {spec_.drop_prob,     spec_.duplicate_prob,
+                          spec_.reorder_prob,  spec_.truncate_prob,
+                          spec_.corrupt_prob,  spec_.gap_prob};
+  for (double p : probs)
+    WIVI_REQUIRE(p >= 0.0 && p <= 1.0, "fault probabilities must be in [0,1]");
+}
+
+std::uint64_t FaultyFeeder::key(std::size_t index,
+                                std::uint64_t salt) const noexcept {
+  return mix(spec_.seed ^ mix(static_cast<std::uint64_t>(index) ^
+                              (salt * 0x2545F4914F6CDD1Dull)));
+}
+
+bool FaultyFeeder::chance(std::size_t index, std::uint64_t salt,
+                          double prob) const noexcept {
+  if (prob <= 0.0) return false;
+  // 53 uniform mantissa bits -> [0, 1); strictly-below keeps prob == 0
+  // impossible and prob == 1 certain.
+  const double u =
+      static_cast<double>(key(index, salt) >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+void FaultyFeeder::poison(CVec& chunk, std::size_t index) {
+  if (chunk.empty()) return;
+  const std::size_t burst =
+      std::min(std::max<std::size_t>(spec_.corrupt_burst, 1), chunk.size());
+  const std::size_t start =
+      chunk.size() > burst
+          ? static_cast<std::size_t>(key(index, kSaltCorruptPos) %
+                                     (chunk.size() - burst + 1))
+          : 0;
+  constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  for (std::size_t k = start; k < start + burst; ++k)
+    chunk[k] = (k & 1) ? cdouble(inf, 0.0) : cdouble(nan, nan);
+}
+
+/// Consume one source chunk and turn it into queued output (delivery,
+/// gap periods, a held reorder, or nothing at all for a drop). Returns
+/// false only when the source is finished and nothing is held back.
+bool FaultyFeeder::advance() {
+  CVec c;
+  if ((spec_.end_at && src_ >= *spec_.end_at) || !trace_.next(c)) {
+    if (have_held_) {  // stream ended while a reordered chunk waited
+      ready_.push_back(std::move(held_));
+      have_held_ = false;
+      return true;
+    }
+    return false;
+  }
+  const std::size_t i = src_++;
+
+  // A silence gap opens *before* the chunk: the sensor goes dark, then
+  // (unless another fault eats it) the chunk arrives late.
+  if (scripted(spec_.silence_at, i) || chance(i, kSaltGap, spec_.gap_prob))
+    gap_pending_ += spec_.silence_chunks;
+
+  if (scripted(spec_.drop_at, i) || chance(i, kSaltDrop, spec_.drop_prob)) {
+    ++stats_.dropped;
+    return true;
+  }
+  if (chance(i, kSaltTruncate, spec_.truncate_prob) && c.size() > 1) {
+    c.resize(1 + static_cast<std::size_t>(key(i, kSaltTruncateLen) %
+                                          (c.size() - 1)));
+    ++stats_.truncated;
+  }
+  if (scripted(spec_.corrupt_at, i) ||
+      chance(i, kSaltCorrupt, spec_.corrupt_prob)) {
+    poison(c, i);
+    ++stats_.corrupted;
+  }
+  // Reorder holds the chunk until the next surviving chunk passes it —
+  // a swap with the successor (reorder excludes duplicate: one
+  // transport fault per chunk keeps the plan easy to reason about).
+  if (chance(i, kSaltReorder, spec_.reorder_prob) && !have_held_ &&
+      !trace_.exhausted()) {
+    held_ = std::move(c);
+    have_held_ = true;
+    ++stats_.reordered;
+    return true;
+  }
+  const bool dup = chance(i, kSaltDuplicate, spec_.duplicate_prob);
+  ready_.push_back(c);
+  if (dup) {
+    ready_.push_back(c);
+    ++stats_.duplicated;
+  }
+  if (have_held_) {
+    ready_.push_back(std::move(held_));
+    have_held_ = false;
+  }
+  return true;
+}
+
+FaultAction FaultyFeeder::next(CVec& chunk) {
+  for (;;) {
+    if (gap_pending_ > 0) {
+      --gap_pending_;
+      ++stats_.gaps;
+      return FaultAction::kGap;
+    }
+    if (head_ < ready_.size()) {
+      chunk = std::move(ready_[head_++]);
+      if (head_ == ready_.size()) {
+        ready_.clear();
+        head_ = 0;
+      }
+      ++stats_.delivered;
+      return FaultAction::kDeliver;
+    }
+    if (!advance()) return FaultAction::kEnd;
+  }
+}
+
+void FaultyFeeder::rewind() {
+  trace_.rewind();
+  stats_ = Stats{};
+  src_ = 0;
+  gap_pending_ = 0;
+  ready_.clear();
+  head_ = 0;
+  held_.clear();
+  have_held_ = false;
+}
+
+std::function<void(std::size_t)> throw_hook(std::vector<std::size_t> throw_at) {
+  struct State {
+    std::vector<std::size_t> at;
+    std::size_t count = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->at = std::move(throw_at);
+  return [state](std::size_t) {
+    const std::size_t i = state->count++;
+    if (std::find(state->at.begin(), state->at.end(), i) != state->at.end())
+      throw TypedError(ErrorCode::kStageFailure,
+                       "injected stage fault (fault::throw_hook)");
+  };
+}
+
+}  // namespace wivi::fault

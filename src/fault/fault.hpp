@@ -1,0 +1,160 @@
+/// @file
+/// wivi::fault — deterministic, seeded fault injection for the streaming
+/// runtime (DESIGN.md §9).
+///
+/// The chaos half of the failure model: FaultyFeeder wraps any
+/// sim::ChunkedTrace and perturbs its chunk stream with the faults a real
+/// deployment sees — dropped, duplicated, reordered and truncated chunks,
+/// NaN/Inf corruption bursts, sensor-silence gaps, and early stream ends —
+/// while throw_hook() scripts pipeline-stage exceptions at exact chunk
+/// indices through wivi::Session::set_fault_hook. Every decision is a pure
+/// hash of (FaultSpec::seed, source-chunk index), so a fault plan is
+/// bit-reproducible per seed, independent of call pattern, timing or
+/// thread schedule — the property the chaos suites (test_fault,
+/// test_rt_recovery, the CI `chaos` job) build their assertions on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/sim/feeder.hpp"
+
+namespace wivi::fault {
+
+/// @addtogroup wivi_fault
+/// @{
+
+/// Declarative fault plan over a chunk stream. Probabilities are per
+/// source chunk in [0, 1] and drawn independently per fault kind; the
+/// `*_at` lists script the same faults at exact source-chunk indices
+/// (0-based, counted before any fault rewrites the stream), firing
+/// regardless of the probabilities.
+struct FaultSpec {
+  /// Seed of every random decision; two feeders with equal spec (and
+  /// equal wrapped traces) produce identical fault sequences.
+  std::uint64_t seed = 1;
+
+  /// Chunk never delivered (stream gap the pipeline must absorb).
+  double drop_prob = 0.0;
+  /// Chunk delivered twice back to back (at-least-once transport).
+  double duplicate_prob = 0.0;
+  /// Chunk swapped with the next delivered chunk (late packet).
+  double reorder_prob = 0.0;
+  /// Chunk cut to a random proper prefix (torn read / short frame).
+  double truncate_prob = 0.0;
+  /// A NaN/Inf burst written into the chunk (sensor glitch; the
+  /// InputGuard's check_finite is what should catch it).
+  double corrupt_prob = 0.0;
+  /// A sensor-silence gap opens before the chunk: silence_chunks
+  /// consecutive kGap periods with no data (what a watchdog observes).
+  double gap_prob = 0.0;
+
+  /// Samples poisoned per corruption burst (clamped to the chunk).
+  std::size_t corrupt_burst = 4;
+  /// Chunk periods per silence gap (>= 1 when a gap fires).
+  std::size_t silence_chunks = 4;
+
+  /// Scripted drops at these source-chunk indices.
+  std::vector<std::size_t> drop_at;
+  /// Scripted corruption bursts at these source-chunk indices.
+  std::vector<std::size_t> corrupt_at;
+  /// Scripted silence gaps opening before these source-chunk indices.
+  std::vector<std::size_t> silence_at;
+  /// End the stream early: source chunks >= end_at are never read
+  /// (sensor death mid-trace).
+  std::optional<std::size_t> end_at;
+};
+
+/// What FaultyFeeder::next() produced for one chunk period.
+enum class FaultAction {
+  kDeliver,  ///< `chunk` holds data to offer the session
+  kGap,      ///< sensor silence: nothing arrives this chunk period
+  kEnd,      ///< stream over (source exhausted or FaultSpec::end_at)
+};
+
+/// A sim::ChunkedTrace wrapped in a FaultSpec: replays the trace's chunk
+/// stream with the spec's faults injected, deterministically in the seed.
+/// Single-threaded like the trace it wraps; rewind() restarts both the
+/// trace and the fault plan, reproducing the exact same faulted stream.
+class FaultyFeeder {
+ public:
+  /// Cumulative injection counters (what the plan actually did — the
+  /// ground truth chaos tests reconcile engine stats against).
+  struct Stats {
+    std::uint64_t delivered = 0;   ///< chunks handed out (kDeliver)
+    std::uint64_t dropped = 0;     ///< source chunks never delivered
+    std::uint64_t duplicated = 0;  ///< extra copies delivered
+    std::uint64_t reordered = 0;   ///< chunks swapped with a successor
+    std::uint64_t truncated = 0;   ///< chunks cut to a prefix
+    std::uint64_t corrupted = 0;   ///< chunks given a NaN/Inf burst
+    std::uint64_t gaps = 0;        ///< silent chunk periods (kGap)
+  };
+
+  /// Wrap `trace` in the fault plan `spec`.
+  FaultyFeeder(sim::ChunkedTrace trace, FaultSpec spec);
+
+  /// Produce the next chunk period: fills `chunk` and returns kDeliver,
+  /// or reports a silence period (kGap — `chunk` untouched) or the end
+  /// of the stream (kEnd).
+  [[nodiscard]] FaultAction next(CVec& chunk);
+
+  /// Injection counters so far.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Source chunks consumed from the wrapped trace so far.
+  [[nodiscard]] std::size_t source_index() const noexcept { return src_; }
+  /// The wrapped trace (its ->trace() is the unfaulted ground truth).
+  [[nodiscard]] const sim::ChunkedTrace& trace() const noexcept {
+    return trace_;
+  }
+  /// The fault plan.
+  [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+
+  /// Restart the trace and the fault plan from the top; the replay is
+  /// bit-identical to the first pass.
+  void rewind();
+
+ private:
+  [[nodiscard]] bool advance();
+  void poison(CVec& chunk, std::size_t index);
+  [[nodiscard]] std::uint64_t key(std::size_t index,
+                                  std::uint64_t salt) const noexcept;
+  [[nodiscard]] bool chance(std::size_t index, std::uint64_t salt,
+                            double prob) const noexcept;
+
+  sim::ChunkedTrace trace_;
+  FaultSpec spec_;
+  Stats stats_;
+  std::size_t src_ = 0;        // next source-chunk index
+  std::size_t gap_pending_ = 0;
+  std::vector<CVec> ready_;    // transformed chunks awaiting delivery
+  std::size_t head_ = 0;       // FIFO cursor into ready_
+  CVec held_;                  // reordered chunk waiting for its successor
+  bool have_held_ = false;
+};
+
+/// A wivi::Session fault hook (Session::set_fault_hook /
+/// rt::IngestConfig::fault_hook) that throws TypedError of
+/// ErrorCode::kStageFailure when the session's cumulative accepted-push
+/// count reaches each index in `throw_at`. The hook keeps its own counter
+/// across rt::RestartPolicy re-arms (the per-pipeline index argument is
+/// ignored), so a scripted mid-stream failure fires exactly once even
+/// though a restarted pipeline's own indices restart from zero.
+[[nodiscard]] std::function<void(std::size_t)> throw_hook(
+    std::vector<std::size_t> throw_at);
+
+/// @}
+
+}  // namespace wivi::fault
+
+namespace wivi {
+
+/// Canonical short spelling of fault::FaultSpec.
+using fault::FaultSpec;
+/// Canonical short spelling of fault::FaultyFeeder.
+using fault::FaultyFeeder;
+
+}  // namespace wivi

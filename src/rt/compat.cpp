@@ -74,10 +74,26 @@ Event to_legacy_event(SessionId session, api::Event e) {
           out.columns_seen = ev.columns_seen;
           out.spatial_variance = ev.spatial_variance;
           out.num_confirmed = ev.num_confirmed;
-        } else {
-          static_assert(std::is_same_v<T, api::ErrorEvent>);
+        } else if constexpr (std::is_same_v<T, api::ErrorEvent>) {
           out.type = Event::Type::kError;
           out.error = std::move(ev.message);
+          out.code = ev.code;
+        } else if constexpr (std::is_same_v<T, api::StalledEvent>) {
+          out.type = Event::Type::kStalled;
+          out.silent_sec = ev.silent_sec;
+          out.chunks_in = ev.chunks_seen;
+        } else if constexpr (std::is_same_v<T, api::RecoveredEvent>) {
+          out.type = Event::Type::kRecovered;
+          out.restarts = ev.restarts;
+          out.code = ev.cause;
+          out.error = std::move(ev.message);
+        } else {
+          static_assert(std::is_same_v<T, api::OverloadEvent>);
+          out.type = Event::Type::kOverload;
+          out.degraded = ev.degraded;
+          out.fidelity = ev.fidelity;
+          out.chunks_dropped = ev.chunks_dropped;
+          out.samples_dropped = ev.samples_dropped;
         }
       },
       std::move(e));
@@ -99,7 +115,14 @@ api::Event to_api_event(const Event& e) {
       return api::FinishedEvent{e.columns_seen, e.spatial_variance,
                                 e.num_confirmed};
     case Event::Type::kError:
-      return api::ErrorEvent{e.error};
+      return api::ErrorEvent{e.error, e.code};
+    case Event::Type::kStalled:
+      return api::StalledEvent{e.silent_sec, e.chunks_in};
+    case Event::Type::kRecovered:
+      return api::RecoveredEvent{e.restarts, e.code, e.error};
+    case Event::Type::kOverload:
+      return api::OverloadEvent{e.degraded, e.fidelity, e.chunks_dropped,
+                                e.samples_dropped};
   }
   throw InvalidArgument("unknown legacy event type");
 }

@@ -9,21 +9,53 @@
 
 namespace wivi::rt {
 
+namespace {
+
+/// Steady-clock now in nanoseconds — the watchdog/backoff time base.
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t sec_to_ns(double sec) noexcept {
+  return static_cast<std::int64_t>(sec * 1e9);
+}
+
+}  // namespace
+
 Engine::Session::Session(Engine* engine, SessionId id_,
                          api::PipelineSpec spec_, IngestConfig ingest_)
     : id(id_),
-      ingest(ingest_),
-      pipeline(std::move(spec_)),
-      ring(ingest_.ring_capacity) {
+      ingest(std::move(ingest_)),
+      spec(std::move(spec_)),
+      ring(ingest.ring_capacity) {
+  arm_pipeline(engine);
+  last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+}
+
+void Engine::Session::arm_pipeline(Engine* engine) {
+  pipeline.emplace(api::PipelineSpec(spec));
   // The conversion sink: every typed event the pipeline emits becomes one
   // legacy Event tagged with this session's id. Runs under the session's
   // claim flag (the pipeline is only driven from there), so the counter
-  // updates and delivery order stay per-session sequential.
-  pipeline.set_callback([engine, this](api::Event&& e) {
+  // updates and delivery order stay per-session sequential. Terminal
+  // events additionally carry the session's cumulative loss counters.
+  pipeline->set_callback([engine, this](api::Event&& e) {
     if (const auto* b = std::get_if<api::BitsEvent>(&e))
       bits_out.fetch_add(b->bits.size(), std::memory_order_relaxed);
-    engine->deliver(to_legacy_event(id, std::move(e)));
+    Event out = to_legacy_event(id, std::move(e));
+    if (out.type == Event::Type::kFinished ||
+        out.type == Event::Type::kError) {
+      out.chunks_dropped = chunks_dropped.load(std::memory_order_relaxed);
+      out.samples_dropped = samples_dropped.load(std::memory_order_relaxed);
+      out.chunks_rejected = chunks_rejected.load(std::memory_order_relaxed);
+    }
+    engine->deliver(std::move(out));
   });
+  if (ingest.fault_hook) pipeline->set_fault_hook(ingest.fault_hook);
+  const int f = fidelity.load(std::memory_order_relaxed);
+  if (f > 1) pipeline->set_fidelity(f);
 }
 
 Engine::Engine() : Engine(Config{}) {}
@@ -54,11 +86,23 @@ Engine::Session& Engine::session(SessionId id) const {
 }
 
 SessionId Engine::open_session(api::PipelineSpec spec, IngestConfig ingest) {
+  WIVI_REQUIRE(ingest.restart.max_restarts >= 0,
+               "restart.max_restarts must be >= 0");
+  WIVI_REQUIRE(ingest.restart.backoff_sec >= 0.0,
+               "restart.backoff_sec must be >= 0");
+  WIVI_REQUIRE(ingest.watchdog.stall_timeout_sec >= 0.0,
+               "watchdog.stall_timeout_sec must be >= 0");
+  WIVI_REQUIRE(!ingest.overload.degrade ||
+                   (ingest.overload.degraded_fidelity >= 2 &&
+                    ingest.overload.degrade_after_drops >= 1 &&
+                    ingest.overload.restore_after_chunks >= 1),
+               "overload policy: degraded_fidelity >= 2 and both "
+               "thresholds >= 1");
   std::lock_guard lk(register_mu_);
   const std::size_t n = session_count_.load(std::memory_order_relaxed);
   WIVI_REQUIRE(n < cfg_.max_sessions, "session table full");
   sessions_[n] = std::make_unique<Session>(this, static_cast<SessionId>(n),
-                                           std::move(spec), ingest);
+                                           std::move(spec), std::move(ingest));
   session_count_.store(n + 1, std::memory_order_release);
   return static_cast<SessionId>(n);
 }
@@ -78,16 +122,22 @@ SessionId Engine::run_recorded(api::PipelineSpec spec, CSpan trace) {
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(trace.size(), std::memory_order_relaxed);
   try {
-    s.pipeline.run(trace, api::Parallelism{num_threads_});
-    s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+    s.pipeline->run(trace, api::Parallelism{num_threads_});
+    s.columns_out.store(s.pipeline->columns_seen(),
+                        std::memory_order_relaxed);
     s.closed.store(true, std::memory_order_release);
     s.finished.store(true, std::memory_order_release);
+  } catch (const TypedError& e) {
+    // Includes an InputGuard rejection of the whole trace: in recorded
+    // mode the trace *is* the stream, so a rejected trace is terminal.
+    s.closed.store(true, std::memory_order_release);
+    fail_session(s, e.code(), e.what());
   } catch (const std::exception& e) {
     s.closed.store(true, std::memory_order_release);
-    fail_session(s, e.what());
+    fail_session(s, ErrorCode::kStageFailure, e.what());
   } catch (...) {
     s.closed.store(true, std::memory_order_release);
-    fail_session(s, "unknown exception");
+    fail_session(s, ErrorCode::kStageFailure, "unknown exception");
   }
   s.busy.store(false, std::memory_order_release);
   return id;
@@ -104,6 +154,18 @@ bool Engine::offer(SessionId id, CVec chunk) {
   const std::uint64_t samples = chunk.size();
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(samples, std::memory_order_relaxed);
+  // Feed the watchdog: any offer — accepted or dropped — is proof the
+  // producer is alive, and re-arms the one-shot kStalled advisory.
+  s.last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+  s.stall_flagged.store(false, std::memory_order_relaxed);
+  // A finished session (failed, timed out, restarts exhausted) has no
+  // consumer left; pushing to its ring would strand the chunk outside
+  // every counter, so count it as a drop up front.
+  if (s.finished.load(std::memory_order_acquire)) {
+    s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
+    s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+    return false;
+  }
 
   if (s.ingest.backpressure == Backpressure::kBlock) {
     while (!s.ring.try_push(std::move(chunk))) {
@@ -169,35 +231,48 @@ Engine::SessionStats Engine::stats(SessionId id) const {
   st.samples_in = s.samples_in.load(std::memory_order_relaxed);
   st.chunks_dropped = s.chunks_dropped.load(std::memory_order_relaxed);
   st.samples_dropped = s.samples_dropped.load(std::memory_order_relaxed);
+  st.chunks_rejected = s.chunks_rejected.load(std::memory_order_relaxed);
+  st.samples_rejected = s.samples_rejected.load(std::memory_order_relaxed);
   st.columns_out = s.columns_out.load(std::memory_order_relaxed);
   st.bits_out = s.bits_out.load(std::memory_order_relaxed);
+  st.restarts = s.restarts.load(std::memory_order_relaxed);
+  st.fidelity = s.fidelity.load(std::memory_order_relaxed);
+  st.stalled = s.stall_flagged.load(std::memory_order_relaxed);
   st.closed = s.closed.load(std::memory_order_acquire);
   st.finished = s.finished.load(std::memory_order_acquire);
   return st;
 }
 
 const api::Session& Engine::pipeline(SessionId id) const {
-  return session(id).pipeline;
+  return *session(id).pipeline;
 }
 
 const StreamingTracker& Engine::tracker(SessionId id) const {
-  return session(id).pipeline.tracker();
+  return session(id).pipeline->tracker();
 }
 
 const core::GestureDecoder::Result& Engine::gesture_result(
     SessionId id) const {
-  return session(id).pipeline.gesture_result();
+  return session(id).pipeline->gesture_result();
 }
 
 const track::MultiTargetTracker& Engine::multi_tracker(SessionId id) const {
-  return session(id).pipeline.multi_tracker();
+  return session(id).pipeline->multi_tracker();
 }
 
 void Engine::drain() {
   const std::size_t n = session_count_.load(std::memory_order_acquire);
-  for (std::size_t i = 0; i < n; ++i)
-    WIVI_REQUIRE(sessions_[i]->closed.load(std::memory_order_acquire),
+  for (std::size_t i = 0; i < n; ++i) {
+    // A fatal watchdog is the one other way a session is guaranteed to
+    // resolve: its timeout turns an absent feeder into a terminal
+    // kError(kTimeout), so waiting on it cannot hang.
+    const Session& s = *sessions_[i];
+    WIVI_REQUIRE(s.closed.load(std::memory_order_acquire) ||
+                     s.finished.load(std::memory_order_acquire) ||
+                     (s.ingest.watchdog.stall_timeout_sec > 0.0 &&
+                      s.ingest.watchdog.timeout_is_fatal),
                  "drain() with a session still open would never return");
+  }
   for (;;) {
     bool all_finished = true;
     for (std::size_t i = 0; i < n && all_finished; ++i)
@@ -236,9 +311,27 @@ void Engine::worker_loop(int wid) {
 
 bool Engine::try_process(Session& s) {
   if (s.finished.load(std::memory_order_acquire)) return false;
-  // Cheap pre-check before contending on the claim flag.
-  if (s.ring.empty() && !s.closed.load(std::memory_order_acquire))
-    return false;
+  const std::int64_t now = now_ns();
+  // Restart-backoff gate: a freshly re-armed session rests until its
+  // resume instant — the engine-side pause that keeps a crash-looping
+  // pipeline from burning a worker.
+  if (s.resume_at_ns.load(std::memory_order_acquire) > now) return false;
+  // Cheap pre-check before contending on the claim flag. An idle session
+  // is still claimed when its watchdog may be due — silence is exactly
+  // what the watchdog exists to observe.
+  bool watchdog_only = false;
+  if (s.ring.empty() && !s.closed.load(std::memory_order_acquire)) {
+    const double timeout = s.ingest.watchdog.stall_timeout_sec;
+    if (timeout <= 0.0) return false;
+    const std::int64_t silent =
+        now - s.last_activity_ns.load(std::memory_order_relaxed);
+    const bool advisory_due = silent >= sec_to_ns(timeout) &&
+                              !s.stall_flagged.load(std::memory_order_relaxed);
+    const bool fatal_due = s.ingest.watchdog.timeout_is_fatal &&
+                           silent >= 2 * sec_to_ns(timeout);
+    if (!advisory_due && !fatal_due) return false;
+    watchdog_only = true;
+  }
   if (s.busy.exchange(true, std::memory_order_acquire)) return false;
   // Re-check under the claim: the pre-claim read can go stale if another
   // worker fails or finalises the session between the two lines, and a
@@ -254,31 +347,42 @@ bool Engine::try_process(Session& s) {
 
   // An exception from a pipeline stage (WIVI_REQUIRE on pathological
   // input) or from a throwing user callback must not escape the worker
-  // thread — that would std::terminate the whole service. It kills this
+  // thread — that would std::terminate the whole service. It fails this
   // session only: the pipeline delivers its own ErrorEvent (converted to
-  // kError) on the way out, and the session counts as finished so drain()
+  // kError) on the way out, and handle_failure() either re-arms the
+  // session under its RestartPolicy or marks it finished so drain()
   // still returns.
   bool did_work = false;
   try {
-    CVec chunk;
-    for (int i = 0; i < cfg_.chunks_per_claim && s.ring.try_pop(chunk); ++i) {
-      process_chunk(s, std::move(chunk));
-      chunk.clear();
+    if (watchdog_only) {
+      check_watchdog(s, now);
       did_work = true;
+    } else {
+      CVec chunk;
+      for (int i = 0; i < cfg_.chunks_per_claim && s.ring.try_pop(chunk);
+           ++i) {
+        process_chunk(s, std::move(chunk));
+        check_overload(s);
+        chunk.clear();
+        did_work = true;
+      }
+      // Finalise only once the close flag is up AND the ring is empty; the
+      // acquire on `closed` makes every pre-close push visible, so an
+      // empty ring here really is the end of the stream.
+      if (!did_work && s.closed.load(std::memory_order_acquire) &&
+          s.ring.empty() && !s.finished.load(std::memory_order_relaxed)) {
+        finalize(s);
+        did_work = true;
+      }
     }
-    // Finalise only once the close flag is up AND the ring is empty; the
-    // acquire on `closed` makes every pre-close push visible, so an empty
-    // ring here really is the end of the stream.
-    if (!did_work && s.closed.load(std::memory_order_acquire) &&
-        s.ring.empty() && !s.finished.load(std::memory_order_relaxed)) {
-      finalize(s);
-      did_work = true;
-    }
+  } catch (const TypedError& e) {
+    handle_failure(s, e.code(), e.what());
+    did_work = true;
   } catch (const std::exception& e) {
-    fail_session(s, e.what());
+    handle_failure(s, ErrorCode::kStageFailure, e.what());
     did_work = true;
   } catch (...) {
-    fail_session(s, "unknown exception");
+    handle_failure(s, ErrorCode::kStageFailure, "unknown exception");
     did_work = true;
   }
   s.busy.store(false, std::memory_order_release);
@@ -287,26 +391,144 @@ bool Engine::try_process(Session& s) {
 
 void Engine::process_chunk(Session& s, CVec chunk) {
   // The pipeline emits every event itself (through the conversion sink
-  // installed at construction); the engine only maintains the counters.
-  // The counter is synced even when event delivery throws mid-chunk: the
+  // installed at arm time); the engine only maintains the counters. The
+  // counter is synced even when event delivery throws mid-chunk: the
   // image columns were completed before delivery started, and some may
   // already have reached the consumer.
   try {
-    s.pipeline.push(chunk);
+    s.pipeline->push(chunk);
+  } catch (const TypedError& e) {
+    s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
+                        std::memory_order_relaxed);
+    if (e.code() == ErrorCode::kInvalidChunk) {
+      // InputGuard rejection: by contract a no-op for the pipeline — the
+      // session stays healthy, the malformed chunk is only counted.
+      s.chunks_rejected.fetch_add(1, std::memory_order_relaxed);
+      s.samples_rejected.fetch_add(chunk.size(), std::memory_order_relaxed);
+      return;
+    }
+    throw;
   } catch (...) {
-    s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+    s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
+                        std::memory_order_relaxed);
     throw;
   }
-  s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+  s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
+                      std::memory_order_relaxed);
+}
+
+/// The degradation ladder (runs under the claim flag, after each processed
+/// chunk): trip down to the coarse angle grid once enough chunks drowned
+/// since the last transition, climb back to full fidelity only after a
+/// hysteresis window of drop-free processing.
+void Engine::check_overload(Session& s) {
+  const OverloadPolicy& op = s.ingest.overload;
+  if (!op.degrade) return;
+  const std::uint64_t drops = s.chunks_dropped.load(std::memory_order_relaxed);
+  const std::uint64_t fresh = drops - s.drops_acked;
+  const bool degraded = s.fidelity.load(std::memory_order_relaxed) > 1;
+  if (!degraded) {
+    if (fresh < op.degrade_after_drops) return;
+    s.pipeline->set_fidelity(op.degraded_fidelity);
+    s.fidelity.store(op.degraded_fidelity, std::memory_order_relaxed);
+  } else if (fresh > 0) {
+    s.drops_acked = drops;  // still drowning: restart the clean window
+    s.clean_chunks = 0;
+    return;
+  } else if (++s.clean_chunks < op.restore_after_chunks) {
+    return;
+  } else {
+    s.pipeline->set_fidelity(1);
+    s.fidelity.store(1, std::memory_order_relaxed);
+  }
+  s.drops_acked = drops;
+  s.clean_chunks = 0;
+  Event e;
+  e.session = s.id;
+  e.type = Event::Type::kOverload;
+  e.degraded = !degraded;
+  e.fidelity = s.fidelity.load(std::memory_order_relaxed);
+  e.chunks_dropped = drops;
+  e.samples_dropped = s.samples_dropped.load(std::memory_order_relaxed);
+  deliver(std::move(e));
+}
+
+/// Watchdog tick for an idle session (runs under the claim flag): one
+/// advisory kStalled per silence, then — at twice the deadline, when the
+/// timeout is fatal — a terminal kError of ErrorCode::kTimeout.
+void Engine::check_watchdog(Session& s, std::int64_t now) {
+  const std::int64_t deadline = sec_to_ns(s.ingest.watchdog.stall_timeout_sec);
+  const std::int64_t silent =
+      now - s.last_activity_ns.load(std::memory_order_relaxed);
+  if (silent < deadline) return;  // fed between pre-check and claim
+  if (s.ingest.watchdog.timeout_is_fatal && silent >= 2 * deadline) {
+    fail_session(s, ErrorCode::kTimeout,
+                 "watchdog: feeder silent past twice the liveness deadline");
+    return;
+  }
+  if (s.stall_flagged.exchange(true, std::memory_order_relaxed)) return;
+  Event e;
+  e.session = s.id;
+  e.type = Event::Type::kStalled;
+  e.silent_sec = static_cast<double>(silent) * 1e-9;
+  e.chunks_in = s.chunks_in.load(std::memory_order_relaxed);
+  deliver(std::move(e));
 }
 
 void Engine::finalize(Session& s) {
-  s.pipeline.finish();  // final flush + FinishedEvent via the sink
-  s.columns_out.store(s.pipeline.columns_seen(), std::memory_order_relaxed);
+  s.pipeline->finish();  // final flush + FinishedEvent via the sink
+  s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
+                      std::memory_order_relaxed);
   s.finished.store(true, std::memory_order_release);
 }
 
-void Engine::fail_session(Session& s, const char* what) noexcept {
+/// A pipeline (or engine-side delivery) failure under the claim flag:
+/// either re-arm the session under its RestartPolicy — kRecovered follows
+/// the failure's kError, processing resumes after the backoff — or let
+/// the failure be terminal via fail_session().
+void Engine::handle_failure(Session& s, ErrorCode code,
+                            const char* what) noexcept {
+  const RestartPolicy& rp = s.ingest.restart;
+  const int used = s.restarts.load(std::memory_order_relaxed);
+  if (used >= rp.max_restarts) {
+    fail_session(s, code, what);
+    return;
+  }
+  // Re-arm: a fresh pipeline (same spec, same sink/hook/fidelity wiring)
+  // continues consuming the ring. The dead pipeline already delivered its
+  // own kError; the kRecovered below tells the consumer the session
+  // lives on. If re-compilation itself throws, the restart is abandoned
+  // and the failure becomes terminal.
+  try {
+    s.columns_base += s.pipeline->columns_seen();
+    s.arm_pipeline(this);
+  } catch (...) {
+    fail_session(s, code, what);
+    return;
+  }
+  const int r = used + 1;
+  s.restarts.store(r, std::memory_order_relaxed);
+  if (rp.backoff_sec > 0.0) {
+    const double scale = static_cast<double>(std::uint64_t{1} << (r - 1));
+    s.resume_at_ns.store(now_ns() + sec_to_ns(rp.backoff_sec * scale),
+                         std::memory_order_release);
+  }
+  try {
+    Event e;
+    e.session = s.id;
+    e.type = Event::Type::kRecovered;
+    e.restarts = r;
+    e.code = code;
+    e.error = what;
+    deliver(std::move(e));
+  } catch (...) {
+    // The callback threw again (or allocation failed): the kRecovered is
+    // lost but the session is restarted all the same.
+  }
+}
+
+void Engine::fail_session(Session& s, ErrorCode code,
+                          const char* what) noexcept {
   // Lifecycle guard (belt to try_process's braces): a session that is
   // already dead — it failed or finalised earlier — must not emit another
   // kError. Callers hold the claim flag, so this read cannot race a
@@ -315,12 +537,16 @@ void Engine::fail_session(Session& s, const char* what) noexcept {
   // The pipeline delivers its own ErrorEvent (already converted to kError
   // by the session sink) when one of its stages or the sink threw; only
   // engine-side failures outside the pipeline still need one here.
-  if (!s.pipeline.failed()) {
+  if (!s.pipeline || !s.pipeline->failed()) {
     try {
       Event e;
       e.session = s.id;
       e.type = Event::Type::kError;
       e.error = what;
+      e.code = code;
+      e.chunks_dropped = s.chunks_dropped.load(std::memory_order_relaxed);
+      e.samples_dropped = s.samples_dropped.load(std::memory_order_relaxed);
+      e.chunks_rejected = s.chunks_rejected.load(std::memory_order_relaxed);
       deliver(std::move(e));
     } catch (...) {
       // The callback threw again (or allocation failed): the error event

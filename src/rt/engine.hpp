@@ -53,6 +53,56 @@ enum class Backpressure {
   kBlock,
 };
 
+/// Bounded-retry recovery of a failed multiplexed session (DESIGN.md §9):
+/// when a pipeline stage, sink or fault hook throws, the engine re-arms
+/// the session with a freshly compiled pipeline (same spec) instead of
+/// killing it — up to `max_restarts` times, each restart announced by a
+/// kRecovered event following the failure's kError. The restarted
+/// pipeline starts a new image (earlier columns are lost, column indices
+/// restart from 0) and continues consuming the ring where the dead one
+/// stopped. With the default `max_restarts == 0` every failure is
+/// terminal, exactly the legacy single-kError contract.
+struct RestartPolicy {
+  /// Restarts allowed over the session's lifetime (0 = never restart).
+  int max_restarts = 0;
+  /// Delay before restart r resumes processing: backoff_sec * 2^(r-1)
+  /// (exponential). 0 resumes immediately.
+  double backoff_sec = 0.0;
+};
+
+/// Per-session liveness watchdog (DESIGN.md §9): when the feeder goes
+/// silent for `stall_timeout_sec`, the engine emits one advisory kStalled
+/// event (re-armed by the next offer()); if silence reaches twice the
+/// deadline and `timeout_is_fatal`, the session dies with a terminal
+/// kError of ErrorCode::kTimeout — which is also how a session that was
+/// opened but never fed nor closed resolves instead of hanging drain().
+struct WatchdogConfig {
+  /// Liveness deadline in seconds; 0 disables the watchdog.
+  double stall_timeout_sec = 0.0;
+  /// Kill the session (kError, ErrorCode::kTimeout) when silence reaches
+  /// 2 * stall_timeout_sec. When false the watchdog only ever advises.
+  bool timeout_is_fatal = true;
+};
+
+/// Graceful degradation under overload (DESIGN.md §9): when a kDropNewest
+/// session keeps losing chunks to a full ring, the engine steps the
+/// session down to a coarser MUSIC angle grid
+/// (wivi::Session::set_fidelity) so each column costs less and the worker
+/// catches up; after a hysteresis window of drop-free input it restores
+/// full fidelity. Both transitions are announced with kOverload events.
+struct OverloadPolicy {
+  /// Master switch; false leaves fidelity alone no matter the drops.
+  bool degrade = false;
+  /// Enter degraded mode after this many chunks dropped since the last
+  /// transition (the ladder's trip point).
+  std::uint64_t degrade_after_drops = 8;
+  /// Angle-grid decimation while degraded (>= 2 to be a real step down).
+  int degraded_fidelity = 4;
+  /// Restore full fidelity after this many consecutively processed chunks
+  /// with no new drops (the hysteresis that prevents flapping).
+  std::uint64_t restore_after_chunks = 64;
+};
+
 /// The ingestion-edge knobs of one multiplexed session — everything about
 /// *feeding* the pipeline that has no meaning for a standalone
 /// wivi::Session (which is handed its chunks directly).
@@ -61,6 +111,17 @@ struct IngestConfig {
   std::size_t ring_capacity = 256;
   /// What offer() does when the ring is full.
   Backpressure backpressure = Backpressure::kDropNewest;
+  /// Bounded-retry recovery of pipeline failures (default: none).
+  RestartPolicy restart;
+  /// Feeder-liveness watchdog (default: disabled).
+  WatchdogConfig watchdog;
+  /// Degrade-under-overload ladder (default: disabled).
+  OverloadPolicy overload;
+  /// Chaos-engineering failpoint forwarded to
+  /// wivi::Session::set_fault_hook on every (re)armed pipeline — how the
+  /// fault-injection suites script stage exceptions at exact chunk
+  /// indices inside a multiplexed session (fault::throw_hook).
+  std::function<void(std::size_t)> fault_hook;
 };
 
 /// Per-session processing configuration.
@@ -103,12 +164,15 @@ struct SessionConfig {
 struct Event {
   /// What this event reports.
   enum class Type {
-    kColumn,    ///< one new angle-time image column
-    kBits,      ///< newly stable decoded gesture bits
-    kCount,     ///< running spatial-variance update (after new columns)
-    kTracks,    ///< live multi-target snapshots (after new columns)
-    kFinished,  ///< session closed, drained and finalised
-    kError,     ///< session failed (stage or callback threw) and is dead
+    kColumn,     ///< one new angle-time image column
+    kBits,       ///< newly stable decoded gesture bits
+    kCount,      ///< running spatial-variance update (after new columns)
+    kTracks,     ///< live multi-target snapshots (after new columns)
+    kFinished,   ///< session closed, drained and finalised
+    kError,      ///< session failed; terminal unless a kRecovered follows
+    kStalled,    ///< watchdog advisory: the feeder has gone silent
+    kRecovered,  ///< the session restarted under its RestartPolicy
+    kOverload,   ///< degradation-ladder transition (OverloadPolicy)
   };
 
   /// Session this event belongs to.
@@ -139,7 +203,30 @@ struct Event {
   std::size_t columns_seen = 0;
 
   /// kError: what the failing stage or callback threw.
+  /// kRecovered: what forced the restart.
   std::string error;
+  /// kError / kRecovered: machine-readable failure class
+  /// (wivi::error_code_name() for the string form).
+  ErrorCode code = ErrorCode::kNone;
+
+  /// kStalled: how long the feeder has been silent.
+  double silent_sec = 0.0;
+  /// kStalled: chunks the session had received at stall detection.
+  std::uint64_t chunks_in = 0;
+  /// kRecovered: restarts consumed so far, this one included.
+  int restarts = 0;
+  /// kOverload: true entering degraded mode, false restoring fidelity.
+  bool degraded = false;
+  /// kOverload: angle-grid decimation now in effect (1 = full fidelity).
+  int fidelity = 1;
+  /// kOverload / kFinished / kError: cumulative chunks lost to
+  /// backpressure.
+  std::uint64_t chunks_dropped = 0;
+  /// kOverload / kFinished / kError: cumulative samples lost to
+  /// backpressure.
+  std::uint64_t samples_dropped = 0;
+  /// kFinished / kError: cumulative chunks rejected by the InputGuard.
+  std::uint64_t chunks_rejected = 0;
 };
 
 /// The session table plus worker pool: opens sessions, ingests chunks,
@@ -164,8 +251,13 @@ class Engine {
     std::uint64_t samples_in = 0;        ///< samples offered
     std::uint64_t chunks_dropped = 0;    ///< chunks lost to backpressure
     std::uint64_t samples_dropped = 0;   ///< samples lost to backpressure
+    std::uint64_t chunks_rejected = 0;   ///< chunks the InputGuard rejected
+    std::uint64_t samples_rejected = 0;  ///< samples in rejected chunks
     std::uint64_t columns_out = 0;       ///< image columns produced
     std::uint64_t bits_out = 0;          ///< gesture bits emitted
+    int restarts = 0;                    ///< RestartPolicy restarts consumed
+    int fidelity = 1;                    ///< angle decimation in effect
+    bool stalled = false;                ///< watchdog advisory in effect
     bool closed = false;                 ///< close_session() called
     bool finished = false;               ///< drained and finalised (or dead)
   };
@@ -217,8 +309,11 @@ class Engine {
 
   /// Ingest one chunk (one producer thread per session at a time). Returns
   /// false iff the chunk was dropped: kDropNewest with a full ring, or —
-  /// under either policy — the engine being stopped. kBlock otherwise
-  /// waits for ring space and returns true.
+  /// under either policy — the engine being stopped or the session already
+  /// finished (it failed, timed out, or exhausted its restarts; no worker
+  /// will ever drain its ring again). kBlock otherwise waits for ring
+  /// space and returns true. Every offer also feeds the session's
+  /// liveness watchdog.
   bool offer(SessionId id, CVec chunk);
 
   /// End of stream: after the ring drains, the session is finalised (final
@@ -226,8 +321,10 @@ class Engine {
   void close_session(SessionId id);
 
   /// Block until every session is closed, drained and finalised. Requires
-  /// all sessions to have been close_session()ed (else it would never
-  /// return — enforced).
+  /// every session to have been close_session()ed — or to carry a fatal
+  /// watchdog (WatchdogConfig with timeout_is_fatal), whose timeout
+  /// guarantees the session resolves even if its feeder never shows up
+  /// (else drain() would never return — enforced).
   void drain();
 
   /// Move all queued events into `out` (appended); returns how many. No-op
@@ -264,9 +361,18 @@ class Engine {
     Session(Engine* engine, SessionId id_, api::PipelineSpec spec_,
             IngestConfig ingest_);
 
+    /// (Re)compile `spec` into a fresh pipeline and wire it up: the
+    /// conversion sink, the fault hook and the currently commanded
+    /// fidelity. Runs at open and, under the claim flag, at every
+    /// RestartPolicy restart.
+    void arm_pipeline(Engine* engine);
+
     SessionId id;
     IngestConfig ingest;
-    api::Session pipeline;
+    /// The spec, kept beyond compilation so a restart can re-arm an
+    /// identical pipeline (api::Session is neither copyable nor movable).
+    api::PipelineSpec spec;
+    std::optional<api::Session> pipeline;
     SpscRing<CVec> ring;
 
     std::atomic<bool> closed{false};
@@ -285,13 +391,36 @@ class Engine {
     // Worker-side counters (relaxed atomics: read by stats() while live).
     std::atomic<std::uint64_t> columns_out{0};
     std::atomic<std::uint64_t> bits_out{0};
+    std::atomic<std::uint64_t> chunks_rejected{0};
+    std::atomic<std::uint64_t> samples_rejected{0};
+
+    // Watchdog state: last producer activity (steady-clock ns) and
+    // whether the advisory kStalled for the current silence has fired.
+    std::atomic<std::int64_t> last_activity_ns{0};
+    std::atomic<bool> stall_flagged{false};
+    // Restart state: restarts consumed, and the steady-clock instant
+    // before which workers must leave the session alone (backoff).
+    std::atomic<int> restarts{0};
+    std::atomic<std::int64_t> resume_at_ns{0};
+    /// Columns produced by pre-restart pipeline incarnations, so
+    /// columns_out stays monotone across restarts. Claim-protected.
+    std::uint64_t columns_base = 0;
+
+    // Overload-ladder state, claim-protected except the mirrored
+    // fidelity (read by stats() while live).
+    std::atomic<int> fidelity{1};
+    std::uint64_t drops_acked = 0;   ///< drops already reacted to
+    std::uint64_t clean_chunks = 0;  ///< drop-free chunks since last drop
   };
 
   void worker_loop(int wid);
   bool try_process(Session& s);
   void process_chunk(Session& s, CVec chunk);
+  void check_overload(Session& s);
+  void check_watchdog(Session& s, std::int64_t now_ns);
   void finalize(Session& s);
-  void fail_session(Session& s, const char* what) noexcept;
+  void handle_failure(Session& s, ErrorCode code, const char* what) noexcept;
+  void fail_session(Session& s, ErrorCode code, const char* what) noexcept;
   void deliver(Event&& e);
   void wake_workers() noexcept;
   [[nodiscard]] Session& session(SessionId id) const;

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -44,12 +45,16 @@ class SpscRing {
   /// Actual (power-of-two) capacity in elements.
   [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
 
-  /// Producer side. On failure (ring full) `v` is left untouched.
+  /// Producer side. On failure (ring full) `v` is left untouched and the
+  /// drops() counter advances.
   [[nodiscard]] bool try_push(T&& v) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_cache_ == capacity()) {
       head_cache_ = head_.load(std::memory_order_acquire);
-      if (t - head_cache_ == capacity()) return false;
+      if (t - head_cache_ == capacity()) {
+        drops_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
     }
     slots_[t & mask_] = std::move(v);
     tail_.store(t + 1, std::memory_order_release);
@@ -84,6 +89,24 @@ class SpscRing {
   /// True when size() == 0 (same caveat as size()).
   [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
+  /// Elements ever accepted by try_push() — the producer cursor itself,
+  /// read relaxed. Monitoring counters, readable from any thread; each is
+  /// monotone but a cross-counter snapshot (pushes() - pops()) is as racy
+  /// as size().
+  [[nodiscard]] std::uint64_t pushes() const noexcept {
+    return static_cast<std::uint64_t>(tail_.load(std::memory_order_relaxed));
+  }
+  /// Elements ever handed out by try_pop() (the consumer cursor, relaxed).
+  [[nodiscard]] std::uint64_t pops() const noexcept {
+    return static_cast<std::uint64_t>(head_.load(std::memory_order_relaxed));
+  }
+  /// try_push() calls rejected because the ring was full (relaxed,
+  /// any-thread readable): the overflow count a kDrop backpressure policy
+  /// turns into dropped chunks.
+  [[nodiscard]] std::uint64_t drops() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;
@@ -93,6 +116,7 @@ class SpscRing {
   alignas(64) std::size_t tail_cache_ = 0;        // consumer's view of tail_
   alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
   alignas(64) std::size_t head_cache_ = 0;        // producer's view of head_
+  alignas(64) std::atomic<std::uint64_t> drops_{0};  // rejected try_push()es
 };
 
 }  // namespace wivi::rt

@@ -43,8 +43,12 @@ std::size_t StreamingTracker::push(CSpan chunk) {
     sliding_.correlation_into(r_);
     img_.columns.emplace_back();
     int order = 0;
-    music_.pseudospectrum_from_correlation_into(r_, img_.angles_deg,
-                                                img_.columns.back(), &order);
+    if (decim_ <= 1) {
+      music_.pseudospectrum_from_correlation_into(r_, img_.angles_deg,
+                                                  img_.columns.back(), &order);
+    } else {
+      emit_degraded_column(img_.columns.back(), &order);
+    }
     img_.model_orders.push_back(order);
     img_.times_sec.push_back(
         t0_ + (static_cast<double>(n) + static_cast<double>(w) / 2.0) * T);
@@ -84,6 +88,43 @@ void StreamingTracker::adopt(CSpan stream, core::AngleTimeImage&& img) {
               stream.end());
   sliding_ = core::SlidingCorrelation(cfg_.music.subarray,
                                       cfg_.music.isar.window);
+}
+
+void StreamingTracker::set_angle_decimation(int factor) {
+  WIVI_REQUIRE(factor >= 1, "angle decimation must be >= 1");
+  if (factor == decim_) return;
+  decim_ = factor;
+  coarse_idx_.clear();  // grid rebuilt lazily at the next degraded column
+}
+
+/// One degraded column: evaluate the pseudospectrum at every decim_-th
+/// angle (end points forced in so interpolation never extrapolates), then
+/// fill the skipped angles linearly. The output has the full grid's shape.
+void StreamingTracker::emit_degraded_column(RVec& out, int* order) {
+  const std::size_t n = img_.angles_deg.size();
+  if (coarse_idx_.empty()) {
+    const auto d = static_cast<std::size_t>(decim_);
+    for (std::size_t i = 0; i < n; i += d) coarse_idx_.push_back(i);
+    if (coarse_idx_.back() != n - 1) coarse_idx_.push_back(n - 1);
+    coarse_angles_.resize(coarse_idx_.size());
+    for (std::size_t j = 0; j < coarse_idx_.size(); ++j)
+      coarse_angles_[j] = img_.angles_deg[coarse_idx_[j]];
+  }
+  music_.pseudospectrum_from_correlation_into(r_, coarse_angles_, coarse_col_,
+                                              order);
+  out.resize(n);
+  for (std::size_t j = 0; j + 1 < coarse_idx_.size(); ++j) {
+    const std::size_t i0 = coarse_idx_[j];
+    const std::size_t i1 = coarse_idx_[j + 1];
+    out[i0] = coarse_col_[j];
+    const double span = static_cast<double>(i1 - i0);
+    for (std::size_t i = i0 + 1; i < i1; ++i) {
+      const double w = static_cast<double>(i - i0) / span;
+      out[i] = (1.0 - w) * coarse_col_[j] + w * coarse_col_[j + 1];
+    }
+  }
+  out[n - 1] = coarse_col_.back();
+  ++degraded_cols_;
 }
 
 core::AngleTimeImage StreamingTracker::take_image() {

@@ -87,11 +87,28 @@ class StreamingTracker {
   /// Time step between image columns.
   [[nodiscard]] double column_period_sec() const noexcept;
 
+  /// Graceful degradation under overload: when `factor` > 1, subsequent
+  /// columns evaluate the MUSIC pseudospectrum only at every factor-th
+  /// angle-grid point (the grid's end points always included) and fill the
+  /// skipped angles by linear interpolation — the image shape, angle grid
+  /// and event contract stay unchanged, the per-column scan cost drops
+  /// ~factor-fold, and degraded columns are coarse approximations of the
+  /// full-fidelity ones. Takes effect at the next completed column; 1
+  /// restores full fidelity. See DESIGN.md §9 for the degradation ladder.
+  void set_angle_decimation(int factor);
+  /// Angle-grid decimation currently in effect (1 = full fidelity).
+  [[nodiscard]] int angle_decimation() const noexcept { return decim_; }
+  /// Columns emitted at reduced fidelity (angle_decimation() > 1) so far.
+  [[nodiscard]] std::size_t degraded_columns() const noexcept {
+    return degraded_cols_;
+  }
+
   /// Drop all stream and image state and start a new trace at `t0`.
   void reset(double t0 = 0.0);
 
  private:
   void compact();
+  void emit_degraded_column(RVec& out, int* order);
 
   core::MotionTracker::Config cfg_;
   double t0_ = 0.0;
@@ -102,6 +119,13 @@ class StreamingTracker {
   std::size_t base_ = 0;         // stream index of buf_[0]
   std::size_t next_col_ = 0;     // next column index to emit
   core::AngleTimeImage img_;
+  // Degraded-fidelity state (set_angle_decimation): the decimated grid and
+  // its scratch column, rebuilt lazily when the factor changes.
+  int decim_ = 1;
+  std::size_t degraded_cols_ = 0;
+  std::vector<std::size_t> coarse_idx_;  // full-grid indices evaluated
+  RVec coarse_angles_;                   // angles at coarse_idx_
+  RVec coarse_col_;                      // coarse pseudospectrum scratch
 };
 
 /// Streaming gesture decoding (§6): watches a growing angle-time image and

@@ -43,6 +43,7 @@ bool ChunkedTrace::next(CVec& chunk) {
   chunk.assign(trace_.h.begin() + static_cast<std::ptrdiff_t>(pos_),
                trace_.h.begin() + static_cast<std::ptrdiff_t>(end));
   pos_ = end;
+  ++emitted_;
   return true;
 }
 

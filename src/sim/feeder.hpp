@@ -34,6 +34,10 @@ class ChunkedTrace {
 
   [[nodiscard]] bool exhausted() const noexcept { return pos_ >= trace_.h.size(); }
   [[nodiscard]] std::size_t chunks_remaining() const noexcept;
+  /// Chunks handed out by next() since construction / the last rewind().
+  [[nodiscard]] std::size_t chunks_emitted() const noexcept {
+    return emitted_;
+  }
   /// Seconds of stream one chunk covers (live pacing: one chunk arrives
   /// every chunk_period_sec()).
   [[nodiscard]] double chunk_period_sec() const noexcept;
@@ -41,12 +45,16 @@ class ChunkedTrace {
   [[nodiscard]] const TraceResult& trace() const noexcept { return trace_; }
   [[nodiscard]] std::size_t chunk_len() const noexcept { return chunk_len_; }
 
-  void rewind() noexcept { pos_ = 0; }
+  void rewind() noexcept {
+    pos_ = 0;
+    emitted_ = 0;
+  }
 
  private:
   TraceResult trace_;
   std::size_t chunk_len_;
   std::size_t pos_ = 0;
+  std::size_t emitted_ = 0;
 };
 
 }  // namespace wivi::sim

@@ -110,9 +110,22 @@ void expect_events_identical(const std::vector<api::Event>& a,
             EXPECT_EQ(ea.columns_seen, eb.columns_seen) << label;
             EXPECT_EQ(ea.spatial_variance, eb.spatial_variance) << label;
             EXPECT_EQ(ea.num_confirmed, eb.num_confirmed) << label;
+          } else if constexpr (std::is_same_v<T, api::ErrorEvent>) {
+            EXPECT_EQ(ea.message, eb.message) << label;
+            EXPECT_EQ(ea.code, eb.code) << label;
+          } else if constexpr (std::is_same_v<T, api::StalledEvent>) {
+            EXPECT_EQ(ea.silent_sec, eb.silent_sec) << label;
+            EXPECT_EQ(ea.chunks_seen, eb.chunks_seen) << label;
+          } else if constexpr (std::is_same_v<T, api::RecoveredEvent>) {
+            EXPECT_EQ(ea.restarts, eb.restarts) << label;
+            EXPECT_EQ(ea.cause, eb.cause) << label;
+            EXPECT_EQ(ea.message, eb.message) << label;
           } else {
-            static_assert(std::is_same_v<T, api::ErrorEvent>);
-            EXPECT_EQ(ea.message, std::get<T>(b[i]).message) << label;
+            static_assert(std::is_same_v<T, api::OverloadEvent>);
+            EXPECT_EQ(ea.degraded, eb.degraded) << label;
+            EXPECT_EQ(ea.fidelity, eb.fidelity) << label;
+            EXPECT_EQ(ea.chunks_dropped, eb.chunks_dropped) << label;
+            EXPECT_EQ(ea.samples_dropped, eb.samples_dropped) << label;
           }
         },
         a[i]);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -53,6 +54,82 @@ TEST(SpscRing, WrapAroundKeepsOrder) {
     ASSERT_TRUE(ring.try_pop(out));
     EXPECT_EQ(out, next++);
   }
+}
+
+TEST(SpscRing, MonitoringCountersTrackPushesPopsAndDrops) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.pushes(), 0u);
+  EXPECT_EQ(ring.pops(), 0u);
+  EXPECT_EQ(ring.drops(), 0u);
+
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.pushes(), 4u);
+
+  // Rejected pushes advance drops() only — pushes() counts acceptances.
+  int overflow = 7;
+  EXPECT_FALSE(ring.try_push(std::move(overflow)));
+  EXPECT_FALSE(ring.try_push(std::move(overflow)));
+  EXPECT_EQ(ring.pushes(), 4u);
+  EXPECT_EQ(ring.drops(), 2u);
+
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(ring.pops(), 1u);
+  // Room again: the next push succeeds and the drop count stays put.
+  ASSERT_TRUE(ring.try_push(int{4}));
+  EXPECT_EQ(ring.pushes(), 5u);
+  EXPECT_EQ(ring.drops(), 2u);
+
+  while (ring.try_pop(out)) {
+  }
+  EXPECT_EQ(ring.pops(), 5u);
+  EXPECT_EQ(ring.pushes() - ring.pops(), 0u);
+}
+
+TEST(SpscRing, CountersAreReadableFromObserverThreads) {
+  // pushes()/pops()/drops() are monitoring counters with an any-thread
+  // read contract (the engine's stats() reads rings it does not own).
+  // Each is monotone; a racing observer must only ever see values bounded
+  // by what the two real sides have completed (a TSan target in CI).
+  constexpr std::size_t kCount = 50000;
+  SpscRing<std::size_t> ring(8);
+  std::atomic<bool> done{false};
+  std::atomic<bool> violated{false};
+
+  std::thread observer([&] {
+    std::uint64_t last_pushes = 0;
+    std::uint64_t last_pops = 0;
+    std::uint64_t last_drops = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t pushes = ring.pushes();
+      const std::uint64_t pops = ring.pops();
+      const std::uint64_t drops = ring.drops();
+      if (pushes < last_pushes || pops < last_pops || drops < last_drops)
+        violated.store(true, std::memory_order_relaxed);
+      last_pushes = pushes;
+      last_pops = pops;
+      last_drops = drops;
+    }
+  });
+  std::thread producer([&] {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      while (!ring.try_push(std::size_t{i})) std::this_thread::yield();
+    }
+  });
+  std::size_t popped = 0;
+  std::size_t v = 0;
+  while (popped < kCount) {
+    if (ring.try_pop(v))
+      ++popped;
+    else
+      std::this_thread::yield();
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_FALSE(violated.load()) << "a monitoring counter went backwards";
+  EXPECT_EQ(ring.pushes(), kCount);
+  EXPECT_EQ(ring.pops(), kCount);
 }
 
 TEST(SpscRing, MoveOnlyPayload) {
