@@ -47,6 +47,16 @@ class Cli {
     return parsed_fully(name, v, end) ? static_cast<int>(r) : def;
   }
 
+  /// Bare boolean switch: present means true, no value token expected
+  /// (`--stats`, not `--stats 1`).
+  [[nodiscard]] bool get_flag(const char* name, const char* help) {
+    options_.push_back({name, "off", help, /*is_flag=*/true});
+    const std::string want(name);
+    for (const std::string& a : args_)
+      if (flag_name(a) == want) return true;
+    return false;
+  }
+
   [[nodiscard]] std::uint64_t get_seed(const char* name, std::uint64_t def,
                                        const char* help) {
     record(name, std::to_string(def), help);
@@ -70,11 +80,16 @@ class Cli {
         continue;
       }
       const std::string name = flag_name(a);
-      bool known = false;
-      for (const Option& o : options_) known |= (name == o.name);
+      bool known = false, is_flag = false;
+      for (const Option& o : options_) {
+        known |= (name == o.name);
+        is_flag |= (name == o.name && o.is_flag);
+      }
       if (!known) {
         std::fprintf(stderr, "unknown argument: %s\n", a.c_str());
         good = false;
+      } else if (is_flag) {
+        // Switches carry no value token.
       } else if (a.find('=') == std::string::npos) {
         // Space-separated form: the next token must be a value, not
         // another flag and not the end of the line.
@@ -101,6 +116,7 @@ class Cli {
  private:
   struct Option {
     std::string name, def, help;
+    bool is_flag = false;
   };
 
   static std::string flag_name(const std::string& arg) {

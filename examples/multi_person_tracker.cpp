@@ -3,9 +3,17 @@
 // chunk through one wivi::Session, with the track stage assigning stable
 // identities through the crossing.
 //
+// With --stats the demo prints the per-stage latency histograms and the
+// session telemetry snapshot (JSON); with --trace FILE it records every
+// pipeline span into a bounded ring and writes a Chrome trace-event file
+// loadable in chrome://tracing or ui.perfetto.dev.
+//
 //   ./multi_person_tracker [--duration S] [--seed N] [--chunk SAMPLES]
+//                          [--stats] [--trace spans.json]
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 
 #include <wivi/wivi.hpp>
 
@@ -19,6 +27,10 @@ int main(int argc, char** argv) {
   const int chunk = cli.get_int("chunk", 96, "streaming chunk size (samples)");
   const int threads = cli.get_int(
       "threads", 0, "batch image-build workers (0 = all cores)");
+  const bool stats =
+      cli.get_flag("stats", "print per-stage latencies + snapshot (JSON)");
+  const std::string trace_file = cli.get_string(
+      "trace", "", "write a Chrome trace of pipeline spans to this file");
   if (!cli.ok()) return 2;
   if (duration < 2.0 || chunk < 1 || threads < 0) {
     std::fprintf(stderr,
@@ -37,6 +49,7 @@ int main(int argc, char** argv) {
   PipelineSpec spec;
   spec.image.emit_columns = false;  // TracksEvents are all this demo needs
   spec.track = api::TrackStage{};
+  if (!trace_file.empty()) spec.obs.trace_capacity = 8192;
   Session session(std::move(spec));
 
   const double report_every_sec = 1.0;
@@ -111,5 +124,28 @@ int main(int argc, char** argv) {
   }
   std::printf("\n%d confirmed tracks for 3 movers%s\n", confirmed,
               confirmed == 3 ? " — stable ids through the crossing" : "");
+
+  if (stats) {
+    const api::PipelineStats ps = session.stats();
+    std::printf("\nper-stage latency (us, p50/p99 over %llu chunks):\n",
+                static_cast<unsigned long long>(ps.chunks_in));
+    for (const api::StageLatency& sl : ps.stages)
+      std::printf("  %-13s %8.1f / %8.1f  (%llu spans)\n", sl.stage,
+                  static_cast<double>(sl.latency.p50) / 1e3,
+                  static_cast<double>(sl.latency.p99) / 1e3,
+                  static_cast<unsigned long long>(sl.latency.count));
+    std::printf("\nsession telemetry snapshot:\n");
+    obs::write_snapshot(std::cout, session.snapshot());
+  }
+  if (!trace_file.empty()) {
+    std::ofstream f(trace_file);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_file.c_str());
+      return 1;
+    }
+    session.write_trace(f);
+    std::printf("wrote span trace to %s (load in ui.perfetto.dev)\n",
+                trace_file.c_str());
+  }
   return confirmed == 3 && parity ? 0 : 1;
 }

@@ -7,13 +7,21 @@
 // chunks through the engine, polls the event stream, and prints per-room
 // occupancy estimates plus engine throughput.
 //
+// With --stats the service dumps the engine's full telemetry snapshot
+// (every wivi_engine_* / wivi_ring_* counter plus latency quantiles) as
+// JSON on exit; with --trace FILE it keeps a per-session span ring and
+// writes a Chrome trace-event file loadable in ui.perfetto.dev.
+//
 //   ./multi_sensor_service --sessions 8 --threads 4 --duration 10
-//                          [--seed 42] [--chunk 64]
+//                          [--seed 42] [--chunk 64] [--stats]
+//                          [--trace spans.json]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +39,10 @@ int main(int argc, char** argv) {
   const double duration = cli.get_double("duration", 8.0, "trace seconds per sensor");
   const std::uint64_t seed = cli.get_seed("seed", 42, "base scene seed");
   const int chunk = cli.get_int("chunk", 64, "samples per ingest chunk");
+  const bool stats =
+      cli.get_flag("stats", "dump the engine telemetry snapshot (JSON)");
+  const std::string trace_file = cli.get_string(
+      "trace", "", "write a Chrome trace of recent spans to this file");
   if (!cli.ok()) return 2;
 
   std::printf("Wi-Vi multi-sensor service\n==========================\n");
@@ -78,6 +90,7 @@ int main(int argc, char** argv) {
     spec.t0 = traces[static_cast<std::size_t>(s)].t0;
     spec.image.emit_columns = false;
     spec.count = api::CountStage{};
+    if (!trace_file.empty()) spec.obs.trace_capacity = 4096;
     rt::IngestConfig ingest;
     ingest.backpressure = rt::Backpressure::kBlock;  // replay: lossless
     ids.push_back(engine.open_session(std::move(spec), ingest));
@@ -154,5 +167,20 @@ int main(int argc, char** argv) {
   std::printf("throughput: %.0f columns/s, %.1fx realtime across %d sensors\n",
               static_cast<double>(total_columns) / wall_sec,
               static_cast<double>(sessions) * duration / wall_sec, sessions);
+
+  if (stats) {
+    std::printf("\nengine telemetry snapshot:\n");
+    engine.write_snapshot(std::cout);
+  }
+  if (!trace_file.empty()) {
+    std::ofstream f(trace_file);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n", trace_file.c_str());
+      return 1;
+    }
+    engine.write_trace(f);
+    std::printf("wrote span trace to %s (load in ui.perfetto.dev)\n",
+                trace_file.c_str());
+  }
   return 0;
 }

@@ -61,6 +61,9 @@
 #include "src/track/kalman.hpp"
 #include "src/track/multi_tracker.hpp"
 
+// ---------------------------- obs: metrics, tracing, telemetry export -----
+#include "src/obs/obs.hpp"
+
 // ------------------------------------- rt: streaming runtime + engine -----
 #include "src/rt/compat.hpp"
 #include "src/rt/engine.hpp"

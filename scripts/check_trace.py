@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validator for wivi::obs telemetry artifacts.
+
+Checks the two exportable formats against their contracts:
+
+  * Chrome trace-event JSON (``--trace file``): a top-level object with a
+    ``traceEvents`` array; every event carries ``name``/``ph``/``pid``/
+    ``tid``, non-metadata events carry a numeric ``ts``, and complete
+    ("X") events a non-negative ``dur``.  This is exactly what
+    chrome://tracing and ui.perfetto.dev require to render the file.
+  * Snapshot JSON (``--snapshot file``): ``version``/``source`` plus the
+    ``counters`` and ``histograms`` maps; every histogram entry has
+    count/sum/mean/p50/p90/p99/max with ordered quantiles.
+
+Exit 0 when every named file validates, 1 otherwise.  The observability
+CI job runs an instrumented example with ``--trace``/``--stats`` and feeds
+the artifacts through this script.
+
+Usage: python3 scripts/check_trace.py [--trace FILE]... [--snapshot FILE]...
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+errors: list[str] = []
+
+
+def fail(path: str, message: str) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def is_number(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def check_trace(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable JSON: {e}")
+        return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(path, "top level must be an object with a 'traceEvents' array")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(path, "'traceEvents' is not an array")
+        return
+    spans = 0
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(path, f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in e:
+                fail(path, f"{where}: missing '{key}'")
+        ph = e.get("ph")
+        if ph == "M":  # metadata: no timestamp required
+            continue
+        if not is_number(e.get("ts")):
+            fail(path, f"{where}: non-metadata event without numeric 'ts'")
+        if ph == "X":
+            spans += 1
+            if not is_number(e.get("dur")) or e["dur"] < 0:
+                fail(path, f"{where}: complete event needs 'dur' >= 0")
+    if spans == 0:
+        fail(path, "no complete ('X') span events — nothing was traced")
+
+
+def check_snapshot(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable JSON: {e}")
+        return
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+        return
+    for key, kind in (("version", numbers.Real), ("source", str),
+                      ("counters", dict), ("histograms", dict)):
+        if not isinstance(doc.get(key), kind):
+            fail(path, f"missing or mistyped '{key}'")
+    for name, value in (doc.get("counters") or {}).items():
+        if not is_number(value) or value < 0:
+            fail(path, f"counter '{name}': not a non-negative number")
+    for name, hist in (doc.get("histograms") or {}).items():
+        if not isinstance(hist, dict):
+            fail(path, f"histogram '{name}': not an object")
+            continue
+        for key in ("count", "sum", "mean", "p50", "p90", "p99", "max"):
+            if not is_number(hist.get(key)):
+                fail(path, f"histogram '{name}': missing numeric '{key}'")
+                break
+        else:
+            if not hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"]:
+                fail(path, f"histogram '{name}': quantiles out of order")
+            if hist["count"] == 0 and hist["sum"] != 0:
+                fail(path, f"histogram '{name}': empty but sum != 0")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE", help="Chrome trace JSON to validate")
+    parser.add_argument("--snapshot", action="append", default=[],
+                        metavar="FILE", help="snapshot JSON to validate")
+    args = parser.parse_args()
+    if not args.trace and not args.snapshot:
+        parser.error("nothing to check: pass --trace and/or --snapshot")
+    for path in args.trace:
+        check_trace(path)
+    for path in args.snapshot:
+        check_snapshot(path)
+    if errors:
+        for e in errors:
+            print(f"check_trace: {e}", file=sys.stderr)
+        return 1
+    n = len(args.trace) + len(args.snapshot)
+    print(f"check_trace: {n} file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@
 
 #include "src/common/error.hpp"
 #include "src/core/gesture.hpp"
+#include "src/obs/histogram.hpp"
 #include "src/track/multi_tracker.hpp"
 
 namespace wivi::api {
@@ -129,13 +130,45 @@ struct OverloadEvent {
   std::uint64_t samples_dropped = 0;
 };
 
+/// Periodic per-session telemetry snapshot (rt::IngestConfig::
+/// stats_interval_sec): the session's cumulative ingest/output counters and
+/// its chunk→event latency summary, emitted in-band so a sink can watch
+/// session health without polling Engine::stats(). Emitted by the
+/// rt::Engine only.
+struct StatsEvent {
+  /// Chunks accepted into the session's ring so far.
+  std::uint64_t chunks_in = 0;
+  /// Samples accepted into the session's ring so far.
+  std::uint64_t samples_in = 0;
+  /// Chunks lost to backpressure (ring full) so far.
+  std::uint64_t chunks_dropped = 0;
+  /// Samples lost to backpressure so far.
+  std::uint64_t samples_dropped = 0;
+  /// Chunks rejected by the session's InputGuard so far.
+  std::uint64_t chunks_rejected = 0;
+  /// Samples rejected by the session's InputGuard so far.
+  std::uint64_t samples_rejected = 0;
+  /// Image columns the session has produced so far.
+  std::uint64_t columns_out = 0;
+  /// Gesture bits the session has emitted so far.
+  std::uint64_t bits_out = 0;
+  /// Restarts consumed so far (rt::RestartPolicy).
+  int restarts = 0;
+  /// Angle-grid decimation currently in effect (1 = full fidelity).
+  int fidelity = 1;
+  /// True while the watchdog has the session flagged as stalled.
+  bool stalled = false;
+  /// Offer→processed chunk latency summary (nanoseconds).
+  obs::HistogramSnapshot latency;
+};
+
 /// One unit of pipeline output: exactly one of the event structs above.
-/// StalledEvent/RecoveredEvent/OverloadEvent are runtime-health events only
-/// the multiplexing rt::Engine produces; a standalone Session never emits
-/// them.
+/// StalledEvent/RecoveredEvent/OverloadEvent/StatsEvent are runtime-health
+/// events only the multiplexing rt::Engine produces; a standalone Session
+/// never emits them.
 using Event = std::variant<ColumnEvent, TracksEvent, BitsEvent, CountEvent,
                            FinishedEvent, ErrorEvent, StalledEvent,
-                           RecoveredEvent, OverloadEvent>;
+                           RecoveredEvent, OverloadEvent, StatsEvent>;
 
 /// @}
 

@@ -9,7 +9,9 @@
 namespace wivi::api {
 
 Session::Session(PipelineSpec spec)
-    : spec_(std::move(spec)), tracker_(spec_.image.tracker, spec_.t0) {
+    : spec_(std::move(spec)),
+      obs_(spec_.obs.timing, spec_.obs.trace_capacity),
+      tracker_(spec_.image.tracker, spec_.t0) {
   // Compiling validates: every stage constructor (tracker_ above, the
   // emplaces below) enforces its own invariants — the same checks
   // PipelineSpec::validate() drives, so the spec is not re-validated
@@ -17,6 +19,7 @@ Session::Session(PipelineSpec spec)
   if (spec_.track) multi_.emplace(spec_.track->tracker);
   if (spec_.gesture) gesture_.emplace(spec_.gesture->gesture);
   if (spec_.count) counter_.emplace(spec_.count->cap_db);
+  tracker_.set_observer(&obs_);
 }
 
 core::AngleTimeImage Session::take_image() {
@@ -80,6 +83,8 @@ decltype(auto) Session::guarded(Fn&& fn) {
 }
 
 void Session::emit(Event&& e) {
+  ++events_emitted_;
+  obs::ScopedSpan span(&obs_, obs::Stage::kEmit);
   if (callback_) {
     // Classify sink deaths at the throw site: the message survives
     // verbatim, the wrapper only adds ErrorCode::kSinkFailure for the
@@ -141,11 +146,15 @@ void Session::emit_new_columns(std::size_t from) {
     }
   }
   if (counter_) {
+    obs::ScopedSpan span(&obs_, obs::Stage::kDetect);
     counter_->update(img);
+    span.stop();
     emit(CountEvent{counter_->variance(), counter_->columns_seen()});
   }
   if (multi_) {
+    obs::ScopedSpan span(&obs_, obs::Stage::kDetect);
     multi_->update(img);
+    span.stop();
     TracksEvent e;
     e.tracks = multi_->snapshots();
     e.num_confirmed = multi_->tracker().num_confirmed();
@@ -153,7 +162,9 @@ void Session::emit_new_columns(std::size_t from) {
     emit(std::move(e));
   }
   if (gesture_) {
+    obs::ScopedSpan span(&obs_, obs::Stage::kDetect);
     auto bits = gesture_->poll(img, /*flush=*/false);
+    span.stop();
     if (!bits.empty()) {
       bits_emitted_ += bits.size();
       emit(BitsEvent{std::move(bits)});
@@ -164,7 +175,18 @@ void Session::emit_new_columns(std::size_t from) {
 std::size_t Session::push(CSpan chunk) {
   WIVI_REQUIRE(state_ == State::kOpen, "push() on a finished session");
   // Outside guarded(): a rejected chunk is a no-op, not a session death.
-  guard_chunk(chunk);
+  {
+    obs::ScopedSpan span(&obs_, obs::Stage::kGuard);
+    try {
+      guard_chunk(chunk);
+    } catch (...) {
+      ++chunks_rejected_;
+      throw;
+    }
+  }
+  // The chunk span covers the accepted pipeline (post-guard through emit);
+  // rejected chunks never pollute the chunk-latency histogram.
+  obs::ScopedSpan span(&obs_, obs::Stage::kChunk);
   return guarded([&]() -> std::size_t {
     if (fault_hook_) fault_hook_(pushes_accepted_);
     ++pushes_accepted_;
@@ -261,6 +283,40 @@ void Session::set_fault_hook(std::function<void(std::size_t)> hook) {
   WIVI_REQUIRE(state_ == State::kOpen && samples_seen() == 0,
                "install the fault hook on a fresh session, before push()");
   fault_hook_ = std::move(hook);
+}
+
+PipelineStats Session::stats() const {
+  PipelineStats s;
+  s.chunks_in = pushes_accepted_;
+  s.chunks_rejected = chunks_rejected_;
+  s.samples_seen = samples_seen();
+  s.columns_seen = columns_seen();
+  s.bits_emitted = bits_emitted_;
+  s.events_emitted = events_emitted_;
+  for (int i = 0; i < obs::kStageCount; ++i) {
+    const auto stage = static_cast<obs::Stage>(i);
+    const obs::LocalHistogram& h = obs_.stage(stage);
+    if (h.count() == 0) continue;
+    s.stages.push_back({obs::stage_name(stage), h.snapshot()});
+  }
+  return s;
+}
+
+obs::Snapshot Session::snapshot() const {
+  obs::Snapshot snap;
+  snap.source = "wivi::Session";
+  snap.add_counter("wivi_session_chunks_in_total", pushes_accepted_);
+  snap.add_counter("wivi_session_chunks_rejected_total", chunks_rejected_);
+  snap.add_counter("wivi_session_samples_seen_total", samples_seen());
+  snap.add_counter("wivi_session_columns_total", columns_seen());
+  snap.add_counter("wivi_session_bits_total", bits_emitted_);
+  snap.add_counter("wivi_session_events_total", events_emitted_);
+  obs_.add_to_snapshot(snap, "wivi_stage_");
+  return snap;
+}
+
+void Session::write_trace(std::ostream& os) const {
+  obs::write_chrome_trace(os, obs_.trace(), "wivi::Session");
 }
 
 void Session::set_fidelity(int angle_decimation) {

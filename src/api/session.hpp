@@ -32,6 +32,8 @@
 
 #include "src/api/events.hpp"
 #include "src/api/spec.hpp"
+#include "src/obs/snapshot.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rt/streaming.hpp"
 
 namespace wivi::api {
@@ -45,6 +47,35 @@ namespace wivi::api {
 struct Parallelism {
   /// Worker threads for the column-parallel image build; 0 = all cores.
   int num_threads = 0;
+};
+
+/// One stage's latency summary inside PipelineStats.
+struct StageLatency {
+  /// Stage name (obs::stage_name: "guard", "stft_doppler", ...).
+  const char* stage = "";
+  /// Latency summary of every span of that stage, nanoseconds.
+  obs::HistogramSnapshot latency;
+};
+
+/// Point-in-time telemetry of one Session (Session::stats()): cumulative
+/// pipeline counters plus one latency summary per pipeline stage that has
+/// recorded at least one span. Stage timing obeys the spec's
+/// api::ObsConfig and the global obs switches.
+struct PipelineStats {
+  /// Chunks accepted by push() (rejected chunks excluded).
+  std::uint64_t chunks_in = 0;
+  /// Chunks rejected by the InputGuard (TypedError{kInvalidChunk}).
+  std::uint64_t chunks_rejected = 0;
+  /// Samples ingested so far.
+  std::uint64_t samples_seen = 0;
+  /// Image columns completed so far.
+  std::uint64_t columns_seen = 0;
+  /// Gesture bits emitted so far.
+  std::uint64_t bits_emitted = 0;
+  /// Events delivered (queued or called back) so far.
+  std::uint64_t events_emitted = 0;
+  /// Per-stage latency summaries, pipeline order; only stages with spans.
+  std::vector<StageLatency> stages;
 };
 
 /// A compiled pipeline: the spec's stages instantiated and ready to
@@ -171,6 +202,27 @@ class Session {
     return tracker_.column_period_sec();
   }
 
+  /// Point-in-time telemetry: cumulative counters plus per-stage latency
+  /// summaries (nanoseconds). p50/p99 are non-zero for any stage that ran
+  /// with timing enabled (spec.obs.timing, the default). Callable any
+  /// time, including after finish().
+  [[nodiscard]] PipelineStats stats() const;
+
+  /// The same telemetry as one exportable obs::Snapshot (counters named
+  /// `wivi_session_*_total`, stage histograms `wivi_stage_<stage>_ns`) —
+  /// feed it to obs::write_snapshot for JSON or Prometheus text.
+  [[nodiscard]] obs::Snapshot snapshot() const;
+
+  /// Write the retained trace spans (most recent spec.obs.trace_capacity
+  /// spans) as Chrome trace-event JSON — loadable in Perfetto. With
+  /// trace_capacity 0 the trace is valid but empty.
+  void write_trace(std::ostream& os) const;
+
+  /// The session's per-stage instrument (histograms + trace ring).
+  [[nodiscard]] const obs::PipelineObserver& observer() const noexcept {
+    return obs_;
+  }
+
   /// True once the session stopped accepting input: finish() ran, or it
   /// failed().
   [[nodiscard]] bool finished() const noexcept {
@@ -196,6 +248,7 @@ class Session {
   void fail(ErrorCode code, const char* what) noexcept;
 
   PipelineSpec spec_;
+  obs::PipelineObserver obs_;  // before tracker_: tracker_ holds a pointer
   rt::StreamingTracker tracker_;
   std::optional<rt::StreamingMultiTracker> multi_;
   std::optional<rt::StreamingGesture> gesture_;
@@ -209,6 +262,8 @@ class Session {
   ErrorCode error_code_ = ErrorCode::kNone;
   std::size_t bits_emitted_ = 0;
   std::size_t pushes_accepted_ = 0;
+  std::size_t chunks_rejected_ = 0;
+  std::size_t events_emitted_ = 0;
 };
 
 /// @}

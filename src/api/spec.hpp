@@ -17,6 +17,7 @@
 /// spec cannot drift from the stages it describes.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "src/core/tracker.hpp"
@@ -83,6 +84,21 @@ struct InputGuard {
   bool check_finite = true;
 };
 
+/// Observability configuration of a compiled pipeline (wivi::obs): whether
+/// the Session times its stages, and how many trace spans it retains for
+/// Chrome-trace export. Stage timing is on by default and pinned ≤1% of
+/// pipeline cost by bench_obs; the obs::set_enabled(false) run-time switch
+/// and the WIVI_OBS=OFF compile-time switch override `timing` globally.
+struct ObsConfig {
+  /// Measure per-stage latencies (guard/stft_doppler/music/detect/emit/
+  /// chunk) into the session's obs::PipelineObserver histograms, readable
+  /// via Session::stats().
+  bool timing = true;
+  /// Most recent trace spans retained for Session::write_trace() (Chrome
+  /// trace-event JSON). 0 keeps no spans — timing histograms still fill.
+  std::size_t trace_capacity = 0;
+};
+
 /// One complete declarative pipeline description: what to compute for one
 /// sensor stream. Compile it with wivi::Session.
 struct PipelineSpec {
@@ -98,6 +114,8 @@ struct PipelineSpec {
   std::optional<CountStage> count;
   /// Ingress validation policy applied to every pushed chunk.
   InputGuard guard;
+  /// Observability: per-stage timing and trace retention.
+  ObsConfig obs;
 
   /// Check every invariant of the spec and its stage configurations by
   /// driving them through the same validation the stages themselves

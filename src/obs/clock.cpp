@@ -1,0 +1,64 @@
+#include "src/obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+#include "src/common/error.hpp"
+
+namespace wivi::obs {
+
+namespace {
+
+std::atomic<ClockFn> g_clock{&steady_now_ns};
+
+// FakeClock state: a process-wide counter so the source function can be a
+// plain function pointer (no captures) and stay one relaxed load away.
+std::atomic<std::int64_t> g_fake_ns{0};
+std::atomic<bool> g_fake_alive{false};
+
+std::int64_t fake_now_ns() noexcept {
+  return g_fake_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t now_ns() noexcept {
+  return g_clock.load(std::memory_order_relaxed)();
+}
+
+ClockFn set_clock(ClockFn fn) noexcept {
+  return g_clock.exchange(fn != nullptr ? fn : &steady_now_ns,
+                          std::memory_order_relaxed);
+}
+
+FakeClock::FakeClock(std::int64_t start_ns) {
+  WIVI_REQUIRE(!g_fake_alive.exchange(true),
+               "only one obs::FakeClock may be alive at a time");
+  g_fake_ns.store(start_ns, std::memory_order_relaxed);
+  prev_ = set_clock(&fake_now_ns);
+}
+
+FakeClock::~FakeClock() {
+  (void)set_clock(prev_);
+  g_fake_alive.store(false);
+}
+
+void FakeClock::advance_ns(std::int64_t ns) noexcept {
+  g_fake_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void FakeClock::advance_sec(double sec) noexcept {
+  advance_ns(static_cast<std::int64_t>(sec * 1e9));
+}
+
+std::int64_t FakeClock::now() const noexcept {
+  return g_fake_ns.load(std::memory_order_relaxed);
+}
+
+}  // namespace wivi::obs

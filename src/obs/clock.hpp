@@ -1,0 +1,68 @@
+/// @file
+/// The runtime's single time base: a pluggable monotonic nanosecond clock.
+///
+/// Every latency, watchdog and span measurement in the runtime reads time
+/// through obs::now_ns() — one indirection over std::chrono::steady_clock
+/// (never system_clock: wall time jumps under NTP slew and would corrupt
+/// latency histograms and liveness deadlines). The indirection exists so
+/// tests can install an obs::FakeClock and drive watchdog timeouts,
+/// restart backoffs and latency measurements deterministically instead of
+/// sleeping through them.
+///
+/// The hot-path cost is one relaxed atomic load of a function pointer plus
+/// the call — noise next to the clock_gettime behind steady_clock itself.
+#pragma once
+
+#include <cstdint>
+
+namespace wivi::obs {
+
+/// @addtogroup wivi_obs
+/// @{
+
+/// A time source: monotonic nanoseconds since an arbitrary epoch.
+using ClockFn = std::int64_t (*)() noexcept;
+
+/// std::chrono::steady_clock::now() in nanoseconds — the default source.
+[[nodiscard]] std::int64_t steady_now_ns() noexcept;
+
+/// Monotonic nanoseconds from the currently installed source (the steady
+/// clock unless a FakeClock is active). The runtime-wide time base.
+[[nodiscard]] std::int64_t now_ns() noexcept;
+
+/// Install `fn` as the time source (nullptr restores the steady clock);
+/// returns the previously installed source. Prefer FakeClock, which
+/// restores the previous source automatically.
+ClockFn set_clock(ClockFn fn) noexcept;
+
+/// A manually advanced time source for deterministic tests: installing one
+/// reroutes obs::now_ns() to an internal counter that only moves when the
+/// test says so. Install *before* constructing the component under test
+/// (an rt::Engine samples the clock at session open), advance past the
+/// deadline under test, observe the reaction — no sleeps, no flakes.
+///
+/// At most one FakeClock may be alive at a time (enforced); the destructor
+/// restores the previously installed source.
+class FakeClock {
+ public:
+  /// Install the fake source, starting at `start_ns`.
+  explicit FakeClock(std::int64_t start_ns = 0);
+  ~FakeClock();  ///< Restore the previously installed time source.
+
+  FakeClock(const FakeClock&) = delete;             ///< Non-copyable.
+  FakeClock& operator=(const FakeClock&) = delete;  ///< Non-copyable.
+
+  /// Move the fake time forward by `ns` (callable from any thread).
+  void advance_ns(std::int64_t ns) noexcept;
+  /// Move the fake time forward by `sec` seconds.
+  void advance_sec(double sec) noexcept;
+  /// The fake time currently reported to obs::now_ns().
+  [[nodiscard]] std::int64_t now() const noexcept;
+
+ private:
+  ClockFn prev_;
+};
+
+/// @}
+
+}  // namespace wivi::obs

@@ -1,0 +1,124 @@
+#include "src/obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/obs/metrics.hpp"
+
+namespace wivi::obs {
+
+namespace {
+
+/// Midpoint of bucket `idx` — the reported quantile value. Buckets are
+/// [lower, next_lower), so the midpoint is within half a bucket width of
+/// any member.
+std::uint64_t bucket_mid(int idx) noexcept {
+  const std::uint64_t lo = bucket_lower(idx);
+  const std::uint64_t hi =
+      idx + 1 < kHistBuckets ? bucket_lower(idx + 1) : lo + (lo >> kHistSubBits);
+  return lo + (hi - lo) / 2;
+}
+
+}  // namespace
+
+std::uint64_t quantile_from_buckets(const std::uint64_t* buckets,
+                                    std::uint64_t count, double q) noexcept {
+  if (count == 0) return 0;
+  // Rank of the order statistic: ceil(q * count), clamped to [1, count].
+  const double want = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+  rank = std::clamp<std::uint64_t>(rank, 1, count);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucket_mid(i);
+  }
+  return bucket_mid(kHistBuckets - 1);
+}
+
+HistogramSnapshot snapshot_from_buckets(const std::uint64_t* buckets,
+                                        std::uint64_t sum) noexcept {
+  HistogramSnapshot s;
+  s.sum = sum;
+  int top = -1;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    s.count += buckets[i];
+    if (buckets[i] != 0) top = i;
+  }
+  if (s.count == 0) return s;
+  s.p50 = quantile_from_buckets(buckets, s.count, 0.50);
+  s.p90 = quantile_from_buckets(buckets, s.count, 0.90);
+  s.p99 = quantile_from_buckets(buckets, s.count, 0.99);
+  s.max = top + 1 < kHistBuckets ? bucket_lower(top + 1)
+                                 : bucket_lower(top) * 2;
+  return s;
+}
+
+std::uint64_t LocalHistogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t b : buckets_) n += b;
+  return n;
+}
+
+HistogramSnapshot LocalHistogram::snapshot() const noexcept {
+  return snapshot_from_buckets(buckets_.data(), sum_);
+}
+
+void LocalHistogram::merge(const LocalHistogram& other) noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  sum_ += other.sum_;
+}
+
+void LocalHistogram::reset() noexcept { *this = LocalHistogram(); }
+
+Histogram::Histogram(int slots)
+    : slots_(std::clamp(slots, 1, 64)),
+      slot_(std::make_unique<Slot[]>(static_cast<std::size_t>(slots_))) {}
+
+void Histogram::record(std::uint64_t v) noexcept {
+#if !WIVI_OBS_ENABLED
+  (void)v;
+  return;
+#endif
+  if (!enabled()) return;
+  Slot& s = slot_[static_cast<std::size_t>(thread_slot() % slots_)];
+  s.buckets[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+  std::array<std::uint64_t, kHistBuckets> agg{};
+  std::uint64_t sum = 0;
+  for (int s = 0; s < slots_; ++s) {
+    const Slot& sl = slot_[static_cast<std::size_t>(s)];
+    for (int i = 0; i < kHistBuckets; ++i)
+      agg[static_cast<std::size_t>(i)] +=
+          sl.buckets[static_cast<std::size_t>(i)].load(
+              std::memory_order_relaxed);
+    sum += sl.sum.load(std::memory_order_relaxed);
+  }
+  return snapshot_from_buckets(agg.data(), sum);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (int s = 0; s < slots_; ++s)
+    for (int i = 0; i < kHistBuckets; ++i)
+      n += slot_[static_cast<std::size_t>(s)].buckets[static_cast<std::size_t>(
+          i)].load(std::memory_order_relaxed);
+  return n;
+}
+
+namespace {
+std::atomic<int> g_next_thread_slot{0};
+}  // namespace
+
+int thread_slot() noexcept {
+  thread_local const int slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace wivi::obs

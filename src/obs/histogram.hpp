@@ -1,0 +1,156 @@
+/// @file
+/// Fixed-bucket log-scale latency histograms with quantile extraction.
+///
+/// The bucket layout is log-linear (HdrHistogram-style): values 0..7 get
+/// exact unit buckets, and every power-of-two octave above is split into 8
+/// linear sub-buckets, so any recorded value lands in a bucket whose width
+/// is at most 1/8 (12.5%) of its lower bound. That bounds the relative
+/// error of every extracted quantile by one sub-bucket (~13%, verified
+/// against exact references by test_obs) while keeping the whole 64-bit
+/// range in 496 fixed buckets — recording is one bit-scan plus one counter
+/// bump, no allocation ever.
+///
+/// Two variants share the mapping:
+///  * LocalHistogram — plain counters for single-threaded owners (an
+///    api::Session records its per-stage latencies here);
+///  * Histogram — cache-aligned per-thread slots of atomic counters,
+///    aggregated on read, for concurrent recorders (the obs::Registry and
+///    the rt::Engine's cross-worker latency metrics).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+namespace wivi::obs {
+
+/// @addtogroup wivi_obs
+/// @{
+
+/// Sub-buckets per octave as a power of two (8 sub-buckets → every bucket
+/// is at most 12.5% wide relative to its lower bound).
+inline constexpr int kHistSubBits = 3;
+/// Number of linear sub-buckets per power-of-two octave.
+inline constexpr std::uint64_t kHistSub = std::uint64_t{1} << kHistSubBits;
+/// Total buckets covering the full 64-bit value range.
+inline constexpr int kHistBuckets =
+    ((64 - kHistSubBits) << kHistSubBits) + static_cast<int>(kHistSub);
+
+/// The bucket a value lands in: identity below kHistSub, log-linear above
+/// (monotone in `v`, total over the 64-bit range).
+[[nodiscard]] constexpr int bucket_index(std::uint64_t v) noexcept {
+  if (v < kHistSub) return static_cast<int>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kHistSubBits;
+  return ((shift + 1) << kHistSubBits) |
+         static_cast<int>((v >> shift) & (kHistSub - 1));
+}
+
+/// Smallest value mapping to bucket `idx` (the inverse of bucket_index on
+/// bucket lower edges).
+[[nodiscard]] constexpr std::uint64_t bucket_lower(int idx) noexcept {
+  if (idx < static_cast<int>(kHistSub)) return static_cast<std::uint64_t>(idx);
+  const int shift = (idx >> kHistSubBits) - 1;
+  return (kHistSub | static_cast<std::uint64_t>(idx & (kHistSub - 1))) << shift;
+}
+
+/// Point-in-time summary of one histogram: count/sum plus the quantiles the
+/// runtime reports everywhere. Quantile values are bucket midpoints, so
+/// each is within one sub-bucket (~13% relative) of the exact order
+/// statistic; `max` is the upper edge of the highest non-empty bucket.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;  ///< Values recorded.
+  std::uint64_t sum = 0;    ///< Sum of recorded values.
+  std::uint64_t p50 = 0;    ///< Median estimate (bucket midpoint).
+  std::uint64_t p90 = 0;    ///< 90th-percentile estimate.
+  std::uint64_t p99 = 0;    ///< 99th-percentile estimate.
+  std::uint64_t max = 0;    ///< Upper edge of the highest non-empty bucket.
+  /// Mean of recorded values (0 when empty).
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+/// Quantile extraction over a raw bucket-count array (shared by both
+/// histogram variants and by merged cross-thread aggregates): the bucket
+/// midpoint at rank ceil(q * count).
+[[nodiscard]] std::uint64_t quantile_from_buckets(
+    const std::uint64_t* buckets, std::uint64_t count, double q) noexcept;
+
+/// Summarise a raw bucket-count array (count must be the bucket total).
+[[nodiscard]] HistogramSnapshot snapshot_from_buckets(
+    const std::uint64_t* buckets, std::uint64_t sum) noexcept;
+
+/// Single-threaded histogram: plain counters, zero synchronisation. The
+/// right variant inside anything with a one-thread-at-a-time contract
+/// (api::Session and the streaming stages).
+class LocalHistogram {
+ public:
+  /// Record one value (no allocation; one bit-scan + two adds).
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+    sum_ += v;
+  }
+  /// Values recorded so far.
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  /// Summarise (count, sum, quantiles).
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  /// Add every bucket of `other` into this histogram (cross-instance
+  /// aggregation, e.g. merging per-thread locals).
+  void merge(const LocalHistogram& other) noexcept;
+  /// Reset to empty.
+  void reset() noexcept;
+
+ private:
+  std::array<std::uint64_t, kHistBuckets> buckets_{};
+  std::uint64_t sum_ = 0;
+};
+
+/// Concurrent histogram: `slots` cache-aligned bucket arrays of relaxed
+/// atomics, writers spread across slots by thread identity, reads
+/// aggregate every slot. Any number of threads may record and snapshot
+/// concurrently; a snapshot taken while writers are active is a racy but
+/// internally consistent-enough point-in-time view (each counter is
+/// monotone).
+///
+/// With `slots == 1` every writer shares one array — still safe (atomic
+/// adds), just contended; use it where an external protocol already
+/// serialises writers (the rt::Engine's per-session claim flag) and memory
+/// matters more than write spread.
+class Histogram {
+ public:
+  /// Build with `slots` per-thread slots (clamped to [1, 64]).
+  explicit Histogram(int slots = 8);
+
+  Histogram(const Histogram&) = delete;             ///< Non-copyable.
+  Histogram& operator=(const Histogram&) = delete;  ///< Non-copyable.
+
+  /// Record one value into this thread's slot (relaxed atomic add, no
+  /// allocation).
+  void record(std::uint64_t v) noexcept;
+  /// Aggregate every slot into one summary.
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  /// Values recorded so far (aggregated over slots, relaxed).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  int slots_;
+  std::unique_ptr<Slot[]> slot_;
+};
+
+/// The calling thread's stable slot index for sharded recorders: assigned
+/// monotonically on first use, so the first N threads of a process get
+/// private slots in any N-slot shard array (indices are taken modulo the
+/// shard count by the users).
+[[nodiscard]] int thread_slot() noexcept;
+
+/// @}
+
+}  // namespace wivi::obs

@@ -1,0 +1,11 @@
+/// @file
+/// Umbrella header for wivi::obs — metrics registry, per-stage latency
+/// tracing and exportable runtime telemetry. See DESIGN.md §10 for the
+/// metric naming scheme and overhead budget.
+#pragma once
+
+#include "src/obs/clock.hpp"      // IWYU pragma: export
+#include "src/obs/histogram.hpp"  // IWYU pragma: export
+#include "src/obs/metrics.hpp"    // IWYU pragma: export
+#include "src/obs/snapshot.hpp"   // IWYU pragma: export
+#include "src/obs/trace.hpp"      // IWYU pragma: export

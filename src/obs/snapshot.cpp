@@ -1,0 +1,87 @@
+#include "src/obs/snapshot.hpp"
+
+#include <string_view>
+
+namespace wivi::obs {
+
+namespace {
+
+/// JSON string escaping for metric/source names (the only free-form
+/// strings in a snapshot; metric names are snake_case in practice, so the
+/// escapes are belt-and-braces).
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          os << ' ';  // control chars never appear in metric names
+        else
+          os << c;
+    }
+  }
+  os << '"';
+}
+
+void write_hist_json(std::ostream& os, const HistogramSnapshot& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.p50
+     << ",\"p90\":" << h.p90 << ",\"p99\":" << h.p99 << ",\"max\":" << h.max
+     << "}";
+}
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\"version\":1,\"source\":";
+  write_json_string(os, snap.source);
+  os << ",\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i != 0) os << ",";
+    write_json_string(os, snap.counters[i].name);
+    os << ":" << snap.counters[i].value;
+  }
+  os << "},\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i != 0) os << ",";
+    write_json_string(os, snap.histograms[i].name);
+    os << ":";
+    write_hist_json(os, snap.histograms[i].hist);
+  }
+  os << "}}\n";
+}
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  for (const Snapshot::CounterValue& c : snap.counters) {
+    os << "# TYPE " << c.name << " counter\n"
+       << c.name << " " << c.value << "\n";
+  }
+  for (const Snapshot::HistogramValue& h : snap.histograms) {
+    os << "# TYPE " << h.name << " summary\n"
+       << h.name << "{quantile=\"0.5\"} " << h.hist.p50 << "\n"
+       << h.name << "{quantile=\"0.9\"} " << h.hist.p90 << "\n"
+       << h.name << "{quantile=\"0.99\"} " << h.hist.p99 << "\n"
+       << h.name << "_sum " << h.hist.sum << "\n"
+       << h.name << "_count " << h.hist.count << "\n";
+  }
+}
+
+}  // namespace
+
+std::uint64_t Snapshot::counter_value(std::string_view name) const {
+  for (const CounterValue& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+void write_snapshot(std::ostream& os, const Snapshot& snap,
+                    ExportFormat format) {
+  if (format == ExportFormat::kJson)
+    write_json(os, snap);
+  else
+    write_prometheus(os, snap);
+}
+
+}  // namespace wivi::obs

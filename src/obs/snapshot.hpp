@@ -1,0 +1,76 @@
+/// @file
+/// Exportable telemetry snapshots: one flat, named view of a metric set,
+/// writable as machine-readable JSON or Prometheus text exposition.
+///
+/// A Snapshot is the interchange type between the things that *have*
+/// metrics (obs::Registry, rt::Engine, api::Session) and the things that
+/// *consume* them (dashboards, scripts/check_trace.py, load-bench
+/// tooling). Producers append named counters and histogram summaries;
+/// obs::write_snapshot renders the result. Metric naming scheme in
+/// DESIGN.md §10: snake_case, `wivi_` prefix, `_total` suffix on
+/// monotonic counters, `_ns` suffix on nanosecond histograms.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.hpp"
+
+namespace wivi::obs {
+
+/// @addtogroup wivi_obs
+/// @{
+
+/// A flat point-in-time view of one metric set.
+struct Snapshot {
+  /// One named scalar (counter or gauge value).
+  struct CounterValue {
+    std::string name;         ///< Metric name (DESIGN.md §10 scheme).
+    std::uint64_t value = 0;  ///< Value at snapshot time.
+  };
+  /// One named latency-histogram summary.
+  struct HistogramValue {
+    std::string name;        ///< Metric name (`_ns` suffix by convention).
+    HistogramSnapshot hist;  ///< count/sum/p50/p90/p99/max.
+  };
+
+  /// What produced this snapshot (e.g. "wivi::rt::Engine").
+  std::string source;
+  /// All scalar metrics, registration order.
+  std::vector<CounterValue> counters;
+  /// All histogram metrics, registration order.
+  std::vector<HistogramValue> histograms;
+
+  /// Append a scalar metric.
+  void add_counter(std::string name, std::uint64_t value) {
+    counters.push_back({std::move(name), value});
+  }
+  /// Append a histogram summary.
+  void add_histogram(std::string name, HistogramSnapshot hist) {
+    histograms.push_back({std::move(name), hist});
+  }
+  /// The value of the scalar named `name` (0 when absent — snapshots are
+  /// for export; tests use this to assert conservation laws).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+};
+
+/// Snapshot wire formats.
+enum class ExportFormat {
+  kJson,        ///< One JSON object (schema validated by check_trace.py).
+  kPrometheus,  ///< Prometheus text exposition (counters + summaries).
+};
+
+/// Render `snap` to `os`. JSON schema:
+/// `{"version":1,"source":...,"counters":{name:value,...},
+///   "histograms":{name:{"count","sum","mean","p50","p90","p99","max"}}}`
+/// (histogram fields in the metric's own unit, nanoseconds by convention).
+/// Prometheus: `# TYPE` lines, counters as plain samples, histograms as
+/// summaries with quantile labels.
+void write_snapshot(std::ostream& os, const Snapshot& snap,
+                    ExportFormat format = ExportFormat::kJson);
+
+/// @}
+
+}  // namespace wivi::obs

@@ -1,0 +1,81 @@
+#include "src/obs/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wivi::obs {
+
+const char* stage_name(Stage s) noexcept {
+  switch (s) {
+    case Stage::kIngress: return "ingress";
+    case Stage::kGuard: return "guard";
+    case Stage::kStft: return "stft_doppler";
+    case Stage::kMusic: return "music";
+    case Stage::kDetect: return "detect";
+    case Stage::kEmit: return "emit";
+    case Stage::kChunk: return "chunk";
+    case Stage::kCount: break;
+  }
+  return "unknown";
+}
+
+std::vector<TraceRecord> TraceBuffer::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest element once the ring has wrapped; before that the
+  // ring is in push order starting at 0 (and head_ is still 0).
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+namespace {
+
+/// Nanoseconds → trace-event microseconds with sub-ns kept as decimals.
+void write_us(std::ostream& os, std::int64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+void write_event(std::ostream& os, const TraceRecord& r, int pid, bool first) {
+  if (!first) os << ",\n";
+  os << R"({"name":")" << r.name << R"(","cat":"wivi","ph":"X","ts":)";
+  write_us(os, r.start_ns);
+  os << ",\"dur\":";
+  write_us(os, r.dur_ns);
+  os << ",\"pid\":" << pid << ",\"tid\":0}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceTrack>& tracks) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceTrack& t : tracks) {
+    // Metadata event naming the track's process row in the Perfetto UI.
+    if (!first) os << ",\n";
+    os << R"({"name":"process_name","ph":"M","pid":)" << t.pid
+       << R"(,"tid":0,"args":{"name":")" << t.label << "\"}}";
+    first = false;
+    for (const TraceRecord& r : t.records) write_event(os, r, t.pid, false);
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(std::ostream& os, const TraceBuffer& buffer,
+                        const char* label) {
+  write_chrome_trace(os, {TraceTrack{0, label, buffer.records()}});
+}
+
+void PipelineObserver::add_to_snapshot(Snapshot& snap,
+                                       const std::string& prefix) const {
+  for (int i = 0; i < kStageCount; ++i) {
+    const LocalHistogram& h = hist_[static_cast<std::size_t>(i)];
+    if (h.count() == 0) continue;
+    snap.add_histogram(prefix + stage_name(static_cast<Stage>(i)) + "_ns",
+                       h.snapshot());
+  }
+}
+
+}  // namespace wivi::obs

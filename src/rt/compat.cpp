@@ -87,6 +87,20 @@ Event to_legacy_event(SessionId session, api::Event e) {
           out.restarts = ev.restarts;
           out.code = ev.cause;
           out.error = std::move(ev.message);
+        } else if constexpr (std::is_same_v<T, api::StatsEvent>) {
+          out.type = Event::Type::kStats;
+          out.stats.chunks_in = ev.chunks_in;
+          out.stats.samples_in = ev.samples_in;
+          out.stats.chunks_dropped = ev.chunks_dropped;
+          out.stats.samples_dropped = ev.samples_dropped;
+          out.stats.chunks_rejected = ev.chunks_rejected;
+          out.stats.samples_rejected = ev.samples_rejected;
+          out.stats.columns_out = ev.columns_out;
+          out.stats.bits_out = ev.bits_out;
+          out.stats.restarts = ev.restarts;
+          out.stats.fidelity = ev.fidelity;
+          out.stats.stalled = ev.stalled;
+          out.stats.latency = ev.latency;
         } else {
           static_assert(std::is_same_v<T, api::OverloadEvent>);
           out.type = Event::Type::kOverload;
@@ -123,6 +137,13 @@ api::Event to_api_event(const Event& e) {
     case Event::Type::kOverload:
       return api::OverloadEvent{e.degraded, e.fidelity, e.chunks_dropped,
                                 e.samples_dropped};
+    case Event::Type::kStats:
+      return api::StatsEvent{e.stats.chunks_in,        e.stats.samples_in,
+                             e.stats.chunks_dropped,   e.stats.samples_dropped,
+                             e.stats.chunks_rejected,  e.stats.samples_rejected,
+                             e.stats.columns_out,      e.stats.bits_out,
+                             e.stats.restarts,         e.stats.fidelity,
+                             e.stats.stalled,          e.stats.latency};
   }
   throw InvalidArgument("unknown legacy event type");
 }

@@ -5,24 +5,44 @@
 #include <variant>
 
 #include "src/common/error.hpp"
+#include "src/obs/clock.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rt/compat.hpp"
 
 namespace wivi::rt {
 
 namespace {
 
-/// Steady-clock now in nanoseconds — the watchdog/backoff time base.
-std::int64_t now_ns() noexcept {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+/// Monotonic now in nanoseconds — the watchdog/backoff/latency time base.
+/// Routed through obs::now_ns so tests can install an obs::FakeClock and
+/// drive watchdog deadlines deterministically.
+std::int64_t now_ns() noexcept { return obs::now_ns(); }
 
 std::int64_t sec_to_ns(double sec) noexcept {
   return static_cast<std::int64_t>(sec * 1e9);
 }
 
 }  // namespace
+
+Engine::Metrics::Metrics(obs::Registry& r)
+    : chunks_in(r.counter("wivi_engine_chunks_in_total")),
+      samples_in(r.counter("wivi_engine_samples_in_total")),
+      chunks_dropped(r.counter("wivi_engine_chunks_dropped_total")),
+      samples_dropped(r.counter("wivi_engine_samples_dropped_total")),
+      chunks_rejected(r.counter("wivi_engine_chunks_rejected_total")),
+      samples_rejected(r.counter("wivi_engine_samples_rejected_total")),
+      samples_processed(r.counter("wivi_engine_samples_processed_total")),
+      samples_lost(r.counter("wivi_engine_samples_lost_total")),
+      events(r.counter("wivi_engine_events_total")),
+      stalls(r.counter("wivi_engine_stalls_total")),
+      timeouts(r.counter("wivi_engine_timeouts_total")),
+      restarts(r.counter("wivi_engine_restarts_total")),
+      overload_transitions(
+          r.counter("wivi_engine_overload_transitions_total")),
+      sessions_opened(r.counter("wivi_engine_sessions_opened_total")),
+      sessions_finished(r.counter("wivi_engine_sessions_finished_total")),
+      ingress_wait_ns(r.histogram("wivi_ingress_wait_ns")),
+      chunk_latency_ns(r.histogram("wivi_chunk_latency_ns")) {}
 
 Engine::Session::Session(Engine* engine, SessionId id_,
                          api::PipelineSpec spec_, IngestConfig ingest_)
@@ -31,7 +51,11 @@ Engine::Session::Session(Engine* engine, SessionId id_,
       spec(std::move(spec_)),
       ring(ingest.ring_capacity) {
   arm_pipeline(engine);
-  last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+  const std::int64_t now = now_ns();
+  last_activity_ns.store(now, std::memory_order_relaxed);
+  if (ingest.stats_interval_sec > 0.0)
+    next_stats_ns.store(now + sec_to_ns(ingest.stats_interval_sec),
+                        std::memory_order_relaxed);
 }
 
 void Engine::Session::arm_pipeline(Engine* engine) {
@@ -98,6 +122,9 @@ SessionId Engine::open_session(api::PipelineSpec spec, IngestConfig ingest) {
                     ingest.overload.restore_after_chunks >= 1),
                "overload policy: degraded_fidelity >= 2 and both "
                "thresholds >= 1");
+  WIVI_REQUIRE(ingest.stats_interval_sec >= 0.0,
+               "stats_interval_sec must be >= 0");
+  m_.sessions_opened.add();
   std::lock_guard lk(register_mu_);
   const std::size_t n = session_count_.load(std::memory_order_relaxed);
   WIVI_REQUIRE(n < cfg_.max_sessions, "session table full");
@@ -121,12 +148,16 @@ SessionId Engine::run_recorded(api::PipelineSpec spec, CSpan trace) {
     std::this_thread::yield();
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(trace.size(), std::memory_order_relaxed);
+  m_.chunks_in.add();
+  m_.samples_in.add(trace.size());
   try {
     s.pipeline->run(trace, api::Parallelism{num_threads_});
     s.columns_out.store(s.pipeline->columns_seen(),
                         std::memory_order_relaxed);
+    m_.samples_processed.add(trace.size());
     s.closed.store(true, std::memory_order_release);
     s.finished.store(true, std::memory_order_release);
+    m_.sessions_finished.add();
   } catch (const TypedError& e) {
     // Includes an InputGuard rejection of the whole trace: in recorded
     // mode the trace *is* the stream, so a rejected trace is terminal.
@@ -152,11 +183,14 @@ bool Engine::offer(SessionId id, CVec chunk) {
   WIVI_REQUIRE(!s.closed.load(std::memory_order_relaxed),
                "offer() on a closed session");
   const std::uint64_t samples = chunk.size();
+  const std::int64_t now = now_ns();
   s.chunks_in.fetch_add(1, std::memory_order_relaxed);
   s.samples_in.fetch_add(samples, std::memory_order_relaxed);
+  m_.chunks_in.add();
+  m_.samples_in.add(samples);
   // Feed the watchdog: any offer — accepted or dropped — is proof the
   // producer is alive, and re-arms the one-shot kStalled advisory.
-  s.last_activity_ns.store(now_ns(), std::memory_order_relaxed);
+  s.last_activity_ns.store(now, std::memory_order_relaxed);
   s.stall_flagged.store(false, std::memory_order_relaxed);
   // A finished session (failed, timed out, restarts exhausted) has no
   // consumer left; pushing to its ring would strand the chunk outside
@@ -164,11 +198,14 @@ bool Engine::offer(SessionId id, CVec chunk) {
   if (s.finished.load(std::memory_order_acquire)) {
     s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
     s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+    m_.chunks_dropped.add();
+    m_.samples_dropped.add(samples);
     return false;
   }
 
+  Ingested in{std::move(chunk), now};
   if (s.ingest.backpressure == Backpressure::kBlock) {
-    while (!s.ring.try_push(std::move(chunk))) {
+    while (!s.ring.try_push(std::move(in))) {
       // A stopped engine — or a failed (finished) session, whose ring no
       // worker will ever drain again — would leave this loop spinning
       // forever; fall through to the drop path instead.
@@ -176,6 +213,8 @@ bool Engine::offer(SessionId id, CVec chunk) {
           s.finished.load(std::memory_order_acquire)) {
         s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
         s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+        m_.chunks_dropped.add();
+        m_.samples_dropped.add(samples);
         return false;
       }
       wake_workers();
@@ -184,9 +223,11 @@ bool Engine::offer(SessionId id, CVec chunk) {
     wake_workers();
     return true;
   }
-  if (!s.ring.try_push(std::move(chunk))) {
+  if (!s.ring.try_push(std::move(in))) {
     s.chunks_dropped.fetch_add(1, std::memory_order_relaxed);
     s.samples_dropped.fetch_add(samples, std::memory_order_relaxed);
+    m_.chunks_dropped.add();
+    m_.samples_dropped.add(samples);
     return false;
   }
   wake_workers();
@@ -205,6 +246,7 @@ void Engine::set_callback(std::function<void(Event&&)> cb) {
 }
 
 void Engine::deliver(Event&& e) {
+  m_.events.add();
   if (callback_) {
     callback_(std::move(e));
     return;
@@ -240,7 +282,77 @@ Engine::SessionStats Engine::stats(SessionId id) const {
   st.stalled = s.stall_flagged.load(std::memory_order_relaxed);
   st.closed = s.closed.load(std::memory_order_acquire);
   st.finished = s.finished.load(std::memory_order_acquire);
+  st.latency = s.latency.snapshot();
   return st;
+}
+
+Engine::EngineStats Engine::stats() const {
+  EngineStats st;
+  st.sessions = m_.sessions_opened.value();
+  st.sessions_finished = m_.sessions_finished.value();
+  st.chunks_in = m_.chunks_in.value();
+  st.samples_in = m_.samples_in.value();
+  st.chunks_dropped = m_.chunks_dropped.value();
+  st.samples_dropped = m_.samples_dropped.value();
+  st.chunks_rejected = m_.chunks_rejected.value();
+  st.samples_rejected = m_.samples_rejected.value();
+  st.samples_processed = m_.samples_processed.value();
+  st.samples_lost = m_.samples_lost.value();
+  st.events_out = m_.events.value();
+  st.stalls = m_.stalls.value();
+  st.timeouts = m_.timeouts.value();
+  st.restarts = m_.restarts.value();
+  st.overload_transitions = m_.overload_transitions.value();
+  const std::size_t n = session_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.columns_out +=
+        sessions_[i]->columns_out.load(std::memory_order_relaxed);
+    st.bits_out += sessions_[i]->bits_out.load(std::memory_order_relaxed);
+  }
+  st.ingress_wait = m_.ingress_wait_ns.snapshot();
+  st.chunk_latency = m_.chunk_latency_ns.snapshot();
+  return st;
+}
+
+obs::Snapshot Engine::snapshot() const {
+  obs::Snapshot snap = registry_.snapshot();
+  snap.source = "wivi::rt::Engine";
+  // Ring cursor sums and per-session output sums, aggregated on read —
+  // the rings count for themselves, so recording costs the hot path
+  // nothing (the PR-6 counters unified behind the obs naming scheme).
+  std::uint64_t pushes = 0, pops = 0, drops = 0, columns = 0, bits = 0;
+  const std::size_t n = session_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Session& s = *sessions_[i];
+    pushes += s.ring.pushes();
+    pops += s.ring.pops();
+    drops += s.ring.drops();
+    columns += s.columns_out.load(std::memory_order_relaxed);
+    bits += s.bits_out.load(std::memory_order_relaxed);
+  }
+  snap.add_counter("wivi_ring_pushes_total", pushes);
+  snap.add_counter("wivi_ring_pops_total", pops);
+  snap.add_counter("wivi_ring_drops_total", drops);
+  snap.add_counter("wivi_engine_columns_total", columns);
+  snap.add_counter("wivi_engine_bits_total", bits);
+  return snap;
+}
+
+void Engine::write_snapshot(std::ostream& os, obs::ExportFormat format) const {
+  obs::write_snapshot(os, snapshot(), format);
+}
+
+void Engine::write_trace(std::ostream& os) const {
+  std::vector<obs::TraceTrack> tracks;
+  const std::size_t n = session_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Session& s = *sessions_[i];
+    if (!s.pipeline || s.pipeline->observer().trace().capacity() == 0)
+      continue;
+    tracks.push_back({static_cast<int>(s.id), "wivi session",
+                      s.pipeline->observer().trace().records()});
+  }
+  obs::write_chrome_trace(os, tracks);
 }
 
 const api::Session& Engine::pipeline(SessionId id) const {
@@ -318,19 +430,23 @@ bool Engine::try_process(Session& s) {
   if (s.resume_at_ns.load(std::memory_order_acquire) > now) return false;
   // Cheap pre-check before contending on the claim flag. An idle session
   // is still claimed when its watchdog may be due — silence is exactly
-  // what the watchdog exists to observe.
-  bool watchdog_only = false;
+  // what the watchdog exists to observe — or when a periodic kStats
+  // emission is due.
+  bool idle_tick = false;
   if (s.ring.empty() && !s.closed.load(std::memory_order_acquire)) {
     const double timeout = s.ingest.watchdog.stall_timeout_sec;
-    if (timeout <= 0.0) return false;
     const std::int64_t silent =
         now - s.last_activity_ns.load(std::memory_order_relaxed);
-    const bool advisory_due = silent >= sec_to_ns(timeout) &&
+    const bool advisory_due = timeout > 0.0 && silent >= sec_to_ns(timeout) &&
                               !s.stall_flagged.load(std::memory_order_relaxed);
-    const bool fatal_due = s.ingest.watchdog.timeout_is_fatal &&
+    const bool fatal_due = timeout > 0.0 &&
+                           s.ingest.watchdog.timeout_is_fatal &&
                            silent >= 2 * sec_to_ns(timeout);
-    if (!advisory_due && !fatal_due) return false;
-    watchdog_only = true;
+    const bool stats_due =
+        s.ingest.stats_interval_sec > 0.0 &&
+        now >= s.next_stats_ns.load(std::memory_order_relaxed);
+    if (!advisory_due && !fatal_due && !stats_due) return false;
+    idle_tick = true;
   }
   if (s.busy.exchange(true, std::memory_order_acquire)) return false;
   // Re-check under the claim: the pre-claim read can go stale if another
@@ -354,18 +470,20 @@ bool Engine::try_process(Session& s) {
   // still returns.
   bool did_work = false;
   try {
-    if (watchdog_only) {
-      check_watchdog(s, now);
+    if (idle_tick) {
+      if (s.ingest.watchdog.stall_timeout_sec > 0.0) check_watchdog(s, now);
+      if (!s.finished.load(std::memory_order_relaxed))
+        maybe_emit_stats(s, now);
       did_work = true;
     } else {
-      CVec chunk;
-      for (int i = 0; i < cfg_.chunks_per_claim && s.ring.try_pop(chunk);
-           ++i) {
-        process_chunk(s, std::move(chunk));
+      Ingested in;
+      for (int i = 0; i < cfg_.chunks_per_claim && s.ring.try_pop(in); ++i) {
+        process_chunk(s, std::move(in));
         check_overload(s);
-        chunk.clear();
+        in.samples.clear();
         did_work = true;
       }
+      if (did_work) maybe_emit_stats(s, now_ns());
       // Finalise only once the close flag is up AND the ring is empty; the
       // acquire on `closed` makes every pre-close push visible, so an
       // empty ring here really is the end of the stream.
@@ -389,7 +507,13 @@ bool Engine::try_process(Session& s) {
   return did_work;
 }
 
-void Engine::process_chunk(Session& s, CVec chunk) {
+void Engine::process_chunk(Session& s, Ingested in) {
+  const CVec& chunk = in.samples;
+  // Ring wait: how long the chunk sat between offer() and this pop.
+  const std::int64_t popped = now_ns();
+  if (popped > in.ingress_ns)
+    m_.ingress_wait_ns.record(
+        static_cast<std::uint64_t>(popped - in.ingress_ns));
   // The pipeline emits every event itself (through the conversion sink
   // installed at arm time); the engine only maintains the counters. The
   // counter is synced even when event delivery throws mid-chunk: the
@@ -405,16 +529,29 @@ void Engine::process_chunk(Session& s, CVec chunk) {
       // session stays healthy, the malformed chunk is only counted.
       s.chunks_rejected.fetch_add(1, std::memory_order_relaxed);
       s.samples_rejected.fetch_add(chunk.size(), std::memory_order_relaxed);
+      m_.chunks_rejected.add();
+      m_.samples_rejected.add(chunk.size());
       return;
     }
+    m_.samples_lost.add(chunk.size());
     throw;
   } catch (...) {
     s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
                         std::memory_order_relaxed);
+    m_.samples_lost.add(chunk.size());
     throw;
   }
   s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
                       std::memory_order_relaxed);
+  m_.samples_processed.add(chunk.size());
+  // End-to-end chunk latency: offer() to fully processed (events
+  // delivered). Engine-wide and per-session (the kStats payload).
+  const std::int64_t done = now_ns();
+  if (done > in.ingress_ns) {
+    const auto lat = static_cast<std::uint64_t>(done - in.ingress_ns);
+    m_.chunk_latency_ns.record(lat);
+    s.latency.record(lat);
+  }
 }
 
 /// The degradation ladder (runs under the claim flag, after each processed
@@ -443,6 +580,7 @@ void Engine::check_overload(Session& s) {
   }
   s.drops_acked = drops;
   s.clean_chunks = 0;
+  m_.overload_transitions.add();
   Event e;
   e.session = s.id;
   e.type = Event::Type::kOverload;
@@ -462,11 +600,13 @@ void Engine::check_watchdog(Session& s, std::int64_t now) {
       now - s.last_activity_ns.load(std::memory_order_relaxed);
   if (silent < deadline) return;  // fed between pre-check and claim
   if (s.ingest.watchdog.timeout_is_fatal && silent >= 2 * deadline) {
+    m_.timeouts.add();
     fail_session(s, ErrorCode::kTimeout,
                  "watchdog: feeder silent past twice the liveness deadline");
     return;
   }
   if (s.stall_flagged.exchange(true, std::memory_order_relaxed)) return;
+  m_.stalls.add();
   Event e;
   e.session = s.id;
   e.type = Event::Type::kStalled;
@@ -475,11 +615,27 @@ void Engine::check_watchdog(Session& s, std::int64_t now) {
   deliver(std::move(e));
 }
 
+/// Periodic per-session telemetry (runs under the claim flag): one kStats
+/// event carrying the session's SessionStats, at most once per
+/// stats_interval_sec.
+void Engine::maybe_emit_stats(Session& s, std::int64_t now) {
+  if (s.ingest.stats_interval_sec <= 0.0) return;
+  if (now < s.next_stats_ns.load(std::memory_order_relaxed)) return;
+  s.next_stats_ns.store(now + sec_to_ns(s.ingest.stats_interval_sec),
+                        std::memory_order_relaxed);
+  Event e;
+  e.session = s.id;
+  e.type = Event::Type::kStats;
+  e.stats = stats(s.id);
+  deliver(std::move(e));
+}
+
 void Engine::finalize(Session& s) {
   s.pipeline->finish();  // final flush + FinishedEvent via the sink
   s.columns_out.store(s.columns_base + s.pipeline->columns_seen(),
                       std::memory_order_relaxed);
   s.finished.store(true, std::memory_order_release);
+  m_.sessions_finished.add();
 }
 
 /// A pipeline (or engine-side delivery) failure under the claim flag:
@@ -508,6 +664,7 @@ void Engine::handle_failure(Session& s, ErrorCode code,
   }
   const int r = used + 1;
   s.restarts.store(r, std::memory_order_relaxed);
+  m_.restarts.add();
   if (rp.backoff_sec > 0.0) {
     const double scale = static_cast<double>(std::uint64_t{1} << (r - 1));
     s.resume_at_ns.store(now_ns() + sec_to_ns(rp.backoff_sec * scale),
@@ -553,7 +710,14 @@ void Engine::fail_session(Session& s, ErrorCode code,
       // is lost but the session still dies cleanly.
     }
   }
+  // Chunks still queued behind a terminal failure will never be popped:
+  // count their samples as lost so the engine-wide conservation law
+  // (samples_in == processed + dropped + rejected + lost) stays exact.
+  // Callers hold the claim flag, so draining the consumer side is safe.
+  Ingested in;
+  while (s.ring.try_pop(in)) m_.samples_lost.add(in.samples.size());
   s.finished.store(true, std::memory_order_release);
+  m_.sessions_finished.add();
 }
 
 }  // namespace wivi::rt

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/api/session.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/rt/spsc_ring.hpp"
 #include "src/rt/streaming.hpp"
 
@@ -122,6 +123,32 @@ struct IngestConfig {
   /// fault-injection suites script stage exceptions at exact chunk
   /// indices inside a multiplexed session (fault::throw_hook).
   std::function<void(std::size_t)> fault_hook;
+  /// Emit a periodic kStats event carrying the session's SessionStats
+  /// (cumulative counters + chunk-latency summary) at least this many
+  /// seconds apart — in-band telemetry a sink can watch without polling
+  /// Engine::stats(). Emitted from whichever worker holds the session's
+  /// claim, including on idle sessions. 0 (the default) disables it.
+  double stats_interval_sec = 0.0;
+};
+
+/// Point-in-time per-session counters (see Engine::stats(SessionId)).
+struct SessionStats {
+  std::uint64_t chunks_in = 0;         ///< chunks offered
+  std::uint64_t samples_in = 0;        ///< samples offered
+  std::uint64_t chunks_dropped = 0;    ///< chunks lost to backpressure
+  std::uint64_t samples_dropped = 0;   ///< samples lost to backpressure
+  std::uint64_t chunks_rejected = 0;   ///< chunks the InputGuard rejected
+  std::uint64_t samples_rejected = 0;  ///< samples in rejected chunks
+  std::uint64_t columns_out = 0;       ///< image columns produced
+  std::uint64_t bits_out = 0;          ///< gesture bits emitted
+  int restarts = 0;                    ///< RestartPolicy restarts consumed
+  int fidelity = 1;                    ///< angle decimation in effect
+  bool stalled = false;                ///< watchdog advisory in effect
+  bool closed = false;                 ///< close_session() called
+  bool finished = false;               ///< drained and finalised (or dead)
+  /// Offer→processed chunk latency summary, nanoseconds (fills only while
+  /// obs recording is enabled).
+  obs::HistogramSnapshot latency;
 };
 
 /// Per-session processing configuration.
@@ -173,6 +200,7 @@ struct Event {
     kStalled,    ///< watchdog advisory: the feeder has gone silent
     kRecovered,  ///< the session restarted under its RestartPolicy
     kOverload,   ///< degradation-ladder transition (OverloadPolicy)
+    kStats,      ///< periodic telemetry (IngestConfig::stats_interval_sec)
   };
 
   /// Session this event belongs to.
@@ -227,6 +255,8 @@ struct Event {
   std::uint64_t samples_dropped = 0;
   /// kFinished / kError: cumulative chunks rejected by the InputGuard.
   std::uint64_t chunks_rejected = 0;
+  /// kStats: the session's cumulative counters and latency summary.
+  SessionStats stats;
 };
 
 /// The session table plus worker pool: opens sessions, ingests chunks,
@@ -245,21 +275,33 @@ class Engine {
     int chunks_per_claim = 4;
   };
 
-  /// Point-in-time per-session counters (see stats()).
-  struct SessionStats {
-    std::uint64_t chunks_in = 0;         ///< chunks offered
-    std::uint64_t samples_in = 0;        ///< samples offered
-    std::uint64_t chunks_dropped = 0;    ///< chunks lost to backpressure
-    std::uint64_t samples_dropped = 0;   ///< samples lost to backpressure
-    std::uint64_t chunks_rejected = 0;   ///< chunks the InputGuard rejected
-    std::uint64_t samples_rejected = 0;  ///< samples in rejected chunks
-    std::uint64_t columns_out = 0;       ///< image columns produced
-    std::uint64_t bits_out = 0;          ///< gesture bits emitted
-    int restarts = 0;                    ///< RestartPolicy restarts consumed
-    int fidelity = 1;                    ///< angle decimation in effect
-    bool stalled = false;                ///< watchdog advisory in effect
-    bool closed = false;                 ///< close_session() called
-    bool finished = false;               ///< drained and finalised (or dead)
+  /// Per-session counters, now a namespace-scope type (the kStats Event
+  /// carries one); this alias keeps the historical Engine::SessionStats
+  /// spelling working.
+  using SessionStats = wivi::rt::SessionStats;
+
+  /// Engine-wide cumulative telemetry (see stats() with no argument):
+  /// sums over every session this engine has ever opened.
+  struct EngineStats {
+    std::uint64_t sessions = 0;           ///< sessions opened
+    std::uint64_t sessions_finished = 0;  ///< sessions drained or dead
+    std::uint64_t chunks_in = 0;          ///< chunks offered, all sessions
+    std::uint64_t samples_in = 0;         ///< samples offered
+    std::uint64_t chunks_dropped = 0;     ///< chunks lost to backpressure
+    std::uint64_t samples_dropped = 0;    ///< samples lost to backpressure
+    std::uint64_t chunks_rejected = 0;    ///< InputGuard rejections
+    std::uint64_t samples_rejected = 0;   ///< samples in rejected chunks
+    std::uint64_t samples_processed = 0;  ///< samples fully processed
+    std::uint64_t samples_lost = 0;       ///< samples in chunks dying mid-failure
+    std::uint64_t columns_out = 0;        ///< image columns produced
+    std::uint64_t bits_out = 0;           ///< gesture bits emitted
+    std::uint64_t events_out = 0;         ///< events delivered
+    std::uint64_t stalls = 0;             ///< watchdog advisories fired
+    std::uint64_t timeouts = 0;           ///< fatal watchdog timeouts
+    std::uint64_t restarts = 0;           ///< RestartPolicy restarts
+    std::uint64_t overload_transitions = 0;  ///< degradation-ladder moves
+    obs::HistogramSnapshot ingress_wait;  ///< offer→pop ring wait, ns
+    obs::HistogramSnapshot chunk_latency; ///< offer→processed latency, ns
   };
 
   Engine();  ///< Start an engine with the default Config.
@@ -341,6 +383,32 @@ class Engine {
   /// exact once it is finished).
   [[nodiscard]] SessionStats stats(SessionId id) const;
 
+  /// Engine-wide cumulative telemetry: the registry counters plus sums of
+  /// the per-session counters. Safe any time; exact once quiet.
+  [[nodiscard]] EngineStats stats() const;
+
+  /// The engine's telemetry as one exportable obs::Snapshot: every
+  /// registry metric (`wivi_engine_*`, `wivi_ingress_wait_ns`,
+  /// `wivi_chunk_latency_ns`) plus the ring cursor sums
+  /// (`wivi_ring_{pushes,pops,drops}_total`) and per-session output sums.
+  /// Feed it to obs::write_snapshot, or use write_snapshot() directly.
+  [[nodiscard]] obs::Snapshot snapshot() const;
+
+  /// Render snapshot() to `os` as JSON (default) or Prometheus text.
+  void write_snapshot(std::ostream& os,
+                      obs::ExportFormat format = obs::ExportFormat::kJson) const;
+
+  /// Write every session's retained pipeline trace spans as one Chrome
+  /// trace-event JSON, one track (pid = session id) per session — only
+  /// sessions whose spec set api::ObsConfig::trace_capacity contribute.
+  /// Call once the engine is quiet (post-drain): the trace rings are
+  /// claim-protected and this reads them unclaimed.
+  void write_trace(std::ostream& os) const;
+
+  /// The engine's metric registry — counters/histograms for everything the
+  /// engine observes; extend it with caller-owned metrics if desired.
+  [[nodiscard]] obs::Registry& registry() noexcept { return registry_; }
+
   /// The session's compiled pipeline — safe to read once the session is
   /// finished (kFinished observed or drain() returned).
   [[nodiscard]] const api::Session& pipeline(SessionId id) const;
@@ -357,6 +425,14 @@ class Engine {
       SessionId id) const;
 
  private:
+  /// One ring slot: the offered chunk stamped with its offer instant
+  /// (obs::now_ns), so the draining worker can attribute ring wait and
+  /// end-to-end chunk latency.
+  struct Ingested {
+    CVec samples;
+    std::int64_t ingress_ns = 0;
+  };
+
   struct Session {
     Session(Engine* engine, SessionId id_, api::PipelineSpec spec_,
             IngestConfig ingest_);
@@ -373,7 +449,7 @@ class Engine {
     /// identical pipeline (api::Session is neither copyable nor movable).
     api::PipelineSpec spec;
     std::optional<api::Session> pipeline;
-    SpscRing<CVec> ring;
+    SpscRing<Ingested> ring;
 
     std::atomic<bool> closed{false};
     std::atomic<bool> finished{false};
@@ -411,13 +487,43 @@ class Engine {
     std::atomic<int> fidelity{1};
     std::uint64_t drops_acked = 0;   ///< drops already reacted to
     std::uint64_t clean_chunks = 0;  ///< drop-free chunks since last drop
+
+    /// Offer→processed chunk latency. Single-slot: the claim flag already
+    /// serializes every writer, so sharding would only waste cache lines.
+    obs::Histogram latency{1};
+    /// Next kStats emission instant (stats_interval_sec; claim-checked).
+    std::atomic<std::int64_t> next_stats_ns{0};
+  };
+
+  /// The engine's named metrics, interned once so the hot path records
+  /// through cached references (DESIGN.md §10 naming scheme).
+  struct Metrics {
+    explicit Metrics(obs::Registry& r);
+    obs::Counter& chunks_in;
+    obs::Counter& samples_in;
+    obs::Counter& chunks_dropped;
+    obs::Counter& samples_dropped;
+    obs::Counter& chunks_rejected;
+    obs::Counter& samples_rejected;
+    obs::Counter& samples_processed;
+    obs::Counter& samples_lost;
+    obs::Counter& events;
+    obs::Counter& stalls;
+    obs::Counter& timeouts;
+    obs::Counter& restarts;
+    obs::Counter& overload_transitions;
+    obs::Counter& sessions_opened;
+    obs::Counter& sessions_finished;
+    obs::Histogram& ingress_wait_ns;
+    obs::Histogram& chunk_latency_ns;
   };
 
   void worker_loop(int wid);
   bool try_process(Session& s);
-  void process_chunk(Session& s, CVec chunk);
+  void process_chunk(Session& s, Ingested in);
   void check_overload(Session& s);
   void check_watchdog(Session& s, std::int64_t now_ns);
+  void maybe_emit_stats(Session& s, std::int64_t now_ns);
   void finalize(Session& s);
   void handle_failure(Session& s, ErrorCode code, const char* what) noexcept;
   void fail_session(Session& s, ErrorCode code, const char* what) noexcept;
@@ -427,6 +533,12 @@ class Engine {
 
   Config cfg_;
   int num_threads_ = 1;
+
+  // Telemetry: the registry owns every named engine metric; m_ caches the
+  // interned references for the hot paths (declared after registry_ —
+  // construction order matters).
+  obs::Registry registry_;
+  Metrics m_{registry_};
 
   // Fixed-size table: slots are filled once under register_mu_ and then
   // only read; workers learn about new sessions via the release/acquire

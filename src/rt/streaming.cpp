@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/error.hpp"
+#include "src/obs/trace.hpp"
 
 namespace wivi::rt {
 
@@ -23,7 +24,9 @@ double StreamingTracker::column_period_sec() const noexcept {
 }
 
 void StreamingTracker::reset(double t0) {
+  obs::PipelineObserver* const keep = obs_;
   *this = StreamingTracker(cfg_, t0);
+  obs_ = keep;
 }
 
 std::size_t StreamingTracker::push(CSpan chunk) {
@@ -39,16 +42,21 @@ std::size_t StreamingTracker::push(CSpan chunk) {
   std::size_t emitted = 0;
   while (base_ + buf_.size() >= next_col_ * hop + w) {
     const std::size_t n = next_col_ * hop;  // absolute stream offset
-    sliding_.advance_to(buf_, n - base_);
-    sliding_.correlation_into(r_);
+    {
+      obs::ScopedSpan span(obs_, obs::Stage::kStft);
+      sliding_.advance_to(buf_, n - base_);
+      sliding_.correlation_into(r_);
+    }
     img_.columns.emplace_back();
     int order = 0;
+    obs::ScopedSpan span(obs_, obs::Stage::kMusic);
     if (decim_ <= 1) {
       music_.pseudospectrum_from_correlation_into(r_, img_.angles_deg,
                                                   img_.columns.back(), &order);
     } else {
       emit_degraded_column(img_.columns.back(), &order);
     }
+    span.stop();
     img_.model_orders.push_back(order);
     img_.times_sec.push_back(
         t0_ + (static_cast<double>(n) + static_cast<double>(w) / 2.0) * T);

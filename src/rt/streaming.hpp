@@ -26,6 +26,10 @@
 #include "src/core/tracker.hpp"
 #include "src/track/multi_tracker.hpp"
 
+namespace wivi::obs {
+class PipelineObserver;
+}  // namespace wivi::obs
+
 namespace wivi::rt {
 
 /// Streaming counterpart of core::MotionTracker: push sample chunks of any
@@ -106,6 +110,15 @@ class StreamingTracker {
   /// Drop all stream and image state and start a new trace at `t0`.
   void reset(double t0 = 0.0);
 
+  /// Attach a per-stage latency observer (wivi::obs): the push() loop
+  /// records one `stft_doppler` span (sliding-correlation advance) and one
+  /// `music` span (pseudospectrum scan) per emitted column. nullptr
+  /// detaches. The observer must outlive the tracker and is *not* owned;
+  /// it survives reset().
+  void set_observer(obs::PipelineObserver* observer) noexcept {
+    obs_ = observer;
+  }
+
  private:
   void compact();
   void emit_degraded_column(RVec& out, int* order);
@@ -126,6 +139,7 @@ class StreamingTracker {
   std::vector<std::size_t> coarse_idx_;  // full-grid indices evaluated
   RVec coarse_angles_;                   // angles at coarse_idx_
   RVec coarse_col_;                      // coarse pseudospectrum scratch
+  obs::PipelineObserver* obs_ = nullptr;  // not owned; survives reset()
 };
 
 /// Streaming gesture decoding (§6): watches a growing angle-time image and

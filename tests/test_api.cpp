@@ -120,6 +120,15 @@ void expect_events_identical(const std::vector<api::Event>& a,
             EXPECT_EQ(ea.restarts, eb.restarts) << label;
             EXPECT_EQ(ea.cause, eb.cause) << label;
             EXPECT_EQ(ea.message, eb.message) << label;
+          } else if constexpr (std::is_same_v<T, api::StatsEvent>) {
+            EXPECT_EQ(ea.chunks_in, eb.chunks_in) << label;
+            EXPECT_EQ(ea.samples_in, eb.samples_in) << label;
+            EXPECT_EQ(ea.chunks_dropped, eb.chunks_dropped) << label;
+            EXPECT_EQ(ea.samples_dropped, eb.samples_dropped) << label;
+            EXPECT_EQ(ea.columns_out, eb.columns_out) << label;
+            EXPECT_EQ(ea.bits_out, eb.bits_out) << label;
+            EXPECT_EQ(ea.restarts, eb.restarts) << label;
+            EXPECT_EQ(ea.latency.count, eb.latency.count) << label;
           } else {
             static_assert(std::is_same_v<T, api::OverloadEvent>);
             EXPECT_EQ(ea.degraded, eb.degraded) << label;
