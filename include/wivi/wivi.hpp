@@ -98,3 +98,10 @@
 #include "src/sim/robot.hpp"
 #include "src/sim/room.hpp"
 #include "src/sim/synthetic.hpp"
+
+// ------------------- sim: scenario factory + accuracy evaluation harness ---
+#include "src/sim/evaluate.hpp"
+#include "src/sim/scenario.hpp"
+
+// -------------------------------------- fault: deterministic chaos --------
+#include "src/fault/fault.hpp"

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Gate for the committed scenario accuracy matrix (ACCURACY_matrix.json).
+
+Two layers, matching what the scenario-eval CI job needs:
+
+  * Schema validation (always): the document is a
+    ``wivi-accuracy-matrix-v1`` object whose ``families`` array carries at
+    least 5 named families and at least 100 scenario rows in total, every
+    row typed correctly and every family summary consistent with its rows
+    (recomputed means/totals must agree).
+  * Baseline comparison (``--baseline file``): the candidate matrix must
+    describe the identical sweep (same families, row names, seeds, column
+    counts) and score within per-metric tolerances of the committed
+    baseline.  Scores are bit-identical when one binary regenerates them
+    (eval_scenarios is pure in the base seed); the tolerances exist so a
+    different compiler or optimisation level, which may round the MUSIC
+    eigendecomposition differently, does not fail the gate while any real
+    behavioural regression still does.  Counters that do not depend on
+    floating point (chunk rejections, row identity) must match exactly.
+
+Exit 0 when the candidate passes, 1 otherwise.
+
+Usage: python3 scripts/check_accuracy.py [--baseline FILE] CANDIDATE
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+SCHEMA = "wivi-accuracy-matrix-v1"
+MIN_FAMILIES = 5
+MIN_SCENARIOS = 100
+
+# Per-metric drift allowed between a candidate and the committed baseline.
+ABS_TOL = {
+    "ospa_deg": 1.0,
+    "continuity": 0.08,
+    "purity": 0.08,
+    "count_accuracy": 0.10,
+    "count_mae": 0.20,
+}
+REL_TOL = {
+    "spatial_variance": 0.10,  # large linear-power magnitudes: relative
+}
+INT_TOL = {
+    "id_switches": 2,
+    "ghost_tracks": 1,
+}
+EXACT_INTS = ("seed", "movers", "max_concurrent", "columns",
+              "chunks_rejected")
+
+ROW_NUMBERS = ("ospa_deg", "continuity", "purity", "count_accuracy",
+               "count_mae", "spatial_variance")
+
+errors: list[str] = []
+
+
+def fail(where: str, message: str) -> None:
+    errors.append(f"{where}: {message}")
+
+
+def is_number(value: object) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def load(path: str) -> dict | None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable: {e}")
+        return None
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+        return None
+    return doc
+
+
+def check_row(where: str, row: object) -> bool:
+    if not isinstance(row, dict):
+        fail(where, "row is not an object")
+        return False
+    ok = True
+    if not isinstance(row.get("name"), str) or not row.get("name"):
+        fail(where, "missing or empty row name")
+        ok = False
+    for key in EXACT_INTS + tuple(INT_TOL):
+        if not is_int(row.get(key)):
+            fail(where, f"'{key}' is not an integer")
+            ok = False
+    for key in ROW_NUMBERS:
+        if not is_number(row.get(key)):
+            fail(where, f"'{key}' is not a number")
+            ok = False
+    if not isinstance(row.get("faulted"), bool):
+        fail(where, "'faulted' is not a bool")
+        ok = False
+    if not ok:
+        return False
+    for key in ("continuity", "purity", "count_accuracy"):
+        if not 0.0 <= row[key] <= 1.0:
+            fail(where, f"'{key}' = {row[key]} outside [0, 1]")
+            ok = False
+    if row["ospa_deg"] < 0.0:
+        fail(where, f"negative ospa_deg {row['ospa_deg']}")
+        ok = False
+    if not row["faulted"] and row["chunks_rejected"] != 0:
+        fail(where, "chunk rejections on an unfaulted run")
+        ok = False
+    return ok
+
+
+def check_summary(where: str, summary: object, rows: list[dict]) -> None:
+    if not isinstance(summary, dict):
+        fail(where, "summary is not an object")
+        return
+    n = len(rows)
+    recomputed = {
+        "mean_ospa_deg": sum(r["ospa_deg"] for r in rows) / n,
+        "mean_continuity": sum(r["continuity"] for r in rows) / n,
+        "mean_purity": sum(r["purity"] for r in rows) / n,
+        "total_id_switches": sum(r["id_switches"] for r in rows),
+        "total_ghost_tracks": sum(r["ghost_tracks"] for r in rows),
+        "mean_count_accuracy": sum(r["count_accuracy"] for r in rows) / n,
+        "mean_count_mae": sum(r["count_mae"] for r in rows) / n,
+        "total_chunks_rejected": sum(r["chunks_rejected"] for r in rows),
+    }
+    for key, want in recomputed.items():
+        got = summary.get(key)
+        if not is_number(got):
+            fail(where, f"summary '{key}' is not a number")
+        elif abs(got - want) > 5e-6 + 1e-9 * abs(want):
+            fail(where, f"summary '{key}' = {got} does not match its rows "
+                        f"(recomputed {want})")
+
+
+def check_schema(path: str, doc: dict) -> None:
+    if doc.get("schema") != SCHEMA:
+        fail(path, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    if not is_int(doc.get("base_seed")):
+        fail(path, "'base_seed' is not an integer")
+    families = doc.get("families")
+    if not isinstance(families, list) or len(families) < MIN_FAMILIES:
+        fail(path, f"fewer than {MIN_FAMILIES} families")
+        return
+    total = 0
+    seen: set[str] = set()
+    for fam in families:
+        if not isinstance(fam, dict) or not isinstance(fam.get("name"), str):
+            fail(path, "family without a name")
+            continue
+        where = f"{path}[{fam['name']}]"
+        if fam["name"] in seen:
+            fail(where, "duplicate family name")
+        seen.add(fam["name"])
+        rows = fam.get("rows")
+        if not isinstance(rows, list) or not rows:
+            fail(where, "family has no rows")
+            continue
+        if fam.get("scenarios") != len(rows):
+            fail(where, f"'scenarios' = {fam.get('scenarios')} but "
+                        f"{len(rows)} rows")
+        row_ok = all(check_row(f"{where}.{i}", row)
+                     for i, row in enumerate(rows))
+        total += len(rows)
+        if row_ok:
+            check_summary(where, fam.get("summary"), rows)
+    if doc.get("scenarios_total") != total:
+        fail(path, f"'scenarios_total' = {doc.get('scenarios_total')} but "
+                   f"families hold {total} rows")
+    if total < MIN_SCENARIOS:
+        fail(path, f"only {total} scenarios, expected >= {MIN_SCENARIOS}")
+
+
+def compare_rows(where: str, base: dict, cand: dict) -> None:
+    if cand.get("name") != base.get("name"):
+        fail(where, f"row is {cand.get('name')!r}, baseline has "
+                    f"{base.get('name')!r}")
+        return
+    for key in EXACT_INTS:
+        if cand[key] != base[key]:
+            fail(where, f"'{key}' = {cand[key]}, baseline {base[key]}")
+    if cand["faulted"] != base["faulted"]:
+        fail(where, "'faulted' flag differs from the baseline")
+    for key, tol in INT_TOL.items():
+        if abs(cand[key] - base[key]) > tol:
+            fail(where, f"'{key}' = {cand[key]} drifted beyond +-{tol} "
+                        f"from baseline {base[key]}")
+    for key, tol in ABS_TOL.items():
+        if abs(cand[key] - base[key]) > tol:
+            fail(where, f"'{key}' = {cand[key]:.6f} drifted beyond "
+                        f"+-{tol} from baseline {base[key]:.6f}")
+    for key, tol in REL_TOL.items():
+        scale = max(abs(base[key]), 1e-12)
+        if abs(cand[key] - base[key]) / scale > tol:
+            fail(where, f"'{key}' = {cand[key]:.6f} drifted beyond "
+                        f"{tol:.0%} from baseline {base[key]:.6f}")
+
+
+def compare(base_path: str, base: dict, cand_path: str, cand: dict) -> None:
+    if cand.get("base_seed") != base.get("base_seed"):
+        fail(cand_path, f"base_seed {cand.get('base_seed')} differs from "
+                        f"the baseline's {base.get('base_seed')}")
+    base_fams = base.get("families", [])
+    cand_fams = cand.get("families", [])
+    if [f.get("name") for f in base_fams] != [f.get("name")
+                                              for f in cand_fams]:
+        fail(cand_path, "family list differs from the baseline")
+        return
+    for bf, cf in zip(base_fams, cand_fams):
+        name = bf["name"]
+        if len(bf["rows"]) != len(cf["rows"]):
+            fail(f"{cand_path}[{name}]",
+                 f"{len(cf['rows'])} rows, baseline has {len(bf['rows'])}")
+            continue
+        for i, (br, cr) in enumerate(zip(bf["rows"], cf["rows"])):
+            compare_rows(f"{cand_path}[{name}].{br.get('name', i)}", br, cr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("candidate",
+                        help="matrix to validate (e.g. a fresh sweep)")
+    parser.add_argument("--baseline",
+                        help="committed matrix to compare against")
+    args = parser.parse_args()
+
+    cand = load(args.candidate)
+    if cand is not None:
+        check_schema(args.candidate, cand)
+    if args.baseline and cand is not None:
+        base = load(args.baseline)
+        if base is not None:
+            check_schema(args.baseline, base)
+            compare(args.baseline, base, args.candidate, cand)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        return 1
+    print(f"OK {args.candidate}"
+          + (f" vs {args.baseline}" if args.baseline else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

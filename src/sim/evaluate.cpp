@@ -1,0 +1,551 @@
+#include "src/sim/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "src/api/session.hpp"
+#include "src/common/error.hpp"
+#include "src/sim/feeder.hpp"
+#include "src/track/assignment.hpp"
+
+namespace wivi::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// SplitMix64 finaliser (the scenario/fault seed-derivation hash).
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t case_seed(std::uint64_t base, std::uint64_t family,
+                        std::uint64_t index) noexcept {
+  return mix(base ^ mix(family * 1000 + index));
+}
+
+/// Stream the trace into the session, optionally through a FaultyFeeder.
+/// Returns the number of typed kInvalidChunk rejections (corrupted chunks
+/// the InputGuard bounced — the allowed failure mode; anything else
+/// propagates).
+int feed_session(api::Session& session, const GeneratedScenario& sc,
+                 const EvaluatorConfig& cfg) {
+  int rejected = 0;
+  if (cfg.faults) {
+    TraceResult tr;
+    tr.h = sc.h;
+    tr.sample_rate_hz = sc.sample_rate_hz;
+    fault::FaultyFeeder feeder(ChunkedTrace(std::move(tr), cfg.chunk_len),
+                               *cfg.faults);
+    CVec chunk;
+    for (;;) {
+      const fault::FaultAction act = feeder.next(chunk);
+      if (act == fault::FaultAction::kEnd) break;
+      if (act == fault::FaultAction::kGap) continue;
+      try {
+        session.push(chunk);
+      } catch (const TypedError& e) {
+        if (e.code() != ErrorCode::kInvalidChunk) throw;
+        ++rejected;  // typed rejection: the session stays open
+      }
+    }
+  } else {
+    const CSpan h(sc.h);
+    for (std::size_t i = 0; i < h.size(); i += cfg.chunk_len)
+      session.push(h.subspan(i, std::min(cfg.chunk_len, h.size() - i)));
+  }
+  session.finish();
+  return rejected;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(EvaluatorConfig cfg) : cfg_(std::move(cfg)) {
+  WIVI_REQUIRE(cfg_.ospa_cutoff_deg > 0.0, "OSPA cutoff must be positive");
+  WIVI_REQUIRE(cfg_.match_gate_deg > 0.0, "match gate must be positive");
+  WIVI_REQUIRE(cfg_.chunk_len > 0, "chunk length must be positive");
+  // Compiling throwaway stages validates the pipeline configs up front.
+  core::MotionTracker{cfg_.image};
+  track::MultiTargetTracker{cfg_.tracker};
+}
+
+ScenarioScores Evaluator::score(const ScenarioSpec& spec,
+                                std::uint64_t seed) const {
+  return score(generate_scenario(spec, seed));
+}
+
+ScenarioScores Evaluator::score(const GeneratedScenario& sc) const {
+  ScenarioScores out;
+  out.name = sc.spec.name;
+  out.seed = sc.seed;
+  out.num_truth_movers = static_cast<int>(sc.spec.movers.size());
+  out.max_concurrent = sc.truth.max_concurrent();
+  out.faulted = cfg_.faults.has_value();
+
+  // 1. The pipeline under test: a compiled Session streaming the trace
+  //    (image + Eq. 5.5 counting stage).
+  api::PipelineSpec ps;
+  ps.image.tracker = cfg_.image;
+  ps.image.emit_columns = false;
+  ps.count = api::CountStage{};
+  api::Session session(ps);
+  out.chunks_rejected = feed_session(session, sc, cfg_);
+  out.spatial_variance = session.spatial_variance();
+  const core::AngleTimeImage& img = session.image();
+  out.columns = static_cast<int>(img.num_times());
+
+  // 2. The tracker under test, stepped column by column so every column's
+  //    live track set is observable (identical to the Session TrackStage
+  //    by the pinned streaming==batch contract).
+  track::MultiTargetTracker mt(cfg_.tracker);
+  const double dc_deg = cfg_.tracker.detector.peaks.dc_exclusion_deg;
+  const double cutoff = cfg_.ospa_cutoff_deg;
+
+  double ospa_sum = 0.0;
+  int ospa_cols = 0;
+  std::size_t truth_instances = 0;
+  std::size_t covered = 0;
+  int count_hits = 0;
+  double count_abs = 0.0;
+  // tally[track id][mover k] = columns the gated match paired them.
+  std::map<int, std::map<std::size_t, int>> tally;
+  std::map<std::size_t, int> last_id;  // mover -> last covering track id
+
+  std::vector<double> track_angles;
+  std::vector<int> track_ids;
+  std::vector<std::pair<std::size_t, double>> truth_now;  // (mover, angle)
+
+  for (std::size_t c = 0; c < img.num_times(); ++c) {
+    const std::vector<track::TrackSnapshot>& snaps = mt.step(img, c);
+    track_angles.clear();
+    track_ids.clear();
+    for (const track::TrackSnapshot& s : snaps) {
+      if (s.state != track::TrackState::kConfirmed &&
+          s.state != track::TrackState::kCoasting)
+        continue;
+      track_angles.push_back(s.angle_deg);
+      track_ids.push_back(s.id);
+    }
+
+    // Detectable truth this column: present movers outside the DC band.
+    const double t = img.times_sec[c];
+    truth_now.clear();
+    for (std::size_t k = 0; k < sc.truth.movers.size(); ++k) {
+      if (!sc.truth.present(k, t)) continue;
+      const double ang = sc.truth.angle_deg_at(k, t);
+      if (std::abs(ang) > dc_deg) truth_now.emplace_back(k, ang);
+    }
+
+    const std::size_t m = truth_now.size();
+    const std::size_t n = track_angles.size();
+
+    // Counting: live confirmed/coasting targets vs detectable truth.
+    count_hits += static_cast<int>(m) == static_cast<int>(n);
+    count_abs += std::abs(static_cast<double>(m) - static_cast<double>(n));
+
+    // OSPA (p = 1): optimal cutoff-bounded matching, cardinality errors
+    // cost the cutoff each.
+    if (m > 0 || n > 0) {
+      double matched_cost = 0.0;
+      if (m > 0 && n > 0) {
+        track::CostMatrix cost(m, n);
+        for (std::size_t r = 0; r < m; ++r)
+          for (std::size_t cc = 0; cc < n; ++cc)
+            cost.at(r, cc) =
+                std::min(cutoff, std::abs(truth_now[r].second - track_angles[cc]));
+        const std::vector<std::size_t> asg = track::hungarian_assign(cost);
+        for (std::size_t r = 0; r < m; ++r)
+          if (asg[r] != track::kUnassigned) matched_cost += cost.at(r, asg[r]);
+      }
+      const std::size_t mx = std::max(m, n);
+      ospa_sum += (matched_cost +
+                   cutoff * static_cast<double>(mx - std::min(m, n))) /
+                  static_cast<double>(mx);
+      ++ospa_cols;
+    }
+
+    // Gated truth-to-track matching: continuity, purity, id switches.
+    truth_instances += m;
+    if (m > 0 && n > 0) {
+      track::CostMatrix gated(m, n);
+      for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t cc = 0; cc < n; ++cc) {
+          const double d = std::abs(truth_now[r].second - track_angles[cc]);
+          gated.at(r, cc) = d <= cfg_.match_gate_deg ? d : kInf;
+        }
+      const std::vector<std::size_t> asg = track::assign(gated);
+      for (std::size_t r = 0; r < m; ++r) {
+        if (asg[r] == track::kUnassigned) continue;
+        ++covered;
+        const std::size_t k = truth_now[r].first;
+        const int tid = track_ids[asg[r]];
+        ++tally[tid][k];
+        const auto it = last_id.find(k);
+        if (it == last_id.end())
+          last_id.emplace(k, tid);
+        else if (it->second != tid) {
+          ++out.id_switches;
+          it->second = tid;
+        }
+      }
+    }
+  }
+
+  out.ospa_deg = ospa_cols > 0 ? ospa_sum / ospa_cols : 0.0;
+  out.continuity = truth_instances > 0
+                       ? static_cast<double>(covered) /
+                             static_cast<double>(truth_instances)
+                       : 1.0;
+  out.count_accuracy =
+      out.columns > 0 ? static_cast<double>(count_hits) / out.columns : 1.0;
+  out.count_mae = out.columns > 0 ? count_abs / out.columns : 0.0;
+
+  // Purity: weighted over every truth-matched track column.
+  int dominant = 0;
+  int matched_total = 0;
+  for (const auto& [tid, per_mover] : tally) {
+    int total = 0;
+    int best = 0;
+    for (const auto& [k, cnt] : per_mover) {
+      total += cnt;
+      best = std::max(best, cnt);
+    }
+    dominant += best;
+    matched_total += total;
+  }
+  out.purity = matched_total > 0
+                   ? static_cast<double>(dominant) / matched_total
+                   : 1.0;
+
+  // Ghosts: tracks that were ever confirmed yet never matched any truth.
+  for (const track::TrackHistory& h : mt.histories())
+    if (h.confirmed_ever && !tally.contains(h.id)) ++out.ghost_tracks;
+  return out;
+}
+
+std::vector<ScenarioScores> evaluate_family(const ScenarioFamily& family,
+                                            const EvaluatorConfig& cfg) {
+  std::vector<ScenarioScores> scores;
+  scores.reserve(family.cases.size());
+  for (const ScenarioCase& sc : family.cases) {
+    EvaluatorConfig per_case = cfg;
+    if (family.faults) {
+      per_case.faults = family.faults;
+      // Independent fault plan per case, deterministic in both seeds.
+      per_case.faults->seed = mix(family.faults->seed ^ sc.seed);
+    }
+    scores.push_back(Evaluator(per_case).score(sc.spec, sc.seed));
+  }
+  return scores;
+}
+
+FamilySummary summarize(const std::string& family,
+                        const std::vector<ScenarioScores>& scores) {
+  FamilySummary s;
+  s.name = family;
+  s.scenarios = static_cast<int>(scores.size());
+  if (scores.empty()) return s;
+  for (const ScenarioScores& sc : scores) {
+    s.mean_ospa_deg += sc.ospa_deg;
+    s.mean_continuity += sc.continuity;
+    s.mean_purity += sc.purity;
+    s.total_id_switches += sc.id_switches;
+    s.total_ghost_tracks += sc.ghost_tracks;
+    s.mean_count_accuracy += sc.count_accuracy;
+    s.mean_count_mae += sc.count_mae;
+    s.total_chunks_rejected += sc.chunks_rejected;
+  }
+  const double n = static_cast<double>(scores.size());
+  s.mean_ospa_deg /= n;
+  s.mean_continuity /= n;
+  s.mean_purity /= n;
+  s.mean_count_accuracy /= n;
+  s.mean_count_mae /= n;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// The committed sweep catalog.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ScenarioSpec base_spec(const char* family, std::size_t i, double duration) {
+  ScenarioSpec spec;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s-%02zu", family, i);
+  spec.name = buf;
+  spec.duration_sec = duration;
+  return spec;
+}
+
+ScenarioMover ramp_mover(double start, double end, double amp, double phase) {
+  ScenarioMover m;
+  m.mobility = MobilityModel::kSpeedRamp;
+  m.start_speed_mps = start;
+  m.end_speed_mps = end;
+  m.amplitude = amp;
+  m.phase_rad = phase;
+  return m;
+}
+
+ScenarioFamily walker_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "walker";
+  for (std::size_t i = 0; i < 18; ++i) {
+    ScenarioSpec spec = base_spec("walker", i, 8.0);
+    ScenarioMover m;
+    m.mobility = MobilityModel::kRandomWalk;
+    m.walk_speed_mps = 0.7 + 0.03 * static_cast<double>(i);
+    spec.movers.push_back(m);
+    if (i % 3 == 2) spec.protocol.num_pilot_bins = 8;  // protocol variant
+    fam.cases.push_back({std::move(spec), case_seed(base, 1, i)});
+  }
+  return fam;
+}
+
+ScenarioFamily crossing_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "crossing";
+  for (std::size_t i = 0; i < 18; ++i) {
+    ScenarioSpec spec = base_spec("crossing", i, 8.0);
+    const double lo = 0.18 + 0.02 * static_cast<double>(i % 5);
+    if (i % 6 == 5) {
+      // Near-parallel crossing: both movers sweep upward through almost
+      // the same angles — the id-churn stress case.
+      spec.movers.push_back(ramp_mover(lo, 0.88, 1.0, 0.0));
+      spec.movers.push_back(ramp_mover(lo + 0.10, 0.78, 0.85, 2.1));
+    } else {
+      spec.movers.push_back(ramp_mover(lo, 0.88, 1.0, 0.0));
+      spec.movers.push_back(ramp_mover(0.90, lo + 0.02, 0.85, 2.1));
+    }
+    if (i % 3 == 0)
+      spec.movers.push_back(ramp_mover(-0.50, -0.50, 0.7, 4.2));
+    fam.cases.push_back({std::move(spec), case_seed(base, 2, i)});
+  }
+  return fam;
+}
+
+ScenarioFamily count_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "count";
+  constexpr double kSpeeds[] = {0.75, -0.60, 0.45, -0.82};
+  constexpr double kPhases[] = {0.0, 1.3, 2.6, 3.9};
+  for (std::size_t i = 0; i < 20; ++i) {
+    ScenarioSpec spec = base_spec("count", i, 8.0);
+    const std::size_t movers = 1 + i % 4;
+    for (std::size_t k = 0; k < movers; ++k) {
+      ScenarioMover m = ramp_mover(kSpeeds[k], kSpeeds[k],
+                                   1.0 - 0.1 * static_cast<double>(k),
+                                   kPhases[k]);
+      if (i >= 10) {
+        // Staggered presence: movers enter and leave mid-trace, so the
+        // truth count changes over the run.
+        m.enter_sec = 0.8 * static_cast<double>(k);
+        if (k + 1 < movers) m.exit_sec = 8.0 - 0.6 * static_cast<double>(k);
+      }
+      spec.movers.push_back(m);
+    }
+    if (i % 5 == 4) {
+      // A stalled mover: walks in, pauses mid-trace (fades into the DC
+      // band), then walks on — the count-hysteresis stress case.
+      ScenarioMover m;
+      m.mobility = MobilityModel::kWaypoint;
+      m.start = {-2.0, 2.0};
+      m.waypoints.push_back({{1.5, 3.2}, 1.0, 2.5});
+      m.waypoints.push_back({{-1.0, 4.2}, 1.0, 0.0});
+      m.amplitude = 0.9;
+      m.phase_rad = 5.1;
+      spec.movers.push_back(m);
+    }
+    fam.cases.push_back({std::move(spec), case_seed(base, 3, i)});
+  }
+  return fam;
+}
+
+ScenarioFamily clutter_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "clutter";
+  for (std::size_t i = 0; i < 16; ++i) {
+    ScenarioSpec spec = base_spec("clutter", i, 8.0);
+    ClutterSpec fan;
+    fan.kind = ClutterKind::kFan;
+    fan.pos = {1.8, 2.2};
+    fan.amplitude = 0.18;
+    fan.rate_hz = 2.0 + 0.5 * static_cast<double>(i % 3);
+    spec.clutter.push_back(fan);
+    ClutterSpec pet;
+    pet.kind = ClutterKind::kPet;
+    pet.pos = {-1.5, 3.0};
+    pet.amplitude = 0.12;
+    pet.extent_m = 0.4;
+    spec.clutter.push_back(pet);
+    if (i % 2 == 0) {
+      // Half the family pairs the clutter with a real walker; the other
+      // half is clutter-only (any confirmed track is a ghost).
+      ScenarioMover m;
+      m.mobility = MobilityModel::kRandomWalk;
+      m.walk_speed_mps = 0.9;
+      spec.movers.push_back(m);
+    }
+    fam.cases.push_back({std::move(spec), case_seed(base, 4, i)});
+  }
+  return fam;
+}
+
+ScenarioFamily interferer_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "interferer";
+  for (std::size_t i = 0; i < 14; ++i) {
+    ScenarioSpec spec = base_spec("interferer", i, 8.0);
+    spec.movers.push_back(ramp_mover(0.25, 0.85, 1.0, 0.0));
+    if (i % 2 == 1)
+      spec.movers.push_back(ramp_mover(-0.70, -0.40, 0.85, 2.1));
+    InterfererSpec intf;
+    intf.burst_prob = 0.25 + 0.05 * static_cast<double>(i % 3);
+    intf.burst_sec = 0.4;
+    intf.power = 3e-3 + 1e-3 * static_cast<double>(i % 4);
+    spec.interferer = intf;
+    fam.cases.push_back({std::move(spec), case_seed(base, 5, i)});
+  }
+  return fam;
+}
+
+ScenarioFamily faulted_family(std::uint64_t base) {
+  ScenarioFamily fam;
+  fam.name = "faulted";
+  for (std::size_t i = 0; i < 14; ++i) {
+    ScenarioSpec spec = base_spec("faulted", i, 8.0);
+    if (i % 2 == 0) {
+      ScenarioMover m;
+      m.mobility = MobilityModel::kRandomWalk;
+      m.walk_speed_mps = 0.8 + 0.04 * static_cast<double>(i);
+      spec.movers.push_back(m);
+    } else {
+      spec.movers.push_back(ramp_mover(0.30, 0.85, 1.0, 0.0));
+      spec.movers.push_back(ramp_mover(-0.80, -0.45, 0.85, 2.1));
+    }
+    fam.cases.push_back({std::move(spec), case_seed(base, 6, i)});
+  }
+  // Accuracy under faults: the replay sees drops, duplicates, reorders,
+  // silence gaps and NaN bursts — corruption must surface as typed
+  // InputGuard rejections (counted in the matrix), never as silently
+  // wrong scores.
+  fault::FaultSpec faults;
+  faults.seed = mix(base ^ 0xFA17);
+  faults.drop_prob = 0.05;
+  faults.duplicate_prob = 0.03;
+  faults.reorder_prob = 0.02;
+  faults.gap_prob = 0.03;
+  faults.corrupt_prob = 0.04;
+  faults.corrupt_burst = 4;
+  faults.silence_chunks = 3;
+  fam.faults = faults;
+  return fam;
+}
+
+}  // namespace
+
+std::vector<ScenarioFamily> scenario_families(std::uint64_t base_seed) {
+  std::vector<ScenarioFamily> fams;
+  fams.push_back(walker_family(base_seed));
+  fams.push_back(crossing_family(base_seed));
+  fams.push_back(count_family(base_seed));
+  fams.push_back(clutter_family(base_seed));
+  fams.push_back(interferer_family(base_seed));
+  fams.push_back(faulted_family(base_seed));
+  return fams;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix serialisation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_num(std::string& out, double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+void append_scores(std::string& out, const ScenarioScores& s) {
+  out += "      {\"name\": \"" + s.name + "\", \"seed\": " +
+         std::to_string(s.seed);
+  out += ", \"movers\": " + std::to_string(s.num_truth_movers);
+  out += ", \"max_concurrent\": " + std::to_string(s.max_concurrent);
+  out += ", \"columns\": " + std::to_string(s.columns);
+  out += ", \"ospa_deg\": ";
+  append_num(out, s.ospa_deg);
+  out += ", \"continuity\": ";
+  append_num(out, s.continuity);
+  out += ", \"purity\": ";
+  append_num(out, s.purity);
+  out += ", \"id_switches\": " + std::to_string(s.id_switches);
+  out += ", \"ghost_tracks\": " + std::to_string(s.ghost_tracks);
+  out += ", \"count_accuracy\": ";
+  append_num(out, s.count_accuracy);
+  out += ", \"count_mae\": ";
+  append_num(out, s.count_mae);
+  out += ", \"spatial_variance\": ";
+  append_num(out, s.spatial_variance);
+  out += ", \"faulted\": ";
+  out += s.faulted ? "true" : "false";
+  out += ", \"chunks_rejected\": " + std::to_string(s.chunks_rejected);
+  out += "}";
+}
+
+}  // namespace
+
+std::string accuracy_matrix_json(
+    std::uint64_t base_seed,
+    const std::vector<std::pair<FamilySummary, std::vector<ScenarioScores>>>&
+        families) {
+  std::size_t total = 0;
+  for (const auto& [summary, scores] : families) total += scores.size();
+
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"wivi-accuracy-matrix-v1\",\n";
+  out += "  \"base_seed\": " + std::to_string(base_seed) + ",\n";
+  out += "  \"scenarios_total\": " + std::to_string(total) + ",\n";
+  out += "  \"families\": [\n";
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const auto& [s, scores] = families[f];
+    out += "    {\"name\": \"" + s.name + "\",\n";
+    out += "     \"scenarios\": " + std::to_string(s.scenarios) + ",\n";
+    out += "     \"summary\": {\"mean_ospa_deg\": ";
+    append_num(out, s.mean_ospa_deg);
+    out += ", \"mean_continuity\": ";
+    append_num(out, s.mean_continuity);
+    out += ", \"mean_purity\": ";
+    append_num(out, s.mean_purity);
+    out += ", \"total_id_switches\": " + std::to_string(s.total_id_switches);
+    out += ", \"total_ghost_tracks\": " + std::to_string(s.total_ghost_tracks);
+    out += ", \"mean_count_accuracy\": ";
+    append_num(out, s.mean_count_accuracy);
+    out += ", \"mean_count_mae\": ";
+    append_num(out, s.mean_count_mae);
+    out +=
+        ", \"total_chunks_rejected\": " + std::to_string(s.total_chunks_rejected);
+    out += "},\n";
+    out += "     \"rows\": [\n";
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      append_scores(out, scores[i]);
+      out += i + 1 < scores.size() ? ",\n" : "\n";
+    }
+    out += "     ]}";
+    out += f + 1 < families.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,189 @@
+/// @file
+/// Accuracy evaluation harness over generated scenarios (DESIGN.md §11).
+///
+/// The sim::Evaluator closes the loop the scenario factory opens: it runs
+/// a GeneratedScenario's trace through a compiled wivi::Session (chunked
+/// streaming, optionally through a fault::FaultyFeeder), steps a
+/// track::MultiTargetTracker over the resulting angle-time image column
+/// by column, and scores what the pipeline reported against the
+/// scenario's generated ground truth — OSPA-style angle error, track
+/// continuity and purity, identity switches, ghost tracks, and counting
+/// accuracy. Scoring is deterministic: the same GeneratedScenario always
+/// produces bit-identical ScenarioScores.
+///
+/// scenario_families() is the committed sweep catalog — named families of
+/// (spec, seed) cases, pure in the base seed — and accuracy_matrix_json()
+/// renders a full sweep as the ACCURACY_matrix.json the scenario-eval CI
+/// job gates on (tools/eval_scenarios + scripts/check_accuracy.py).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault.hpp"
+#include "src/sim/scenario.hpp"
+#include "src/track/multi_tracker.hpp"
+
+namespace wivi::sim {
+
+/// @addtogroup wivi_scenario
+/// @{
+
+/// Accuracy scores of one scenario run. Angle metrics are scored against
+/// the *detectable* truth: movers whose ground-truth angle is outside the
+/// detector's DC-exclusion band (a near-DC mover is invisible to the
+/// sensor by §5.2 physics, not by tracker failure — it re-enters the
+/// scored set the moment its radial speed brings it back out).
+struct ScenarioScores {
+  /// Scenario name (ScenarioSpec::name).
+  std::string name;
+  /// Generating seed.
+  std::uint64_t seed = 0;
+  /// Ground-truth target count (spec movers).
+  int num_truth_movers = 0;
+  /// Largest number of simultaneously present truth movers.
+  int max_concurrent = 0;
+  /// Image columns scored.
+  int columns = 0;
+
+  /// Mean per-column OSPA (p=1) angle error in degrees, cutoff-bounded:
+  /// unmatched targets/tracks each cost the cutoff. 0 when no column has
+  /// either a detectable truth mover or a live track.
+  double ospa_deg = 0.0;
+  /// Fraction of (column, detectable truth mover) instances covered by a
+  /// confirmed/coasting track within the match gate. 1.0 when vacuous.
+  double continuity = 0.0;
+  /// Weighted track purity: of all truth-matched track columns, the
+  /// fraction matched to the track's dominant mover. 1.0 when vacuous.
+  double purity = 0.0;
+  /// Ground-truth movers whose covering track identity changed.
+  int id_switches = 0;
+  /// Ever-confirmed tracks never matched to any truth mover (clutter or
+  /// interference promoted to a target).
+  int ghost_tracks = 0;
+
+  /// Fraction of columns where the live confirmed/coasting track count
+  /// equals the detectable truth count.
+  double count_accuracy = 0.0;
+  /// Mean absolute count error over columns.
+  double count_mae = 0.0;
+  /// Final Eq. 5.5 spatial variance of the run (Session CountStage).
+  double spatial_variance = 0.0;
+
+  /// True when the trace was replayed through a fault::FaultyFeeder.
+  bool faulted = false;
+  /// Chunks the InputGuard rejected with a typed kInvalidChunk error
+  /// (faulted runs: corruption must surface as typed failures, never as
+  /// silently wrong samples).
+  int chunks_rejected = 0;
+};
+
+/// Evaluator knobs: the pipeline configuration under test plus scoring
+/// geometry and the optional fault plan of the replay.
+struct EvaluatorConfig {
+  /// Imaging configuration the Session compiles.
+  core::MotionTracker::Config image;
+  /// Multi-target tracker under test.
+  track::MultiTargetTracker::Config tracker;
+  /// OSPA cutoff in degrees (the cost of a cardinality mismatch).
+  double ospa_cutoff_deg = 20.0;
+  /// Truth-to-track match gate in degrees (continuity/purity/id-switch
+  /// bookkeeping; same order as the tracker's association gate).
+  double match_gate_deg = 15.0;
+  /// Streaming chunk size fed to Session::push, in samples.
+  std::size_t chunk_len = 250;
+  /// When set, replay the trace through a FaultyFeeder with this plan.
+  std::optional<fault::FaultSpec> faults;
+};
+
+/// Runs generated scenarios through the pipeline and scores them.
+class Evaluator {
+ public:
+  /// Build an evaluator (validates the pipeline configurations).
+  explicit Evaluator(EvaluatorConfig cfg = {});
+
+  /// The evaluator's configuration.
+  [[nodiscard]] const EvaluatorConfig& config() const noexcept { return cfg_; }
+
+  /// Run `sc` through a fresh wivi::Session and score the result against
+  /// sc.truth. Deterministic: bit-identical scores for identical inputs.
+  [[nodiscard]] ScenarioScores score(const GeneratedScenario& sc) const;
+
+  /// generate_scenario() + score() in one call.
+  [[nodiscard]] ScenarioScores score(const ScenarioSpec& spec,
+                                     std::uint64_t seed) const;
+
+ private:
+  EvaluatorConfig cfg_;
+};
+
+/// One (spec, seed) cell of a sweep.
+struct ScenarioCase {
+  /// The declarative world description.
+  ScenarioSpec spec;
+  /// The generating seed.
+  std::uint64_t seed = 0;
+};
+
+/// A named family of scenario cases sharing one theme (and optionally one
+/// fault plan for accuracy-under-faults rows).
+struct ScenarioFamily {
+  /// Family name (matrix section / CI row prefix).
+  std::string name;
+  /// The family's cases.
+  std::vector<ScenarioCase> cases;
+  /// When set, every case of the family replays through a FaultyFeeder
+  /// with this plan (seed is combined with the case seed per case).
+  std::optional<fault::FaultSpec> faults;
+};
+
+/// Default base seed of the committed accuracy matrix.
+inline constexpr std::uint64_t kMatrixBaseSeed = 2026;
+
+/// The committed sweep catalog: >= 100 cases across >= 5 named families
+/// (walkers, crossings, occupancy counts, clutter, interferers, faulted
+/// replays), every case seed SplitMix64-derived from `base_seed` — the
+/// same base seed always yields the identical catalog.
+[[nodiscard]] std::vector<ScenarioFamily> scenario_families(
+    std::uint64_t base_seed = kMatrixBaseSeed);
+
+/// Aggregate scores of one family (the per-family summary block of the
+/// accuracy matrix).
+struct FamilySummary {
+  /// Family name.
+  std::string name;
+  /// Cases aggregated.
+  int scenarios = 0;
+  double mean_ospa_deg = 0.0;       ///< Mean of ScenarioScores::ospa_deg.
+  double mean_continuity = 0.0;     ///< Mean continuity.
+  double mean_purity = 0.0;         ///< Mean purity.
+  int total_id_switches = 0;        ///< Summed identity switches.
+  int total_ghost_tracks = 0;       ///< Summed ghost tracks.
+  double mean_count_accuracy = 0.0; ///< Mean counting accuracy.
+  double mean_count_mae = 0.0;      ///< Mean absolute count error.
+  int total_chunks_rejected = 0;    ///< Summed typed chunk rejections.
+};
+
+/// Aggregate a family's scores.
+[[nodiscard]] FamilySummary summarize(const std::string& family,
+                                      const std::vector<ScenarioScores>& scores);
+
+/// Evaluate one family: generate and score every case (applying the
+/// family fault plan when present).
+[[nodiscard]] std::vector<ScenarioScores> evaluate_family(
+    const ScenarioFamily& family, const EvaluatorConfig& cfg = {});
+
+/// Render a full sweep as the ACCURACY_matrix.json document (schema
+/// "wivi-accuracy-matrix-v1"): per-family scenario rows plus summary
+/// blocks. Deterministic formatting — the same scores always serialise to
+/// the identical byte string.
+[[nodiscard]] std::string accuracy_matrix_json(
+    std::uint64_t base_seed,
+    const std::vector<std::pair<FamilySummary, std::vector<ScenarioScores>>>&
+        families);
+
+/// @}
+
+}  // namespace wivi::sim

@@ -8,36 +8,37 @@
 
 namespace wivi::sim {
 
+double mover_phase_at(const SyntheticMover& m, std::size_t i, std::size_t n,
+                      const core::IsarConfig& isar) {
+  if (m.end_speed_mps == m.start_speed_mps) {
+    // Constant speed: keep the exact historical expression (operation
+    // order included) so the single-mover trace stays bit-for-bit
+    // stable across releases.
+    const double step = kTwoPi * 2.0 * m.start_speed_mps *
+                        isar.sample_period_sec / isar.wavelength_m;
+    return m.phase_rad + step * static_cast<double>(i);
+  }
+  // Linear speed ramp start -> end across the trace; the phase is
+  // the exact discrete integral of the per-sample Doppler step.
+  const double k = kTwoPi * 2.0 * isar.sample_period_sec / isar.wavelength_m;
+  const double di = static_cast<double>(i);
+  const double slope = (m.end_speed_mps - m.start_speed_mps) /
+                       static_cast<double>(n - 1);
+  const double speed_sum =
+      m.start_speed_mps * di + slope * di * (di - 1.0) / 2.0;
+  return m.phase_rad + k * speed_sum;
+}
+
 CVec synthetic_movers_trace(std::size_t n, std::uint64_t seed,
                             std::span<const SyntheticMover> movers) {
   WIVI_REQUIRE(n >= 2, "trace too short");
   Rng rng(seed);
   CVec h(n);
   const core::IsarConfig isar;
-  // Round-trip Doppler phase rate per unit radial speed.
-  const double k =
-      kTwoPi * 2.0 * isar.sample_period_sec / isar.wavelength_m;
   for (std::size_t i = 0; i < n; ++i) {
     cdouble acc{0.0, 0.0};
     for (const SyntheticMover& m : movers) {
-      double p;
-      if (m.end_speed_mps == m.start_speed_mps) {
-        // Constant speed: keep the exact historical expression (operation
-        // order included) so the single-mover trace stays bit-for-bit
-        // stable across releases.
-        const double step = kTwoPi * 2.0 * m.start_speed_mps *
-                            isar.sample_period_sec / isar.wavelength_m;
-        p = m.phase_rad + step * static_cast<double>(i);
-      } else {
-        // Linear speed ramp start -> end across the trace; the phase is
-        // the exact discrete integral of the per-sample Doppler step.
-        const double di = static_cast<double>(i);
-        const double slope = (m.end_speed_mps - m.start_speed_mps) /
-                             static_cast<double>(n - 1);
-        const double speed_sum =
-            m.start_speed_mps * di + slope * di * (di - 1.0) / 2.0;
-        p = m.phase_rad + k * speed_sum;
-      }
+      const double p = mover_phase_at(m, i, n, isar);
       acc += m.amplitude * cdouble{std::cos(p), std::sin(p)};
     }
     h[i] = acc + cdouble{0.4, 0.1} + rng.complex_gaussian(1e-4);

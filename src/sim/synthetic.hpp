@@ -10,6 +10,7 @@
 #include <span>
 
 #include "src/common/types.hpp"
+#include "src/core/isar.hpp"
 
 namespace wivi::sim {
 
@@ -29,6 +30,15 @@ struct SyntheticMover {
   /// Initial phase offset in radians (decorrelate mover start phases).
   double phase_rad = 0.0;
 };
+
+/// The speed-ramp primitive itself: phase of mover `m` at sample `i` of an
+/// n-sample trace — the exact discrete integral of the linearly ramping
+/// per-sample Doppler step (and, for a constant-speed mover, the exact
+/// historical constant-step expression, operation order included, so
+/// existing traces stay bit-stable). The scenario factory's mobility
+/// models (sim::ScenarioSpec) compile down to runs of this primitive.
+[[nodiscard]] double mover_phase_at(const SyntheticMover& m, std::size_t i,
+                                    std::size_t n, const core::IsarConfig& isar);
 
 /// n samples of h[n] = sum_k movers[k] + static + CN(0, 1e-4): the
 /// multi-target synthetic trace the track:: subsystem is exercised on.

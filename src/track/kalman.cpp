@@ -50,4 +50,14 @@ void AngleKalman::update(double angle_deg) {
   p11_ = p11;
 }
 
+void AngleKalman::damp_velocity(double factor) {
+  WIVI_REQUIRE(factor > 0.0 && factor <= 1.0,
+               "velocity damping factor must be in (0, 1]");
+  // x1 <- f * x1 is the linear map G = diag(1, f); P <- G P G^T keeps the
+  // covariance consistent with the damped state.
+  x1_ *= factor;
+  p01_ *= factor;
+  p11_ *= factor * factor;
+}
+
 }  // namespace wivi::track

@@ -49,6 +49,14 @@ class AngleKalman {
   /// Fold in an associated detection at `angle_deg` degrees.
   void update(double angle_deg);
 
+  /// Decay the velocity state by `factor` in (0, 1] (covariance scaled
+  /// consistently). The tracker applies this to long-coasting tracks so a
+  /// stalled target's prediction parks near where it faded instead of
+  /// extrapolating away on stale velocity (the exponentially-decaying
+  /// velocity of a Singer-style manoeuvre model, applied only while no
+  /// measurements arrive).
+  void damp_velocity(double factor);
+
   /// Current (predicted or updated) angle estimate in degrees.
   [[nodiscard]] double angle_deg() const noexcept { return x0_; }
   /// Current angular-velocity estimate in deg/s.

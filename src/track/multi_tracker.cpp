@@ -28,6 +28,25 @@ MultiTargetTracker::MultiTargetTracker(Config cfg)
   WIVI_REQUIRE(cfg_.max_coast_columns >= 0, "max_coast_columns must be >= 0");
   WIVI_REQUIRE(cfg_.tentative_max_misses >= 1,
                "tentative_max_misses must be >= 1");
+  WIVI_REQUIRE(cfg_.coast_damp_after >= 0, "coast_damp_after must be >= 0");
+  WIVI_REQUIRE(cfg_.coast_velocity_damping > 0.0 &&
+                   cfg_.coast_velocity_damping <= 1.0,
+               "coast_velocity_damping must be in (0, 1]");
+  WIVI_REQUIRE(cfg_.max_occluded_columns >= 0,
+               "max_occluded_columns must be >= 0");
+}
+
+bool MultiTargetTracker::occluded(
+    std::size_t i, const std::vector<std::size_t>& match) const {
+  if (cfg_.max_occluded_columns <= 0) return false;  // forgiveness disabled
+  const double angle = live_[i].kalman.angle_deg();
+  for (std::size_t k = 0; k < live_.size(); ++k) {
+    if (k == i || match[k] == kUnassigned) continue;
+    if (std::abs(live_[k].kalman.angle_deg() - angle) <=
+        cfg_.detector.min_separation_deg)
+      return true;
+  }
+  return false;
 }
 
 void MultiTargetTracker::kill(Track& tr) {
@@ -76,6 +95,7 @@ const std::vector<TrackSnapshot>& MultiTargetTracker::step(
       tr.last_strength_db = det.strength_db;
       ++tr.consecutive_hits;
       tr.consecutive_misses = 0;
+      tr.occluded_columns = 0;
       if (tr.state == TrackState::kCoasting) tr.state = TrackState::kConfirmed;
       if (tr.state == TrackState::kTentative &&
           tr.consecutive_hits >= cfg_.confirm_columns) {
@@ -83,14 +103,31 @@ const std::vector<TrackSnapshot>& MultiTargetTracker::step(
         tr.history.confirmed_ever = true;
       }
     } else {
-      ++tr.consecutive_misses;
       tr.consecutive_hits = 0;
       if (tr.state == TrackState::kTentative) {
+        ++tr.consecutive_misses;
         if (tr.consecutive_misses >= cfg_.tentative_max_misses)
           tr.state = TrackState::kDead;
+      } else if (occluded(i, match)) {
+        // The prediction sits within the detector's resolution of a track
+        // that WAS detected this column: two targets have merged into one
+        // peak, and the miss says nothing about this one having left. The
+        // miss is forgiven — the coast budget is for departed targets —
+        // up to the max_occluded_columns safety valve.
+        ++tr.occluded_columns;
+        tr.state = tr.occluded_columns > cfg_.max_occluded_columns
+                       ? TrackState::kDead
+                       : TrackState::kCoasting;
       } else {
         // A confirmed target coasts on its prediction for up to
-        // max_coast_columns columns, then dies.
+        // max_coast_columns columns, then dies. Past coast_damp_after
+        // columns the velocity state decays each column, so a stalled
+        // target's prediction parks near its fade point instead of
+        // extrapolating away on stale velocity.
+        ++tr.consecutive_misses;
+        tr.occluded_columns = 0;
+        if (tr.consecutive_misses > cfg_.coast_damp_after)
+          tr.kalman.damp_velocity(cfg_.coast_velocity_damping);
         tr.state = tr.consecutive_misses > cfg_.max_coast_columns
                        ? TrackState::kDead
                        : TrackState::kCoasting;

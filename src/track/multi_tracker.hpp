@@ -112,6 +112,30 @@ class MultiTargetTracker {
     /// Consecutive missed columns before an unconfirmed (tentative) track
     /// dies; small, so clutter blips vanish quickly.
     int tentative_max_misses = 2;
+    /// Coasted columns after which the track's velocity state starts to
+    /// decay (see coast_velocity_damping). Short coasts — crossing merges,
+    /// single dropped detections — keep the full constant-velocity
+    /// extrapolation that re-acquires a moving target on the far side; only
+    /// a coast longer than this looks like a stalled target whose stale
+    /// velocity would drag the prediction away from the re-appearance
+    /// point.
+    int coast_damp_after = 8;
+    /// Velocity damping factor applied each coasted column past
+    /// coast_damp_after (1 = legacy undamped coasting). With the default,
+    /// a long-stalled target's prediction parks within a gate-width of
+    /// where it faded, so the target re-associates with its old identity
+    /// when it starts moving again instead of being reborn under a new id.
+    double coast_velocity_damping = 0.6;
+    /// Occlusion forgiveness: a confirmed track that misses its detection
+    /// while its prediction sits within the detector's min_separation_deg
+    /// of a track that *was* updated this column is occluded — the
+    /// detector cannot resolve two peaks that close, so the miss says
+    /// nothing about the target having left. Occluded misses do not
+    /// consume the coast budget; this cap on consecutive occluded columns
+    /// is the safety valve that eventually retires a track permanently
+    /// hidden behind another (0 disables forgiveness entirely — every
+    /// miss consumes coast budget, the legacy lifecycle).
+    int max_occluded_columns = 120;
   };
 
   MultiTargetTracker();  ///< Build a tracker with the default Config.
@@ -159,9 +183,12 @@ class MultiTargetTracker {
     int consecutive_misses = 0;
     double last_strength_db = 0.0;
     TrackHistory history;
+    int occluded_columns = 0;  // consecutive occluded (forgiven) misses
   };
 
   void kill(Track& tr);
+  [[nodiscard]] bool occluded(std::size_t i,
+                              const std::vector<std::size_t>& match) const;
 
   Config cfg_;
   ColumnDetector detector_;

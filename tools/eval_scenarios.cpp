@@ -1,0 +1,88 @@
+// eval_scenarios — regenerate the committed accuracy matrix.
+//
+// Sweeps the full sim::scenario_families() catalog (>= 100 generated
+// scenarios across six families) through the pipeline with the default
+// sim::Evaluator configuration and writes ACCURACY_matrix.json. The run
+// is pure in the base seed: the same binary and seed always reproduce the
+// committed file byte for byte, which is exactly what the scenario-eval
+// CI job asserts via scripts/check_accuracy.py.
+//
+//   eval_scenarios [--out PATH] [--base-seed N] [--family NAME]
+//
+//   --out PATH      where to write the matrix (default ACCURACY_matrix.json)
+//   --base-seed N   catalog base seed (default sim::kMatrixBaseSeed)
+//   --family NAME   only sweep the named family (debugging; the matrix
+//                   then covers just that family)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/evaluate.hpp"
+
+int main(int argc, char** argv) {
+  std::string out_path = "ACCURACY_matrix.json";
+  std::uint64_t base_seed = wivi::sim::kMatrixBaseSeed;
+  std::string only_family;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else if (arg == "--base-seed" && has_value) {
+      base_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--family" && has_value) {
+      only_family = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: eval_scenarios [--out PATH] [--base-seed N] "
+                   "[--family NAME]\n");
+      return 2;
+    }
+  }
+
+  using wivi::sim::FamilySummary;
+  using wivi::sim::ScenarioScores;
+
+  std::vector<std::pair<FamilySummary, std::vector<ScenarioScores>>> results;
+  for (const wivi::sim::ScenarioFamily& fam :
+       wivi::sim::scenario_families(base_seed)) {
+    if (!only_family.empty() && fam.name != only_family) continue;
+    std::fprintf(stderr, "evaluating family %-12s (%zu scenarios)...\n",
+                 fam.name.c_str(), fam.cases.size());
+    std::vector<ScenarioScores> scores = wivi::sim::evaluate_family(fam);
+    results.emplace_back(wivi::sim::summarize(fam.name, scores),
+                         std::move(scores));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no family matched '%s'\n", only_family.c_str());
+    return 2;
+  }
+
+  std::printf("%-12s %5s %9s %11s %7s %9s %7s %10s %9s\n", "family", "n",
+              "ospa_deg", "continuity", "purity", "id_switch", "ghosts",
+              "count_acc", "rejected");
+  for (const auto& [s, scores] : results)
+    std::printf("%-12s %5d %9.3f %11.3f %7.3f %9d %7d %10.3f %9d\n",
+                s.name.c_str(), s.scenarios, s.mean_ospa_deg,
+                s.mean_continuity, s.mean_purity, s.total_id_switches,
+                s.total_ghost_tracks, s.mean_count_accuracy,
+                s.total_chunks_rejected);
+
+  const std::string json =
+      wivi::sim::accuracy_matrix_json(base_seed, results);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << json;
+  out.close();
+  std::printf("wrote %s (%zu bytes)\n", out_path.c_str(), json.size());
+  return 0;
+}
