@@ -65,7 +65,8 @@ DopplerProcessor::DopplerProcessor() : DopplerProcessor(Config{}) {}
 
 DopplerProcessor::DopplerProcessor(Config cfg)
     : cfg_(cfg),
-      plan_(static_cast<std::size_t>(cfg.fft_size)),  // throws on non-pow2
+      // Shared registry artifacts; acquire throws on a non-pow2 fft_size.
+      plan_(dsp::acquire_fft_plan(static_cast<std::size_t>(cfg.fft_size))),
       scratch_(static_cast<std::size_t>(cfg.fft_size)) {
   WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
   WIVI_REQUIRE(cfg_.sample_rate_hz > 0.0, "sample rate must be positive");
@@ -74,9 +75,9 @@ DopplerProcessor::DopplerProcessor(Config cfg)
   // constant level (COLA), so spectrogram energy is hop-position
   // invariant. The symmetric form repeats its zero endpoint one sample
   // late and dips at every window seam.
-  window_ = dsp::make_window(dsp::WindowType::kHann,
-                             static_cast<std::size_t>(cfg_.fft_size),
-                             /*periodic=*/true);
+  window_ = dsp::acquire_window(dsp::WindowType::kHann,
+                                static_cast<std::size_t>(cfg_.fft_size),
+                                /*periodic=*/true);
 }
 
 DopplerSpectrogram DopplerProcessor::process(CSpan h, double t0) const {
@@ -113,8 +114,8 @@ void DopplerProcessor::process_into(CSpan h, DopplerSpectrogram& out,
       mean /= static_cast<double>(nfft);
       for (cdouble& v : scratch_) v -= mean;
     }
-    dsp::apply_window(scratch_, window_);
-    plan_.forward(scratch_);
+    dsp::apply_window(scratch_, *window_);
+    plan_->forward(scratch_);
     // fftshift folded into the power write-out as an index rotation; no
     // complex copy, and the output column's storage is reused across calls.
     RVec& power = out.columns[c];

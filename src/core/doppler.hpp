@@ -13,6 +13,7 @@
 /// (~16 Hz at 1 m/s), comfortably inside the 312.5 Hz estimate stream.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "src/common/constants.hpp"
@@ -86,9 +87,12 @@ class DopplerProcessor {
 
  private:
   Config cfg_;
-  RVec window_;
-  dsp::FftPlan plan_;      // precomputed twiddles/permutation for fft_size
-  mutable CVec scratch_;   // one STFT window, reused across hops
+  // Immutable artifacts shared through the plan registry (wivi::plan):
+  // every processor with the same fft_size reads one Hann table and one
+  // FFT plan instead of owning private copies.
+  std::shared_ptr<const RVec> window_;
+  std::shared_ptr<const dsp::FftPlan> plan_;
+  mutable CVec scratch_;  // one STFT window, reused across hops
 };
 
 /// The §2.1 narrowband-radar baseline: declare "moving target present" when

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/error.hpp"
+#include "src/plan/registry.hpp"
 
 namespace wivi::core {
 
@@ -26,21 +27,14 @@ CVec steering_vector(const IsarConfig& cfg, double theta_deg, std::size_t m) {
   return a;
 }
 
-void SteeringMatrix::ensure(const IsarConfig& cfg, RSpan angles_deg,
-                            std::size_t m, bool unit_norm) {
+SteeringTable::SteeringTable(double spacing_m, double wavelength_m,
+                             RSpan angles_deg, std::size_t m, bool unit_norm)
+    : angles_(angles_deg.begin(), angles_deg.end()),
+      m_(m),
+      spacing_m_(spacing_m),
+      wavelength_m_(wavelength_m),
+      unit_norm_(unit_norm) {
   WIVI_REQUIRE(m > 0, "steering vector length must be positive");
-  const double spacing = element_spacing_m(cfg);
-  const bool current =
-      m == m_ && unit_norm == unit_norm_ && spacing == spacing_m_ &&
-      cfg.wavelength_m == wavelength_m_ && angles_deg.size() == angles_.size() &&
-      std::equal(angles_deg.begin(), angles_deg.end(), angles_.begin());
-  if (current) return;
-
-  m_ = m;
-  unit_norm_ = unit_norm;
-  spacing_m_ = spacing;
-  wavelength_m_ = cfg.wavelength_m;
-  angles_.assign(angles_deg.begin(), angles_deg.end());
   data_.resize(angles_.size() * m);
   const double inv_norm = 1.0 / std::sqrt(static_cast<double>(m));
   for (std::size_t ai = 0; ai < angles_.size(); ++ai) {
@@ -48,7 +42,7 @@ void SteeringMatrix::ensure(const IsarConfig& cfg, RSpan angles_deg,
     WIVI_REQUIRE(theta_deg >= -90.0 && theta_deg <= 90.0,
                  "theta must be in [-90, 90] degrees");
     const double sin_theta = std::sin(theta_deg * kPi / 180.0);
-    const double phase_step = kTwoPi * spacing * sin_theta / cfg.wavelength_m;
+    const double phase_step = kTwoPi * spacing_m * sin_theta / wavelength_m;
     cdouble* const r = data_.data() + ai * m;
     for (std::size_t i = 0; i < m; ++i) {
       const double phi = phase_step * static_cast<double>(i);
@@ -58,11 +52,73 @@ void SteeringMatrix::ensure(const IsarConfig& cfg, RSpan angles_deg,
   }
 }
 
+std::size_t SteeringTable::bytes() const noexcept {
+  return angles_.size() * sizeof(double) + data_.size() * sizeof(cdouble);
+}
+
+bool SteeringTable::matches(double spacing_m, double wavelength_m,
+                            RSpan angles_deg, std::size_t m,
+                            bool unit_norm) const noexcept {
+  return m == m_ && unit_norm == unit_norm_ && spacing_m == spacing_m_ &&
+         wavelength_m == wavelength_m_ &&
+         angles_deg.size() == angles_.size() &&
+         std::equal(angles_deg.begin(), angles_deg.end(), angles_.begin());
+}
+
+std::shared_ptr<const SteeringTable> acquire_steering(const IsarConfig& cfg,
+                                                      RSpan angles_deg,
+                                                      std::size_t m,
+                                                      bool unit_norm) {
+  WIVI_REQUIRE(m > 0, "steering vector length must be positive");
+  struct Ctx {
+    double spacing;
+    double wavelength;
+    RSpan angles;
+    std::size_t m;
+    bool unit_norm;
+  } ctx{element_spacing_m(cfg), cfg.wavelength_m, angles_deg, m, unit_norm};
+  const std::uint64_t ints[2] = {static_cast<std::uint64_t>(m),
+                                 unit_norm ? 1u : 0u};
+  const double reals[2] = {ctx.spacing, ctx.wavelength};
+  const plan::KeyRef key{plan::Kind::kSteering, ints, reals, angles_deg};
+  const auto build = [](void* raw) -> plan::Built {
+    const Ctx& c = *static_cast<const Ctx*>(raw);
+    auto t = std::make_shared<const SteeringTable>(c.spacing, c.wavelength,
+                                                   c.angles, c.m, c.unit_norm);
+    return {t, t->bytes()};
+  };
+  return std::static_pointer_cast<const SteeringTable>(
+      plan::registry().acquire(key, build, &ctx));
+}
+
+void SteeringMatrix::ensure(const IsarConfig& cfg, RSpan angles_deg,
+                            std::size_t m, bool unit_norm) {
+  WIVI_REQUIRE(m > 0, "steering vector length must be positive");
+  const double spacing = element_spacing_m(cfg);
+  if (table_ &&
+      table_->matches(spacing, cfg.wavelength_m, angles_deg, m, unit_norm))
+    return;
+  table_ = acquire_steering(cfg, angles_deg, m, unit_norm);
+}
+
 RVec angle_grid_deg(double step_deg) {
   WIVI_REQUIRE(step_deg > 0.0, "angle step must be positive");
   RVec grid;
   for (double t = -90.0; t <= 90.0 + 1e-9; t += step_deg) grid.push_back(t);
   return grid;
+}
+
+std::shared_ptr<const RVec> acquire_angle_grid(double step_deg) {
+  WIVI_REQUIRE(step_deg > 0.0, "angle step must be positive");
+  const double reals[1] = {step_deg};
+  const plan::KeyRef key{plan::Kind::kAngleGrid, {}, reals, {}};
+  const auto build = [](void* raw) -> plan::Built {
+    const double step = *static_cast<const double*>(raw);
+    auto g = std::make_shared<const RVec>(angle_grid_deg(step));
+    return {g, g->size() * sizeof(double)};
+  };
+  return std::static_pointer_cast<const RVec>(
+      plan::registry().acquire(key, build, &step_deg));
 }
 
 RVec beamform_power(CSpan window, const IsarConfig& cfg, RSpan angles_deg) {

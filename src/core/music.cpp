@@ -14,7 +14,9 @@ SlidingCorrelation::SlidingCorrelation(int subarray, int window)
     : wp_(subarray), w_(window), num_subarrays_(window - subarray + 1) {
   WIVI_REQUIRE(subarray >= 2, "sub-array must have at least 2 elements");
   WIVI_REQUIRE(window >= subarray, "window shorter than the smoothing sub-array");
-  sum_.reshape(static_cast<std::size_t>(wp_), static_cast<std::size_t>(wp_));
+  // sum_ stays empty until the first rebuild(): every use is gated on
+  // valid_, and rebuild() reshapes (zero-fills) before accumulating, so an
+  // idle instance holds no w'^2 buffer.
 }
 
 void SlidingCorrelation::accumulate_outer(const cdouble* x, double sign) {
@@ -91,6 +93,11 @@ void SlidingCorrelation::correlation_into(linalg::CMatrix& r) const {
 
 // -------------------------------------------------------- SmoothedMusic ---
 
+MusicScratch& music_scratch() noexcept {
+  thread_local MusicScratch scratch;
+  return scratch;
+}
+
 SmoothedMusic::SmoothedMusic(MusicConfig cfg) : cfg_(cfg) {
   WIVI_REQUIRE(cfg_.subarray >= 2, "sub-array must have at least 2 elements");
   WIVI_REQUIRE(cfg_.max_sources >= 1, "max_sources must be >= 1");
@@ -141,11 +148,12 @@ int SmoothedMusic::estimate_model_order(RSpan eigenvalues) const {
   // copy-and-sort per call.
   const std::size_t n = eigenvalues.size();
   const std::size_t half = n / 2;
-  order_tail_.assign(eigenvalues.begin() + static_cast<std::ptrdiff_t>(half),
-                     eigenvalues.end());
-  const auto mid = order_tail_.begin() +
-                   static_cast<std::ptrdiff_t>(order_tail_.size() / 2);
-  std::nth_element(order_tail_.begin(), mid, order_tail_.end());
+  RVec& order_tail = music_scratch().order_tail;
+  order_tail.assign(eigenvalues.begin() + static_cast<std::ptrdiff_t>(half),
+                    eigenvalues.end());
+  const auto mid = order_tail.begin() +
+                   static_cast<std::ptrdiff_t>(order_tail.size() / 2);
+  std::nth_element(order_tail.begin(), mid, order_tail.end());
   const double floor = std::max(*mid, 1e-300);
   const double threshold = floor * from_db(cfg_.signal_threshold_db);
 
@@ -171,15 +179,17 @@ RVec SmoothedMusic::pseudospectrum(CSpan window, RSpan angles_deg,
 
 void SmoothedMusic::pseudospectrum_into(CSpan window, RSpan angles_deg,
                                         RVec& out, int* model_order_out) const {
-  smoothed_correlation_into(window, r_);
-  pseudospectrum_from_correlation_into(r_, angles_deg, out, model_order_out);
+  linalg::CMatrix& r = music_scratch().r;
+  smoothed_correlation_into(window, r);
+  pseudospectrum_from_correlation_into(r, angles_deg, out, model_order_out);
 }
 
 void SmoothedMusic::pseudospectrum_from_correlation_into(
     const linalg::CMatrix& r, RSpan angles_deg, RVec& out,
     int* model_order_out) const {
-  linalg::hermitian_eig_into(r, eig_, eig_ws_);
-  const int order = estimate_model_order(eig_.values);
+  MusicScratch& ws = music_scratch();
+  linalg::hermitian_eig_into(r, ws.eig, ws.eig_ws);
+  const int order = estimate_model_order(ws.eig.values);
   if (model_order_out != nullptr) *model_order_out = order;
 
   const std::size_t wp = r.rows();
@@ -189,12 +199,13 @@ void SmoothedMusic::pseudospectrum_from_correlation_into(
   // copied once into contiguous rows, so the projection inner loop below
   // streams both operands linearly. Reserve the worst case (order = 1) up
   // front so later calls never reallocate even if the model order drops.
-  if (noise_.capacity() < (wp - 1) * wp) noise_.reserve((wp - 1) * wp);
-  noise_.resize(num_noise * wp);
+  CVec& noise = ws.noise;
+  if (noise.capacity() < (wp - 1) * wp) noise.reserve((wp - 1) * wp);
+  noise.resize(num_noise * wp);
   for (std::size_t jj = 0; jj < num_noise; ++jj) {
-    cdouble* const u = noise_.data() + jj * wp;
+    cdouble* const u = noise.data() + jj * wp;
     const std::size_t j = static_cast<std::size_t>(order) + jj;
-    for (std::size_t i = 0; i < wp; ++i) u[i] = eig_.vectors(i, j);
+    for (std::size_t i = 0; i < wp; ++i) u[i] = ws.eig.vectors(i, j);
   }
 
   // Unit-norm steering so the pseudospectrum scale is grid-independent.
@@ -208,7 +219,7 @@ void SmoothedMusic::pseudospectrum_from_correlation_into(
     // operands already sit in L1; the chain latency was the bottleneck).
     double proj = 0.0;
     for (std::size_t jj = 0; jj < num_noise; ++jj) {
-      const cdouble* const u = noise_.data() + jj * wp;
+      const cdouble* const u = noise.data() + jj * wp;
       cdouble d0{0.0, 0.0};
       cdouble d1{0.0, 0.0};
       cdouble d2{0.0, 0.0};
@@ -225,6 +236,12 @@ void SmoothedMusic::pseudospectrum_from_correlation_into(
     }
     out[ai] = 1.0 / std::max(proj, 1e-12);
   }
+}
+
+void SmoothedMusic::prewarm(RSpan angles_deg) const {
+  steering_.ensure(cfg_.isar, angles_deg,
+                   static_cast<std::size_t>(cfg_.subarray),
+                   /*unit_norm=*/true);
 }
 
 }  // namespace wivi::core

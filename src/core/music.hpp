@@ -101,9 +101,29 @@ class SlidingCorrelation {
   linalg::CMatrix sum_;  // upper triangle of the un-normalised sub-array sum
 };
 
+/// Per-thread mutable MUSIC workspace: eigendecomposition buffers, the
+/// contiguous noise-subspace copy, and correlation/model-order scratch.
+/// Every member is fully overwritten by each estimation call, so one
+/// workspace per thread serves any number of SmoothedMusic instances —
+/// this is what lets a thousand idle sessions share a handful of
+/// workspaces instead of each holding ~20 KB of warm buffers.
+struct MusicScratch {
+  linalg::CMatrix r;            ///< Correlation scratch (w' x w').
+  linalg::EigResult eig;        ///< Eigendecomposition output.
+  linalg::EigWorkspace eig_ws;  ///< Eigendecomposition scratch.
+  CVec noise;                   ///< Noise eigenvectors, contiguous rows.
+  RVec order_tail;              ///< Model-order noise-floor scratch.
+};
+
+/// The calling thread's MUSIC workspace (lazily constructed, grows to the
+/// largest sub-array used on the thread and then stays warm).
+[[nodiscard]] MusicScratch& music_scratch() noexcept;
+
 /// Not safe for concurrent use of one instance (including via the const
-/// methods): every estimation path reuses the instance's mutable
-/// workspaces. Give each thread its own SmoothedMusic.
+/// methods): estimation mutates the shared per-thread workspace and the
+/// instance's steering handle. Instances themselves are cheap — the heavy
+/// state lives in the per-thread MusicScratch and the registry-shared
+/// steering table.
 class SmoothedMusic {
  public:
   /// Build an estimator (workspaces allocate lazily on first use).
@@ -142,16 +162,17 @@ class SmoothedMusic {
                                             RSpan angles_deg, RVec& out,
                                             int* model_order_out = nullptr) const;
 
+  /// Resolve the unit-norm steering table for `angles_deg` now (a registry
+  /// acquire) instead of inside the first pseudospectrum call, so session
+  /// construction pays the one shared build and the hot path starts warm.
+  void prewarm(RSpan angles_deg) const;
+
  private:
   MusicConfig cfg_;
-  // Workspaces: reused across calls so the per-window hot path allocates
-  // nothing once warm. Mutable because pseudospectrum() is logically const.
-  mutable linalg::CMatrix r_;            // correlation scratch
-  mutable linalg::EigResult eig_;        // eigendecomposition output
-  mutable linalg::EigWorkspace eig_ws_;  // eigendecomposition scratch
-  mutable CVec noise_;                   // noise eigenvectors, contiguous rows
-  mutable RVec order_tail_;              // model-order noise-floor scratch
-  mutable SteeringMatrix steering_;      // unit-norm steering matrix cache
+  // The only per-instance state beyond the config: a shared_ptr-sized
+  // handle to the registry-owned unit-norm steering table. All bulk
+  // scratch lives in the per-thread MusicScratch.
+  mutable SteeringMatrix steering_;
 };
 
 }  // namespace wivi::core

@@ -8,6 +8,7 @@
 
 #include "src/common/constants.hpp"
 #include "src/common/error.hpp"
+#include "src/plan/registry.hpp"
 
 namespace wivi::dsp {
 
@@ -71,12 +72,30 @@ void FftPlan::inverse(std::span<cdouble> x) const {
   for (auto& v : x) v *= scale;
 }
 
+std::shared_ptr<const FftPlan> acquire_fft_plan(std::size_t n) {
+  WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
+  const std::uint64_t ints[1] = {static_cast<std::uint64_t>(n)};
+  const plan::KeyRef key{plan::Kind::kFft, ints, {}, {}};
+  const auto build = [](void* ctx) -> plan::Built {
+    const std::size_t size = *static_cast<const std::size_t*>(ctx);
+    auto p = std::make_shared<const FftPlan>(size);
+    // Permutation + forward and inverse twiddle tables.
+    const std::size_t bytes = size * sizeof(std::uint32_t) +
+                              2 * (size > 1 ? size - 1 : 0) * sizeof(cdouble);
+    return {std::move(p), bytes};
+  };
+  return std::static_pointer_cast<const FftPlan>(
+      plan::registry().acquire(key, build, &n));
+}
+
 const FftPlan& fft_plan(std::size_t n) {
   WIVI_REQUIRE(is_pow2(n), "FFT size must be a power of two");
-  // One slot per log2 size; covers every possible power-of-two width.
-  thread_local std::array<std::unique_ptr<FftPlan>, 64> cache;
-  auto& slot = cache[static_cast<std::size_t>(std::countr_zero(n))];
-  if (!slot) slot = std::make_unique<FftPlan>(n);
+  // One handle slot per log2 size — a bounded per-thread memo over the
+  // shared registry, so all threads use one plan per size and repeated
+  // lookups skip even the registry probe.
+  thread_local std::array<std::shared_ptr<const FftPlan>, 64> memo;
+  auto& slot = memo[static_cast<std::size_t>(std::countr_zero(n))];
+  if (!slot) slot = acquire_fft_plan(n);
   return *slot;
 }
 

@@ -9,6 +9,7 @@
 // wrappers over a thread-local plan cache and keep their exact semantics.
 #pragma once
 
+#include <memory>
 #include <span>
 
 #include "src/common/types.hpp"
@@ -47,8 +48,19 @@ class FftPlan {
   CVec tw_inv_;  // conjugate table for the inverse transform
 };
 
-/// Thread-local plan cache: one plan per size, built on first use. The
-/// reference stays valid for the thread's lifetime.
+/// Shared handle to the registry-owned plan for size n (wivi::plan): the
+/// plan is built at most once process-wide while resident, shared across
+/// every thread and session, and the handle pins it past any cache
+/// eviction. Prefer this for long-lived owners (e.g. a processor member);
+/// hot loops that want a bare reference use fft_plan().
+[[nodiscard]] std::shared_ptr<const FftPlan> acquire_fft_plan(std::size_t n);
+
+/// Borrowed per-thread fast path over acquire_fft_plan(): a bounded
+/// thread-local memo (one handle per power-of-two size) backed by the
+/// shared plan registry — every thread resolves the same size to the same
+/// registry-owned plan, and a registry hit is allocation-free. The
+/// reference stays valid for the thread's lifetime (the memo's handle
+/// pins the plan even if the registry evicts it).
 [[nodiscard]] const FftPlan& fft_plan(std::size_t n);
 
 /// In-place forward DFT. `x.size()` must be a power of two.

@@ -4,6 +4,7 @@
 
 #include "src/common/constants.hpp"
 #include "src/common/error.hpp"
+#include "src/plan/registry.hpp"
 
 namespace wivi::dsp {
 
@@ -33,6 +34,27 @@ RVec make_window(WindowType type, std::size_t n, bool periodic) {
     }
   }
   return w;
+}
+
+std::shared_ptr<const RVec> acquire_window(WindowType type, std::size_t n,
+                                           bool periodic) {
+  WIVI_REQUIRE(n > 0, "window length must be positive");
+  struct Ctx {
+    WindowType type;
+    std::size_t n;
+    bool periodic;
+  } ctx{type, n, periodic};
+  const std::uint64_t ints[3] = {static_cast<std::uint64_t>(type),
+                                 static_cast<std::uint64_t>(n),
+                                 periodic ? 1u : 0u};
+  const plan::KeyRef key{plan::Kind::kWindow, ints, {}, {}};
+  const auto build = [](void* raw) -> plan::Built {
+    const Ctx& c = *static_cast<const Ctx*>(raw);
+    auto w = std::make_shared<const RVec>(make_window(c.type, c.n, c.periodic));
+    return {std::move(w), c.n * sizeof(double)};
+  };
+  return std::static_pointer_cast<const RVec>(
+      plan::registry().acquire(key, build, &ctx));
 }
 
 void apply_window(CVec& x, RSpan window) {

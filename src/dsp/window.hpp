@@ -1,6 +1,8 @@
 // Window functions used by the spectral-analysis stages.
 #pragma once
 
+#include <memory>
+
 #include "src/common/types.hpp"
 
 namespace wivi::dsp {
@@ -18,6 +20,14 @@ enum class WindowType { kRectangular, kHann, kHamming, kBlackman, kTriangular };
 /// (COLA), whereas the symmetric form double-counts its endpoint seam.
 [[nodiscard]] RVec make_window(WindowType type, std::size_t n,
                                bool periodic = false);
+
+/// Shared handle to the registry-owned coefficient table for
+/// (type, n, periodic) — exactly make_window()'s values, built at most
+/// once process-wide while resident (wivi::plan) and shared read-only
+/// across threads and sessions.
+[[nodiscard]] std::shared_ptr<const RVec> acquire_window(WindowType type,
+                                                         std::size_t n,
+                                                         bool periodic = false);
 
 /// Multiply a complex buffer by a real window element-wise.
 void apply_window(CVec& x, RSpan window);

@@ -70,8 +70,9 @@ void write_chrome_trace(std::ostream& os, const TraceBuffer& buffer,
 
 void PipelineObserver::add_to_snapshot(Snapshot& snap,
                                        const std::string& prefix) const {
+  if (!hist_) return;  // nothing recorded yet
   for (int i = 0; i < kStageCount; ++i) {
-    const LocalHistogram& h = hist_[static_cast<std::size_t>(i)];
+    const LocalHistogram& h = (*hist_)[static_cast<std::size_t>(i)];
     if (h.count() == 0) continue;
     snap.add_histogram(prefix + stage_name(static_cast<Stage>(i)) + "_ns",
                        h.snapshot());

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <vector>
 
@@ -139,14 +140,19 @@ class PipelineObserver {
   /// Record a completed span for `s` (start/end in obs::now_ns() time).
   void record(Stage s, std::int64_t start_ns, std::int64_t end_ns) {
     const std::int64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
-    hist_[static_cast<std::size_t>(s)].record(static_cast<std::uint64_t>(dur));
+    if (!hist_)  // first span ever: materialise the histogram block
+      hist_ = std::make_unique<std::array<LocalHistogram, kStageCount>>();
+    (*hist_)[static_cast<std::size_t>(s)].record(
+        static_cast<std::uint64_t>(dur));
     if (trace_.capacity() != 0)
       trace_.push({stage_name(s), start_ns, dur});
   }
 
-  /// The latency histogram of stage `s` (all spans recorded so far).
+  /// The latency histogram of stage `s` (all spans recorded so far; a
+  /// shared empty histogram before the first record()).
   [[nodiscard]] const LocalHistogram& stage(Stage s) const noexcept {
-    return hist_[static_cast<std::size_t>(s)];
+    static const LocalHistogram kEmpty;
+    return hist_ ? (*hist_)[static_cast<std::size_t>(s)] : kEmpty;
   }
 
   /// The trace ring (capacity 0 when tracing is off).
@@ -158,7 +164,10 @@ class PipelineObserver {
 
  private:
   bool timing_;
-  std::array<LocalHistogram, kStageCount> hist_;
+  // Lazily allocated on the first recorded span: an observer that never
+  // records (an idle session, or obs disabled) costs pointer-size instead
+  // of the full kStageCount histogram block.
+  std::unique_ptr<std::array<LocalHistogram, kStageCount>> hist_;
   TraceBuffer trace_;
 };
 

@@ -7,6 +7,7 @@
 #include "src/common/error.hpp"
 #include "src/obs/clock.hpp"
 #include "src/obs/trace.hpp"
+#include "src/plan/registry.hpp"
 #include "src/rt/compat.hpp"
 
 namespace wivi::rt {
@@ -309,6 +310,14 @@ Engine::EngineStats Engine::stats() const {
         sessions_[i]->columns_out.load(std::memory_order_relaxed);
     st.bits_out += sessions_[i]->bits_out.load(std::memory_order_relaxed);
   }
+  const plan::Stats ps = plan::registry().stats();
+  st.plan_hits = ps.hits;
+  st.plan_misses = ps.misses;
+  st.plan_builds = ps.builds;
+  st.plan_evictions = ps.evictions;
+  st.plan_ghost_hits = ps.ghost_hits;
+  st.plan_resident_plans = ps.resident_plans;
+  st.plan_resident_bytes = ps.resident_bytes;
   st.ingress_wait = m_.ingress_wait_ns.snapshot();
   st.chunk_latency = m_.chunk_latency_ns.snapshot();
   return st;
@@ -335,6 +344,16 @@ obs::Snapshot Engine::snapshot() const {
   snap.add_counter("wivi_ring_drops_total", drops);
   snap.add_counter("wivi_engine_columns_total", columns);
   snap.add_counter("wivi_engine_bits_total", bits);
+  // Shared-plan registry: process-wide cache counters plus the residency
+  // gauges (counters and gauges share the scalar slot; see obs::Snapshot).
+  const plan::Stats ps = plan::registry().stats();
+  snap.add_counter("wivi_plan_hits_total", ps.hits);
+  snap.add_counter("wivi_plan_misses_total", ps.misses);
+  snap.add_counter("wivi_plan_builds_total", ps.builds);
+  snap.add_counter("wivi_plan_evictions_total", ps.evictions);
+  snap.add_counter("wivi_plan_ghost_hits_total", ps.ghost_hits);
+  snap.add_counter("wivi_plan_resident_plans", ps.resident_plans);
+  snap.add_counter("wivi_plan_resident_bytes", ps.resident_bytes);
   return snap;
 }
 

@@ -16,7 +16,13 @@ StreamingTracker::StreamingTracker(core::MotionTracker::Config cfg, double t0)
       sliding_(cfg.music.subarray, cfg.music.isar.window) {
   WIVI_REQUIRE(cfg_.hop >= 1, "hop must be >= 1");
   WIVI_REQUIRE(cfg_.angle_step_deg > 0.0, "angle step must be positive");
-  img_.angles_deg = core::angle_grid_deg(cfg_.angle_step_deg);
+  // Both heavyweight artifacts resolve through the shared plan registry at
+  // construction: the angle grid is copied out of the shared build (the
+  // public image keeps its own RVec), and prewarming the steering table
+  // here means N same-config sessions trigger exactly one table build —
+  // an idle session then holds a handle, not ~100 KB of phase ramps.
+  img_.angles_deg = *core::acquire_angle_grid(cfg_.angle_step_deg);
+  music_.prewarm(img_.angles_deg);
 }
 
 double StreamingTracker::column_period_sec() const noexcept {
@@ -40,21 +46,22 @@ std::size_t StreamingTracker::push(CSpan chunk) {
   // SlidingCorrelation advance sequence (rebase() only relabels offsets),
   // same workspace reuse — which is what makes streaming == batch exact.
   std::size_t emitted = 0;
+  linalg::CMatrix& r = core::music_scratch().r;
   while (base_ + buf_.size() >= next_col_ * hop + w) {
     const std::size_t n = next_col_ * hop;  // absolute stream offset
     {
       obs::ScopedSpan span(obs_, obs::Stage::kStft);
       sliding_.advance_to(buf_, n - base_);
-      sliding_.correlation_into(r_);
+      sliding_.correlation_into(r);
     }
     img_.columns.emplace_back();
     int order = 0;
     obs::ScopedSpan span(obs_, obs::Stage::kMusic);
     if (decim_ <= 1) {
-      music_.pseudospectrum_from_correlation_into(r_, img_.angles_deg,
+      music_.pseudospectrum_from_correlation_into(r, img_.angles_deg,
                                                   img_.columns.back(), &order);
     } else {
-      emit_degraded_column(img_.columns.back(), &order);
+      emit_degraded_column(r, img_.columns.back(), &order);
     }
     span.stop();
     img_.model_orders.push_back(order);
@@ -108,7 +115,8 @@ void StreamingTracker::set_angle_decimation(int factor) {
 /// One degraded column: evaluate the pseudospectrum at every decim_-th
 /// angle (end points forced in so interpolation never extrapolates), then
 /// fill the skipped angles linearly. The output has the full grid's shape.
-void StreamingTracker::emit_degraded_column(RVec& out, int* order) {
+void StreamingTracker::emit_degraded_column(const linalg::CMatrix& r, RVec& out,
+                                            int* order) {
   const std::size_t n = img_.angles_deg.size();
   if (coarse_idx_.empty()) {
     const auto d = static_cast<std::size_t>(decim_);
@@ -118,7 +126,7 @@ void StreamingTracker::emit_degraded_column(RVec& out, int* order) {
     for (std::size_t j = 0; j < coarse_idx_.size(); ++j)
       coarse_angles_[j] = img_.angles_deg[coarse_idx_[j]];
   }
-  music_.pseudospectrum_from_correlation_into(r_, coarse_angles_, coarse_col_,
+  music_.pseudospectrum_from_correlation_into(r, coarse_angles_, coarse_col_,
                                               order);
   out.resize(n);
   for (std::size_t j = 0; j + 1 < coarse_idx_.size(); ++j) {

@@ -121,13 +121,14 @@ class StreamingTracker {
 
  private:
   void compact();
-  void emit_degraded_column(RVec& out, int* order);
+  void emit_degraded_column(const linalg::CMatrix& r, RVec& out, int* order);
 
   core::MotionTracker::Config cfg_;
   double t0_ = 0.0;
   core::SmoothedMusic music_;
   core::SlidingCorrelation sliding_;
-  linalg::CMatrix r_;            // correlation scratch
+  // Correlation scratch lives in the per-thread core::music_scratch();
+  // the tracker's own state is just the buffered stream tail + image.
   CVec buf_;                     // buffered tail of the stream
   std::size_t base_ = 0;         // stream index of buf_[0]
   std::size_t next_col_ = 0;     // next column index to emit

@@ -117,6 +117,36 @@ TEST(ZeroAlloc, MusicPseudospectrumIntoIsAllocationFreeWhenWarm) {
   EXPECT_EQ(g_alloc_count - before, 0);
 }
 
+TEST(ZeroAlloc, PlanRegistryHitAcquisitionIsAllocationFree) {
+  // Warm: make both artifacts resident in the shared registry.
+  const auto warm_plan = dsp::acquire_fft_plan(64);
+  const core::IsarConfig isar;
+  const RVec angles = core::angle_grid_deg(1.0);
+  const auto warm_steering = core::acquire_steering(isar, angles, 32, true);
+
+  // A cache hit is a hash + probe + list splice + handle copy — no heap.
+  const long before = g_alloc_count;
+  const auto plan = dsp::acquire_fft_plan(64);
+  const auto steering = core::acquire_steering(isar, angles, 32, true);
+  EXPECT_EQ(g_alloc_count - before, 0);
+  EXPECT_EQ(plan.get(), warm_plan.get());
+  EXPECT_EQ(steering.get(), warm_steering.get());
+}
+
+TEST(ZeroAlloc, SteeringEnsureIsAllocationFreeOnceResident) {
+  const core::IsarConfig isar;
+  const RVec angles = core::angle_grid_deg(1.0);
+  core::SteeringMatrix warm;
+  warm.ensure(isar, angles, 32, true);  // table resident, handle held
+
+  core::SteeringMatrix fresh;
+  const long before = g_alloc_count;
+  warm.ensure(isar, angles, 32, true);   // held-handle field compare
+  fresh.ensure(isar, angles, 32, true);  // registry-hit handle copy
+  EXPECT_EQ(g_alloc_count - before, 0);
+  EXPECT_EQ(fresh.table().get(), warm.table().get());
+}
+
 TEST(ZeroAlloc, SlidingCorrelationStreamingLoopIsAllocationFree) {
   const CVec h = make_trace(2000);
   const core::SmoothedMusic music;
