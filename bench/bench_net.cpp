@@ -1,0 +1,221 @@
+// Network-ingress figure generator: frame-parse throughput, reassembly
+// throughput, loopback UDP end-to-end ingest rate with frame-to-ring
+// latency quantiles, and drop behavior under 2x overload (committed as
+// BENCH_net.json; gated by scripts/check_net.py in the net-ingress CI
+// job).
+//
+// ROADMAP item 5 / ISSUE 10: the framed ingress must sustain sensor-rate
+// streams on one polling thread with bounded buffers — overload sheds
+// load as *counted drops*, never as a stall or unbounded queue. The four
+// measurements here pin that contract:
+//
+//   * parse:      parse_frame over pre-encoded frames (zero-copy path)
+//   * reassembly: fragmented frames through a Demux (no sockets)
+//   * loopback:   Sender -> real UDP socket -> Receiver -> sink, with the
+//                 wivi_net_frame_to_ring_ns histogram's p50/p99
+//   * overload:   frames blasted without interleaved polling until socket
+//                 buffers overflow; the drop fraction is the kernel's,
+//                 the conservation law must still hold on what arrived
+//
+// Output is one JSON object on stdout.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.hpp"
+#include "src/net/reassembler.hpp"
+#include "src/net/receiver.hpp"
+#include "src/net/sender.hpp"
+#include "src/obs/snapshot.hpp"
+
+namespace {
+
+using namespace wivi;
+
+/// Wall-clock seconds `fn` takes (steady clock; the benches report rates).
+template <typename Fn>
+double time_sec(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+CVec ramp_chunk(std::size_t n) {
+  CVec c(n);
+  for (std::size_t i = 0; i < n; ++i)
+    c[i] = cdouble(static_cast<double>(i), -static_cast<double>(i));
+  return c;
+}
+
+constexpr std::size_t kChunkSamples = 256;  // 4096 payload bytes
+constexpr std::size_t kFragPayload = 1024;  // 4 fragments per chunk
+
+double parse_throughput_mframes(std::uint64_t* bytes_per_frame) {
+  const auto frames =
+      net::chunk_to_frames(1, 0, ramp_chunk(kChunkSamples), kFragPayload);
+  *bytes_per_frame = frames[0].size();
+  const std::size_t iters = 200000;
+  std::uint64_t accepted = 0;
+  const double sec = time_sec([&] {
+    net::FrameView v;
+    for (std::size_t i = 0; i < iters; ++i)
+      accepted += net::parse_frame(frames[i % frames.size()], v) ==
+                  net::ParseStatus::kOk;
+  });
+  if (accepted != iters) return 0.0;  // impossible; defeats optimizer
+  return static_cast<double>(iters) / sec / 1e6;
+}
+
+double reassembly_chunks_per_sec() {
+  const std::size_t chunks = 20000;
+  std::vector<std::vector<std::byte>> frames;
+  for (std::size_t seq = 0; seq < chunks; ++seq)
+    for (auto& f :
+         net::chunk_to_frames(1, seq, ramp_chunk(kChunkSamples), kFragPayload))
+      frames.push_back(std::move(f));
+  std::uint64_t delivered = 0;
+  const double sec = time_sec([&] {
+    net::Demux demux({}, [&](std::uint32_t, std::uint64_t, CVec&&) {
+      ++delivered;
+      return true;
+    });
+    net::FrameView v;
+    for (const auto& f : frames) {
+      if (net::parse_frame(f, v) == net::ParseStatus::kOk) demux.feed(v);
+    }
+    demux.flush();
+  });
+  return delivered == chunks ? static_cast<double>(chunks) / sec : 0.0;
+}
+
+struct LoopbackResult {
+  double chunks_per_sec = 0;
+  std::uint64_t frame_to_ring_p50_ns = 0;
+  std::uint64_t frame_to_ring_p99_ns = 0;
+};
+
+LoopbackResult loopback_ingest() {
+  LoopbackResult out;
+  std::uint64_t delivered = 0;
+  net::ReceiverConfig rc;
+  rc.enable_tcp = false;
+  net::Receiver rx(rc, [&](std::uint32_t, std::uint64_t, CVec&&) {
+    ++delivered;
+    return true;
+  });
+  net::Sender::Config sc;
+  sc.port = rx.udp_port();
+  sc.max_payload = kFragPayload;
+  net::Sender sender(sc);
+
+  const std::size_t chunks = 20000;
+  const CVec chunk = ramp_chunk(kChunkSamples);
+  const double sec = time_sec([&] {
+    for (std::size_t i = 0; i < chunks; ++i) {
+      sender.send_chunk(1, chunk);
+      rx.poll_once(0);  // interleaved drain: bounded socket buffers
+    }
+    int idle = 0;
+    while (idle < 3) idle = rx.poll_once(10) == 0 ? idle + 1 : 0;
+    rx.flush();
+  });
+  out.chunks_per_sec = static_cast<double>(delivered) / sec;
+
+  const obs::Snapshot snap = rx.metrics().snapshot();
+  for (const auto& h : snap.histograms) {
+    if (h.name == "wivi_net_frame_to_ring_ns") {
+      out.frame_to_ring_p50_ns = h.hist.p50;
+      out.frame_to_ring_p99_ns = h.hist.p99;
+    }
+  }
+  return out;
+}
+
+struct OverloadResult {
+  double drop_fraction = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_accepted = 0;
+  bool conservation_held = false;
+};
+
+OverloadResult overload_2x() {
+  OverloadResult out;
+  std::uint64_t delivered = 0;
+  net::ReceiverConfig rc;
+  rc.enable_tcp = false;
+  net::Receiver rx(rc, [&](std::uint32_t, std::uint64_t, CVec&&) {
+    ++delivered;
+    return true;
+  });
+  net::Sender::Config sc;
+  sc.port = rx.udp_port();
+  sc.max_payload = kFragPayload;
+  net::Sender sender(sc);
+
+  // Overload: offer 2x the load the receiver drains. Every turn sends two
+  // chunks but polls only every *other* turn, so frames land twice as
+  // fast as the polling thread consumes them; once the bounded socket
+  // buffer fills, the kernel sheds the excess as counted datagram drops
+  // (frames_sent - frames_accepted) while the receiver keeps delivering.
+  const std::size_t chunks = 20000;
+  const CVec chunk = ramp_chunk(kChunkSamples);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    sender.send_chunk(1, chunk);
+    sender.send_chunk(1, chunk);
+    if (i % 64 >= 32) rx.poll_once(0);  // half-duty drain: 2x overload
+  }
+  int idle = 0;
+  while (idle < 3) idle = rx.poll_once(10) == 0 ? idle + 1 : 0;
+  rx.flush();
+
+  out.frames_sent = sender.frames_sent();
+  out.frames_accepted = rx.wire_stats().frames_accepted;
+  out.drop_fraction =
+      1.0 - static_cast<double>(out.frames_accepted) /
+                static_cast<double>(out.frames_sent);
+  const auto s = rx.demux().stats();
+  out.conservation_held =
+      s.frames_in == s.frames_delivered + s.frames_dup + s.frames_stale +
+                         s.frames_evicted + s.frames_decode_failed +
+                         s.frames_sink_dropped + s.frames_control +
+                         s.frames_in_flight &&
+      s.frames_in_flight == 0 && delivered == s.chunks_delivered -
+                                                  s.sink_dropped_chunks;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::uint64_t bytes_per_frame = 0;
+  const double parse_mframes = parse_throughput_mframes(&bytes_per_frame);
+  const double reasm_chunks = reassembly_chunks_per_sec();
+  const LoopbackResult loop = loopback_ingest();
+  const OverloadResult over = overload_2x();
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"bench_net\",\n");
+  std::printf("  \"chunk_samples\": %zu,\n", kChunkSamples);
+  std::printf("  \"frag_payload_bytes\": %zu,\n", kFragPayload);
+  std::printf("  \"frame_bytes\": %llu,\n",
+              static_cast<unsigned long long>(bytes_per_frame));
+  std::printf("  \"parse_mframes_per_sec\": %.2f,\n", parse_mframes);
+  std::printf("  \"reassembly_chunks_per_sec\": %.0f,\n", reasm_chunks);
+  std::printf("  \"loopback_chunks_per_sec\": %.0f,\n", loop.chunks_per_sec);
+  std::printf("  \"frame_to_ring_p50_ns\": %llu,\n",
+              static_cast<unsigned long long>(loop.frame_to_ring_p50_ns));
+  std::printf("  \"frame_to_ring_p99_ns\": %llu,\n",
+              static_cast<unsigned long long>(loop.frame_to_ring_p99_ns));
+  std::printf("  \"overload_frames_sent\": %llu,\n",
+              static_cast<unsigned long long>(over.frames_sent));
+  std::printf("  \"overload_frames_accepted\": %llu,\n",
+              static_cast<unsigned long long>(over.frames_accepted));
+  std::printf("  \"overload_drop_fraction\": %.4f,\n", over.drop_fraction);
+  std::printf("  \"overload_conservation_held\": %s\n",
+              over.conservation_held ? "true" : "false");
+  std::printf("}\n");
+  return 0;
+}

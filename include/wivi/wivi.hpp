@@ -105,3 +105,14 @@
 
 // -------------------------------------- fault: deterministic chaos --------
 #include "src/fault/fault.hpp"
+
+// ------------------- net: framed ingress, reassembly, capture/replay ------
+#include "src/net/capture.hpp"
+#include "src/net/crc32c.hpp"
+#include "src/net/frame.hpp"
+#include "src/net/ingest.hpp"
+#include "src/net/reassembler.hpp"
+#include "src/net/receiver.hpp"
+#include "src/net/sender.hpp"
+#include "src/net/wire_fault.hpp"
+#include "src/sim/netfeed.hpp"

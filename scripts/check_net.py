@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Network-ingress gate for the framed wire path (ISSUE 10).
+
+Holds a fresh ``bench_net`` run against the committed ``BENCH_net.json``
+reference.  The contract being enforced:
+
+  * frame parsing, reassembly and end-to-end loopback ingest must stay
+    above the gate's throughput floors (scaled by ``--slack`` for
+    CI-runner jitter) — the one-polling-thread ingress design must keep
+    sustaining sensor-rate streams;
+  * p99 frame-to-ring latency must stay under the gate's ceiling
+    (scaled by ``--slack``);
+  * under 2x offered load the receiver must shed load as *counted
+    drops* — the drop fraction stays below 1.0 (ingest never stalls to
+    zero) and under the gate's ceiling, some frames are still accepted,
+    and the reassembly conservation law must have held on everything
+    that arrived (``overload_conservation_held``).
+
+Exit 0 when every check passes, 1 otherwise.
+
+Usage:
+  ./build/bench_net > measured.json
+  python3 scripts/check_net.py measured.json --baseline BENCH_net.json
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+errors: list[str] = []
+
+
+def fail(message: str) -> None:
+    errors.append(message)
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured", help="fresh bench_net JSON output")
+    parser.add_argument("--baseline", default="BENCH_net.json",
+                        help="committed reference (default: BENCH_net.json)")
+    parser.add_argument("--slack", type=float, default=2.0,
+                        help="multiplicative tolerance on throughput floors "
+                             "and latency ceilings (CI-runner jitter)")
+    args = parser.parse_args()
+
+    measured = load(args.measured)
+    baseline = load(args.baseline)
+    gate = baseline["gate"]
+
+    # Throughput floors (gate value divided by slack).
+    for key in ("parse_mframes_per_sec", "reassembly_chunks_per_sec",
+                "loopback_chunks_per_sec"):
+        floor = gate[f"min_{key}"] / args.slack
+        got = measured[key]
+        if got < floor:
+            fail(f"{key} = {got:.2f} below floor {floor:.2f} "
+                 f"(gate {gate[f'min_{key}']} / slack {args.slack})")
+
+    # Latency ceiling (gate value multiplied by slack).
+    ceiling = gate["max_frame_to_ring_p99_ns"] * args.slack
+    p99 = measured["frame_to_ring_p99_ns"]
+    if p99 <= 0:
+        fail("frame_to_ring_p99_ns is zero: the latency histogram never "
+             "recorded — the receiver's accept path is broken")
+    elif p99 > ceiling:
+        fail(f"frame_to_ring_p99_ns = {p99} over ceiling {ceiling:.0f} "
+             f"(gate {gate['max_frame_to_ring_p99_ns']} x slack {args.slack})")
+
+    # Overload: load is shed as counted drops, never a stall, and the
+    # conservation law held on what arrived.
+    drop = measured["overload_drop_fraction"]
+    if not 0.0 <= drop <= gate["max_overload_drop_fraction"]:
+        fail(f"overload_drop_fraction = {drop:.4f} outside "
+             f"[0, {gate['max_overload_drop_fraction']}]")
+    if measured["overload_frames_accepted"] <= 0:
+        fail("overload run accepted zero frames: ingest stalled")
+    if measured["overload_frames_sent"] <= 0:
+        fail("overload run sent zero frames: bench is broken")
+    if not measured["overload_conservation_held"]:
+        fail("frame conservation law violated during the overload run")
+
+    if errors:
+        print("check_net: FAIL")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+
+    print("check_net: OK "
+          f"(parse {measured['parse_mframes_per_sec']:.2f} Mframes/s, "
+          f"reassembly {measured['reassembly_chunks_per_sec']:.0f} chunks/s, "
+          f"loopback {measured['loopback_chunks_per_sec']:.0f} chunks/s, "
+          f"p99 {measured['frame_to_ring_p99_ns']} ns, "
+          f"overload drop {drop:.2%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,10 @@ enum class ErrorCode {
   kSinkFailure,    ///< the consumer's event callback threw
   kTimeout,        ///< watchdog: the feeder went silent past its deadline
   kOverload,       ///< backpressure exhausted every degradation rung
+  kMalformedFrame, ///< a wire frame failed parsing/validation at the
+                   ///  network ingress (net::ParseStatus carries the
+                   ///  precise cause; DESIGN.md §13)
+  kIoError,        ///< a capture file could not be opened/read/identified
 };
 
 /// Stable identifier string of an ErrorCode ("InvalidChunk", "Timeout", ...).
@@ -49,6 +53,8 @@ enum class ErrorCode {
     case ErrorCode::kSinkFailure: return "SinkFailure";
     case ErrorCode::kTimeout: return "Timeout";
     case ErrorCode::kOverload: return "Overload";
+    case ErrorCode::kMalformedFrame: return "MalformedFrame";
+    case ErrorCode::kIoError: return "IoError";
   }
   return "Unknown";
 }

@@ -21,7 +21,8 @@ constexpr std::uint64_t kSaltCorrupt = 0xC04;
 constexpr std::uint64_t kSaltCorruptPos = 0xC05;
 constexpr std::uint64_t kSaltGap = 0x6A9;
 
-/// SplitMix64 finaliser: the stateless hash behind every fault decision.
+/// SplitMix64 finaliser: the stateless hash behind every fault decision
+/// (the public spelling is fault::splitmix64 below).
 std::uint64_t mix(std::uint64_t x) noexcept {
   x += 0x9E3779B97F4A7C15ull;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
@@ -178,5 +179,7 @@ std::function<void(std::size_t)> throw_hook(std::vector<std::size_t> throw_at) {
                        "injected stage fault (fault::throw_hook)");
   };
 }
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept { return mix(x); }
 
 }  // namespace wivi::fault

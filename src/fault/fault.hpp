@@ -28,6 +28,12 @@ namespace wivi::fault {
 /// @addtogroup wivi_fault
 /// @{
 
+/// SplitMix64 finaliser — the stateless hash behind every fault decision
+/// in this subsystem. Exposed so other deterministic-chaos layers (the
+/// wire-level net::FaultyWire) key their decisions off the exact same
+/// primitive: hash(seed ^ hash(index ^ salt)) is the idiom.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) noexcept;
+
 /// Declarative fault plan over a chunk stream. Probabilities are per
 /// source chunk in [0, 1] and drawn independently per fault kind; the
 /// `*_at` lists script the same faults at exact source-chunk indices

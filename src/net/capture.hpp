@@ -1,0 +1,171 @@
+/// @file
+/// Capture and bit-exact replay of the network ingress (DESIGN.md §13).
+///
+/// CaptureWriter dumps every accepted frame, with its arrival metadata,
+/// to a versioned on-disk format; Replayer feeds a capture back through
+/// the exact per-sensor reassembly path the live Receiver runs, so any
+/// production incident becomes a deterministic regression case: same
+/// frames in, same chunks out, bit for bit.
+///
+/// On-disk format "WVCP" version 1 (all integers little-endian):
+///
+///   file header : u32 magic 0x50435657 ("WVCP"), u16 version = 1,
+///                 u16 reserved (zero)
+///   record      : i64 arrival_ns, u32 frame_len, u8[frame_len] frame
+///
+/// The frame bytes are stored verbatim — wire format, CRC and all — so a
+/// capture stays readable for as long as a parser for its frames' wire
+/// version exists, and replay needs no re-encoding step that could drift
+/// from the live bytes.
+///
+/// Writer threading (the pdump-writer idiom): the hot path (the
+/// receiver's I/O thread) only copies the frame into a lock-free SPSC
+/// ring; a dedicated writer thread drains the ring to buffered file
+/// writes. A full ring *drops the record and counts it* — capture is a
+/// diagnostic tap and must never apply backpressure to live ingest. For
+/// deterministic tests and tools a synchronous mode writes inline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/frame.hpp"
+#include "src/net/reassembler.hpp"
+#include "src/rt/spsc_ring.hpp"
+
+namespace wivi::net {
+
+/// @addtogroup wivi_net
+/// @{
+
+/// Capture-file magic: the bytes 'W','V','C','P' as a little-endian u32.
+inline constexpr std::uint32_t kCaptureMagic = 0x50435657u;
+/// The capture-file format version this library reads and writes.
+inline constexpr std::uint16_t kCaptureVersion = 1;
+
+/// One captured frame: its arrival instant plus the verbatim wire bytes.
+struct CaptureRecord {
+  std::int64_t arrival_ns = 0;   ///< obs::now_ns() at frame arrival
+  std::vector<std::byte> frame;  ///< the frame exactly as received
+};
+
+/// Ring-drained (or synchronous) capture-file writer.
+class CaptureWriter {
+ public:
+  /// Writer configuration.
+  struct Config {
+    /// Records buffered between the hot path and the writer thread.
+    std::size_t ring_capacity = 1024;
+    /// Write inline on append() instead of via the writer thread —
+    /// deterministic (nothing can drop) and test/tool friendly.
+    bool synchronous = false;
+  };
+
+  /// Open `path` for writing and emit the file header. Throws
+  /// TypedError{kIoError} when the file cannot be opened.
+  explicit CaptureWriter(const std::string& path, Config cfg);
+  /// Same, with the default Config.
+  explicit CaptureWriter(const std::string& path);
+  /// Flushes, stops the writer thread and closes the file.
+  ~CaptureWriter();
+
+  CaptureWriter(const CaptureWriter&) = delete;             ///< Non-copyable.
+  CaptureWriter& operator=(const CaptureWriter&) = delete;  ///< Non-copyable.
+
+  /// Append one accepted frame (hot path: one copy into the ring; a full
+  /// ring drops the record and advances drops()). In synchronous mode the
+  /// record is written before returning.
+  void append(std::int64_t arrival_ns, std::span<const std::byte> frame);
+
+  /// Drain everything queued so far, stop accepting records and close the
+  /// file (idempotent; the destructor calls it).
+  void close();
+
+  /// Records accepted into the capture so far.
+  [[nodiscard]] std::uint64_t records() const noexcept;
+  /// Records lost to a full ring (the price of never blocking ingest).
+  [[nodiscard]] std::uint64_t drops() const noexcept;
+  /// Frame bytes written so far (excluding headers), exact once closed.
+  [[nodiscard]] std::uint64_t bytes() const noexcept;
+
+ private:
+  void writer_loop();
+  void write_record(const CaptureRecord& rec);
+
+  Config cfg_;
+  std::ofstream out_;
+  rt::SpscRing<CaptureRecord> ring_;
+  std::thread writer_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> closed_{false};
+  std::atomic<std::uint64_t> records_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Sequential reader over a capture file. Validates the file header at
+/// open (TypedError{kIoError} on a missing/foreign/unsupported file) and
+/// rejects torn trailing records gracefully (truncated() turns true, no
+/// exception — a capture cut off mid-record replays its intact prefix).
+class CaptureReader {
+ public:
+  /// Open and validate `path`.
+  explicit CaptureReader(const std::string& path);
+
+  /// Read the next record. False at end of file (or at a torn tail,
+  /// which also sets truncated()).
+  [[nodiscard]] bool next(CaptureRecord& out);
+
+  /// True when the file ended mid-record (crash-truncated capture).
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  /// Records read so far.
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  std::ifstream in_;
+  bool truncated_ = false;
+  std::uint64_t records_ = 0;
+};
+
+/// Replays a capture through the same parse + per-sensor reassembly path
+/// the live Receiver runs. Frames are re-parsed from their stored bytes
+/// (so a corrupted capture rejects frames exactly like a corrupted wire)
+/// and fed to a Demux in recorded arrival order — the determinism that
+/// makes replay output bit-identical to the live run.
+class Replayer {
+ public:
+  /// Replay `path` with the given reassembly configuration (must match
+  /// the live receiver's for bit-identical replay).
+  Replayer(const std::string& path, Reassembler::Config cfg,
+           ChunkSink sink, EndSink end = nullptr);
+
+  /// Feed every record through the demux. Returns the number of frames
+  /// replayed (parse rejects included in stats(), not in the count).
+  std::uint64_t run();
+
+  /// The reassembly/accounting state after (or during) run().
+  [[nodiscard]] const Demux& demux() const noexcept { return demux_; }
+  /// Frames whose stored bytes failed to re-parse (corrupt capture).
+  [[nodiscard]] std::uint64_t parse_rejects() const noexcept {
+    return parse_rejects_;
+  }
+  /// The reader, for truncation state.
+  [[nodiscard]] const CaptureReader& reader() const noexcept {
+    return reader_;
+  }
+
+ private:
+  CaptureReader reader_;
+  Demux demux_;
+  std::uint64_t parse_rejects_ = 0;
+};
+
+/// @}
+
+}  // namespace wivi::net

@@ -1,0 +1,63 @@
+#include "src/net/crc32c.hpp"
+
+#include <array>
+
+namespace wivi::net {
+
+namespace {
+
+/// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// 8 slice tables, generated at compile time. Table 0 is the classic
+/// byte-at-a-time table; table k folds a byte that sits k positions ahead
+/// of the CRC window.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit)
+      c = (c & 1u) ? (c >> 1) ^ kPoly : (c >> 1);
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i)
+    for (int k = 1; k < 8; ++k)
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  return t;
+}
+
+constexpr auto kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c(std::uint32_t crc,
+                     std::span<const std::byte> data) noexcept {
+  std::uint32_t c = ~crc;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+
+  // Head: single bytes until we could read aligned 8-byte groups. (We do
+  // not require alignment — unaligned byte reads below are assembled
+  // manually — so the head loop only exists to shrink tiny inputs' cost.)
+  while (n >= 8) {
+    // Fold 8 bytes at once through the slice tables.
+    const std::uint32_t lo =
+        c ^ (static_cast<std::uint32_t>(p[0]) |
+             (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) |
+             (static_cast<std::uint32_t>(p[3]) << 24));
+    c = kTables[7][lo & 0xFFu] ^ kTables[6][(lo >> 8) & 0xFFu] ^
+        kTables[5][(lo >> 16) & 0xFFu] ^ kTables[4][lo >> 24] ^
+        kTables[3][static_cast<std::uint8_t>(p[4])] ^
+        kTables[2][static_cast<std::uint8_t>(p[5])] ^
+        kTables[1][static_cast<std::uint8_t>(p[6])] ^
+        kTables[0][static_cast<std::uint8_t>(p[7])];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0)
+    c = (c >> 8) ^ kTables[0][(c ^ static_cast<std::uint8_t>(*p++)) & 0xFFu];
+  return ~c;
+}
+
+}  // namespace wivi::net

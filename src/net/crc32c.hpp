@@ -1,0 +1,35 @@
+/// @file
+/// CRC32C (Castagnoli) — the frame checksum of the wivi::net wire format.
+///
+/// Software slice-by-8 implementation: ~1 byte/cycle without any ISA
+/// extension, table-driven, allocation-free. The Castagnoli polynomial
+/// (0x1EDC6F41, reflected 0x82F63B78) is the iSCSI/ext4/DPDK choice — far
+/// better burst-error detection at frame sizes than CRC32 (IEEE), and the
+/// one a future SSE4.2 `crc32` fast path can drop in under without
+/// changing a single stored checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wivi::net {
+
+/// @addtogroup wivi_net
+/// @{
+
+/// Extend a running CRC32C over `data`. Seed a fresh computation with
+/// `crc == 0`; the returned value is the finalised checksum and also the
+/// continuation state (`crc32c(crc32c(0, a), b) == crc32c(0, a ++ b)`).
+[[nodiscard]] std::uint32_t crc32c(std::uint32_t crc,
+                                   std::span<const std::byte> data) noexcept;
+
+/// One-shot CRC32C of a buffer (crc32c(0, data)).
+[[nodiscard]] inline std::uint32_t crc32c(
+    std::span<const std::byte> data) noexcept {
+  return crc32c(0, data);
+}
+
+/// @}
+
+}  // namespace wivi::net

@@ -1,0 +1,248 @@
+#include "src/net/frame.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "src/common/error.hpp"
+#include "src/net/crc32c.hpp"
+
+namespace wivi::net {
+
+namespace {
+
+// Little-endian field accessors. Byte-at-a-time assembly keeps the wire
+// layout exact on any host endianness and alignment.
+std::uint16_t load_u16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+std::uint32_t load_u32(const std::byte* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t load_u64(const std::byte* p) noexcept {
+  return static_cast<std::uint64_t>(load_u32(p)) |
+         (static_cast<std::uint64_t>(load_u32(p + 4)) << 32);
+}
+void store_u16(std::byte* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>(v >> 8);
+}
+void store_u32(std::byte* p, std::uint32_t v) noexcept {
+  store_u16(p, static_cast<std::uint16_t>(v & 0xFFFF));
+  store_u16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+void store_u64(std::byte* p, std::uint64_t v) noexcept {
+  store_u32(p, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  store_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// CRC over the whole frame with the crc field treated as zero: the
+/// header bytes before the field, four zero bytes, then the payload.
+std::uint32_t frame_crc(std::span<const std::byte> header,
+                        std::span<const std::byte> payload) noexcept {
+  static constexpr std::byte kZeros[4] = {};
+  std::uint32_t c = crc32c(0, header.first(28));
+  c = crc32c(c, std::span<const std::byte>(kZeros, 4));
+  return crc32c(c, payload);
+}
+
+}  // namespace
+
+ParseStatus parse_frame(std::span<const std::byte> buf, FrameView& out,
+                        std::size_t* consumed) {
+  if (buf.size() < 4) {
+    // Not enough bytes to even check the magic; only call it kNeedMore if
+    // what we do have could be a magic prefix (stream resync relies on
+    // kBadMagic for definitely-garbage bytes).
+    static constexpr std::byte kMagicBytes[4] = {
+        std::byte{0x57}, std::byte{0x56}, std::byte{0x46}, std::byte{0x52}};
+    for (std::size_t i = 0; i < buf.size(); ++i)
+      if (buf[i] != kMagicBytes[i]) return ParseStatus::kBadMagic;
+    return ParseStatus::kNeedMore;
+  }
+  const std::byte* p = buf.data();
+  if (load_u32(p) != kFrameMagic) return ParseStatus::kBadMagic;
+  if (buf.size() < kHeaderSize) return ParseStatus::kNeedMore;
+
+  FrameHeader h;
+  const std::uint16_t version = load_u16(p + 4);
+  h.flags = load_u16(p + 6);
+  h.sensor_id = load_u32(p + 8);
+  h.payload_len = load_u32(p + 12);
+  h.chunk_seq = load_u64(p + 16);
+  h.frag_index = load_u16(p + 24);
+  h.frag_count = load_u16(p + 26);
+  const std::uint32_t crc = load_u32(p + 28);
+
+  // Reject in a fixed order so one malformed frame maps to one cause:
+  // version, flags, length, fragment coherence, then the checksum last
+  // (the only check that needs the payload bytes).
+  if (version != kWireVersion) return ParseStatus::kBadVersion;
+  if ((h.flags & ~kKnownFlags) != 0) return ParseStatus::kBadFlags;
+  if (h.payload_len > kMaxPayloadBytes) return ParseStatus::kBadLength;
+  if (h.frag_count == 0 || h.frag_index >= h.frag_count)
+    return ParseStatus::kBadFragment;
+  const std::size_t total = kHeaderSize + h.payload_len;
+  if (buf.size() < total) return ParseStatus::kNeedMore;
+
+  const std::span<const std::byte> payload = buf.subspan(kHeaderSize, h.payload_len);
+  if (frame_crc(buf, payload) != crc) return ParseStatus::kBadCrc;
+
+  out.header = h;
+  out.payload = payload;
+  if (consumed != nullptr) *consumed = total;
+  return ParseStatus::kOk;
+}
+
+std::vector<std::byte> encode_frame(const FrameHeader& header,
+                                    std::span<const std::byte> payload) {
+  WIVI_REQUIRE(payload.size() <= kMaxPayloadBytes,
+               "frame payload exceeds kMaxPayloadBytes");
+  WIVI_REQUIRE(header.frag_count >= 1 && header.frag_index < header.frag_count,
+               "incoherent fragment fields");
+  WIVI_REQUIRE((header.flags & ~kKnownFlags) == 0, "unknown frame flags");
+
+  std::vector<std::byte> frame(kHeaderSize + payload.size());
+  std::byte* p = frame.data();
+  store_u32(p, kFrameMagic);
+  store_u16(p + 4, kWireVersion);
+  store_u16(p + 6, header.flags);
+  store_u32(p + 8, header.sensor_id);
+  store_u32(p + 12, static_cast<std::uint32_t>(payload.size()));
+  store_u64(p + 16, header.chunk_seq);
+  store_u16(p + 24, header.frag_index);
+  store_u16(p + 26, header.frag_count);
+  store_u32(p + 28, 0);
+  if (!payload.empty())
+    std::memcpy(p + kHeaderSize, payload.data(), payload.size());
+  store_u32(p + 28, frame_crc(frame, payload));
+  return frame;
+}
+
+std::vector<std::byte> encode_samples(CSpan chunk) {
+  std::vector<std::byte> bytes(chunk.size() * kBytesPerSample);
+  std::byte* p = bytes.data();
+  for (cdouble z : chunk) {
+    store_u64(p, std::bit_cast<std::uint64_t>(z.real()));
+    store_u64(p + 8, std::bit_cast<std::uint64_t>(z.imag()));
+    p += kBytesPerSample;
+  }
+  return bytes;
+}
+
+CVec decode_samples(std::span<const std::byte> bytes) {
+  WIVI_REQUIRE(bytes.size() % kBytesPerSample == 0,
+               "sample byte length not a multiple of 16");
+  CVec out(bytes.size() / kBytesPerSample);
+  const std::byte* p = bytes.data();
+  for (cdouble& z : out) {
+    z = cdouble(std::bit_cast<double>(load_u64(p)),
+                std::bit_cast<double>(load_u64(p + 8)));
+    p += kBytesPerSample;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> chunk_to_frames(std::uint32_t sensor_id,
+                                                    std::uint64_t chunk_seq,
+                                                    CSpan chunk,
+                                                    std::size_t max_payload,
+                                                    std::uint16_t flags) {
+  WIVI_REQUIRE(max_payload >= kBytesPerSample, "max_payload below one sample");
+  if (max_payload > kMaxPayloadBytes) max_payload = kMaxPayloadBytes;
+  // Whole samples per fragment, so any prefix of fragments is decodable.
+  max_payload -= max_payload % kBytesPerSample;
+
+  const std::vector<std::byte> bytes = encode_samples(chunk);
+  const std::size_t nfrag =
+      bytes.empty() ? 1 : (bytes.size() + max_payload - 1) / max_payload;
+  WIVI_REQUIRE(nfrag <= 0xFFFF, "chunk needs more than 65535 fragments");
+
+  std::vector<std::vector<std::byte>> frames;
+  frames.reserve(nfrag);
+  for (std::size_t f = 0; f < nfrag; ++f) {
+    FrameHeader h;
+    h.flags = flags;
+    h.sensor_id = sensor_id;
+    h.chunk_seq = chunk_seq;
+    h.frag_index = static_cast<std::uint16_t>(f);
+    h.frag_count = static_cast<std::uint16_t>(nfrag);
+    const std::size_t off = f * max_payload;
+    const std::size_t len = bytes.empty()
+                                ? 0
+                                : std::min(max_payload, bytes.size() - off);
+    frames.push_back(encode_frame(
+        h, std::span<const std::byte>(bytes.data() + off, len)));
+  }
+  return frames;
+}
+
+StreamDecoder::StreamDecoder(std::size_t max_buffer)
+    : max_buffer_(max_buffer) {
+  WIVI_REQUIRE(max_buffer_ >= kHeaderSize + kMaxPayloadBytes,
+               "stream buffer must hold at least one maximal frame");
+}
+
+void StreamDecoder::push(std::span<const std::byte> data) {
+  compact();
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void StreamDecoder::compact() {
+  // Drop the consumed prefix so the buffer stays bounded by the unparsed
+  // tail (amortised O(1) per byte).
+  if (pos_ == 0) return;
+  buf_.erase(buf_.begin(),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+  pos_ = 0;
+}
+
+StreamDecoder::Result StreamDecoder::poll(FrameView& out) {
+  for (;;) {
+    const std::span<const std::byte> rest(buf_.data() + pos_,
+                                          buf_.size() - pos_);
+    if (rest.empty()) return Result::kNeedMore;
+
+    std::size_t consumed = 0;
+    const ParseStatus st = parse_frame(rest, out, &consumed);
+    switch (st) {
+      case ParseStatus::kOk:
+        pos_ += consumed;
+        return Result::kFrame;
+      case ParseStatus::kNeedMore:
+        if (rest.size() > max_buffer_) {
+          // A plausible header promising more than we will ever buffer:
+          // drop the prefix and resync (bounded-memory guarantee).
+          error_ = ParseStatus::kBadLength;
+          skipped_ += rest.size();
+          pos_ = buf_.size();
+          return Result::kReject;
+        }
+        return Result::kNeedMore;
+      case ParseStatus::kBadMagic: {
+        // Garbage byte(s): scan forward to the next candidate magic byte
+        // and charge the stream one rejection for the whole skip.
+        std::size_t skip = 1;
+        while (skip < rest.size() && rest[skip] != std::byte{0x57}) ++skip;
+        pos_ += skip;
+        skipped_ += skip;
+        error_ = ParseStatus::kBadMagic;
+        return Result::kReject;
+      }
+      default:
+        // A structurally-delimited bad frame (bad version/flags/length/
+        // fragment/crc). The header told us nothing trustworthy about its
+        // length, so resync exactly like garbage: skip the magic byte and
+        // rescan — but report the precise cause.
+        pos_ += 1;
+        skipped_ += 1;
+        error_ = st;
+        return Result::kReject;
+    }
+  }
+}
+
+}  // namespace wivi::net

@@ -1,0 +1,199 @@
+/// @file
+/// The wivi wire format: versioned, CRC-protected sample-chunk frames.
+///
+/// This is the load-bearing artifact of the ingress layer (DESIGN.md §13):
+/// everything downstream — parsing, reassembly, fuzzing, capture/replay —
+/// hangs off these exact bytes. One frame carries one fragment of one
+/// sample chunk from one sensor:
+///
+///   offset size field        notes (all integers little-endian)
+///        0    4 magic        0x52465657 ("WVFR" as bytes on the wire)
+///        4    2 version      kWireVersion; parsers reject others
+///        6    2 flags        bit 0 = end-of-stream; others must be zero
+///        8    4 sensor_id    which sensor's stream this belongs to
+///       12    4 payload_len  payload bytes following the header
+///       16    8 chunk_seq    per-sensor chunk sequence number
+///       24    2 frag_index   fragment position within the chunk
+///       26    2 frag_count   fragments in the chunk (>= 1)
+///       28    4 crc32c       over header (crc field zeroed) + payload
+///       32    – payload      frag_index'th slice of the chunk's samples
+///
+/// Payload bytes are the chunk's complex samples serialised as IEEE-754
+/// binary64 little-endian pairs (re, im) and sliced into fragments of at
+/// most kMaxPayloadBytes; a complete chunk's byte length must be a
+/// multiple of kBytesPerSample. A frame is exactly one UDP datagram; over
+/// TCP frames are laid back to back and StreamDecoder re-frames the byte
+/// stream (tolerating split/merged reads and resynchronising on garbage).
+///
+/// Versioning/compat policy (DESIGN.md §13): the header layout of version
+/// 1 is frozen. Additive evolution happens through new flag bits (a v1
+/// parser rejects frames using bits it does not know — fail closed);
+/// anything else bumps `version`, and a parser accepts exactly the
+/// versions it implements. Capture files record raw frames, so a capture
+/// is readable for as long as a parser for its frames' version exists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace wivi::net {
+
+/// @addtogroup wivi_net
+/// @{
+
+/// Wire magic: the bytes 'W','V','F','R' read as a little-endian u32.
+inline constexpr std::uint32_t kFrameMagic = 0x52465657u;
+/// The one wire-format version this library speaks.
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Fixed frame-header size in bytes.
+inline constexpr std::size_t kHeaderSize = 32;
+/// Hard cap on one frame's payload: header + payload always fit one UDP
+/// datagram (64 KiB) with room to spare.
+inline constexpr std::size_t kMaxPayloadBytes = 32 * 1024;
+/// Bytes one complex sample occupies on the wire (two binary64 values).
+inline constexpr std::size_t kBytesPerSample = 16;
+
+/// Frame flags (header `flags` field). Unknown bits are a parse error —
+/// the fail-closed half of the versioning policy.
+enum FrameFlags : std::uint16_t {
+  /// The sensor's stream ends after this chunk (a close_session marker).
+  kFlagEndOfStream = 1u << 0,
+};
+/// Every flag bit version 1 defines; the rest must be zero on the wire.
+inline constexpr std::uint16_t kKnownFlags = kFlagEndOfStream;
+
+/// Why a frame was rejected — the typed taxonomy every parse failure maps
+/// to (counted per cause by the receiver's `wivi_net_frames_rejected_*`
+/// metrics; never an exception, never a crash).
+enum class ParseStatus {
+  kOk = 0,       ///< a complete, checksummed frame was parsed
+  kNeedMore,     ///< stream mode: more bytes required (not an error)
+  kBadMagic,     ///< the buffer does not start with kFrameMagic
+  kBadVersion,   ///< a version this parser does not implement
+  kBadFlags,     ///< unknown flag bits set (fail closed)
+  kBadLength,    ///< payload_len over kMaxPayloadBytes, or datagram size
+                 ///  disagreeing with header + payload_len
+  kBadFragment,  ///< frag_count == 0 or frag_index >= frag_count
+  kBadCrc,       ///< checksum mismatch (corruption in header or payload)
+};
+
+/// Stable identifier string of a ParseStatus ("Ok", "BadCrc", ...).
+[[nodiscard]] constexpr const char* parse_status_name(
+    ParseStatus s) noexcept {
+  switch (s) {
+    case ParseStatus::kOk: return "Ok";
+    case ParseStatus::kNeedMore: return "NeedMore";
+    case ParseStatus::kBadMagic: return "BadMagic";
+    case ParseStatus::kBadVersion: return "BadVersion";
+    case ParseStatus::kBadFlags: return "BadFlags";
+    case ParseStatus::kBadLength: return "BadLength";
+    case ParseStatus::kBadFragment: return "BadFragment";
+    case ParseStatus::kBadCrc: return "BadCrc";
+  }
+  return "Unknown";
+}
+
+/// The decoded header fields of one frame.
+struct FrameHeader {
+  std::uint16_t flags = 0;        ///< FrameFlags bits in effect
+  std::uint32_t sensor_id = 0;    ///< originating sensor
+  std::uint32_t payload_len = 0;  ///< payload bytes in this frame
+  std::uint64_t chunk_seq = 0;    ///< per-sensor chunk sequence number
+  std::uint16_t frag_index = 0;   ///< fragment position within the chunk
+  std::uint16_t frag_count = 1;   ///< fragments making up the chunk
+};
+
+/// A zero-copy view of one parsed frame: decoded header plus a span over
+/// the payload bytes *inside the caller's buffer*. Valid only as long as
+/// that buffer is.
+struct FrameView {
+  FrameHeader header;                 ///< decoded header fields
+  std::span<const std::byte> payload; ///< payload bytes, not copied
+};
+
+/// Parse one frame from the front of `buf` without copying. On kOk,
+/// `out` views into `buf` and `*consumed` (when non-null) is the frame's
+/// total byte length. kNeedMore means `buf` holds a plausible frame
+/// prefix — datagram parsers should treat it as kBadLength (a datagram is
+/// never a prefix), stream parsers should read more bytes. Any other
+/// status is a typed rejection; `out` is unspecified.
+[[nodiscard]] ParseStatus parse_frame(std::span<const std::byte> buf,
+                                      FrameView& out,
+                                      std::size_t* consumed = nullptr);
+
+/// Serialise one frame: header fields + raw payload bytes, CRC computed
+/// here. `payload.size()` must be <= kMaxPayloadBytes and the fragment
+/// fields must be coherent (checked, InvalidArgument).
+[[nodiscard]] std::vector<std::byte> encode_frame(
+    const FrameHeader& header, std::span<const std::byte> payload);
+
+/// Serialise `chunk` as the samples-on-the-wire byte layout (binary64
+/// little-endian re/im pairs).
+[[nodiscard]] std::vector<std::byte> encode_samples(CSpan chunk);
+
+/// Decode the samples-on-the-wire byte layout back into complex samples.
+/// `bytes.size()` must be a multiple of kBytesPerSample (checked,
+/// InvalidArgument — callers validate first and reject, they don't catch).
+[[nodiscard]] CVec decode_samples(std::span<const std::byte> bytes);
+
+/// Slice one sample chunk into its wire frames: fragments of at most
+/// `max_payload` bytes (clamped to kMaxPayloadBytes), all carrying
+/// (sensor_id, chunk_seq), frag_index running 0..frag_count-1. An empty
+/// chunk yields one zero-payload frame (how kFlagEndOfStream travels:
+/// set `flags` on the last —only— fragment via the returned frames).
+[[nodiscard]] std::vector<std::vector<std::byte>> chunk_to_frames(
+    std::uint32_t sensor_id, std::uint64_t chunk_seq, CSpan chunk,
+    std::size_t max_payload = kMaxPayloadBytes, std::uint16_t flags = 0);
+
+/// Re-frames a TCP byte stream: push() appends received bytes (any split
+/// or merge the transport produced), poll() yields one parsed frame or
+/// one typed rejection at a time. After a rejection the decoder
+/// resynchronises by scanning forward for the next byte that could start
+/// a frame (the classic resync idiom), so one corrupt frame costs exactly
+/// one rejection, not the rest of the stream.
+class StreamDecoder {
+ public:
+  /// What poll() produced.
+  enum class Result {
+    kFrame,     ///< `out` holds the next parsed frame
+    kNeedMore,  ///< buffer exhausted; push() more bytes
+    kReject,    ///< a typed rejection (see last_error()); resync done
+  };
+
+  /// Cap on buffered-but-unparsed bytes. A stream that exceeds it loses
+  /// its buffered prefix (one kBadLength rejection) — the bound that
+  /// keeps a hostile peer from ballooning memory.
+  explicit StreamDecoder(std::size_t max_buffer = 4 * (kHeaderSize + kMaxPayloadBytes));
+
+  /// Append bytes received from the transport.
+  void push(std::span<const std::byte> data);
+
+  /// Extract the next frame or rejection. On kFrame, `out.payload` views
+  /// into the decoder's buffer and stays valid until the next push() or
+  /// poll().
+  [[nodiscard]] Result poll(FrameView& out);
+
+  /// The rejection cause of the last kReject result.
+  [[nodiscard]] ParseStatus last_error() const noexcept { return error_; }
+  /// Bytes skipped by resynchronisation scans so far.
+  [[nodiscard]] std::uint64_t bytes_skipped() const noexcept {
+    return skipped_;
+  }
+
+ private:
+  void compact();
+
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;  // parse cursor into buf_
+  std::size_t max_buffer_;
+  ParseStatus error_ = ParseStatus::kOk;
+  std::uint64_t skipped_ = 0;
+};
+
+/// @}
+
+}  // namespace wivi::net

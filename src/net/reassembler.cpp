@@ -1,0 +1,198 @@
+#include "src/net/reassembler.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace wivi::net {
+
+Reassembler::Reassembler(std::uint32_t sensor_id, Config cfg)
+    : sensor_id_(sensor_id), cfg_(cfg) {
+  WIVI_REQUIRE(cfg_.window_chunks >= 1, "reassembly window must be >= 1");
+  WIVI_REQUIRE(cfg_.max_chunk_bytes >= kBytesPerSample,
+               "max_chunk_bytes below one sample");
+}
+
+void Reassembler::feed(const FrameView& view, const ChunkSink& sink,
+                       const EndSink& end) {
+  const FrameHeader& h = view.header;
+  ++stats_.frames_in;
+
+  if (h.chunk_seq < next_seq_) {
+    ++stats_.frames_stale;  // already delivered or abandoned; a late dup
+    return;
+  }
+
+  // Window overflow: the new frame sits too far ahead of the delivery
+  // cursor. Force the cursor forward to make room, delivering what
+  // completed, abandoning stragglers and recording the never-seen
+  // sequence numbers as gaps — the wire lost them.
+  if (h.chunk_seq >= next_seq_ + cfg_.window_chunks) {
+    const std::uint64_t target = h.chunk_seq - cfg_.window_chunks + 1;
+    std::uint64_t seen_below = 0;
+    for (auto it = window_.begin();
+         it != window_.end() && it->first < target;) {
+      ++seen_below;
+      Partial& p = it->second;
+      if (!p.abandoned && p.received == p.frag_count)
+        deliver(it->first, p, sink, end);
+      else if (!p.abandoned)
+        abandon(p);
+      it = window_.erase(it);
+    }
+    stats_.chunk_gaps += (target - next_seq_) - seen_below;
+    next_seq_ = target;
+  }
+
+  auto [it, created] = window_.try_emplace(h.chunk_seq);
+  Partial& p = it->second;
+  if (created) {
+    p.frag_count = h.frag_count;
+    p.frags.resize(h.frag_count);
+    p.have.assign(h.frag_count, 0);
+  } else if (p.abandoned) {
+    ++stats_.frames_stale;  // chunk already given up on
+    return;
+  } else if (p.frag_count != h.frag_count) {
+    // Two frames of the same chunk disagree about its shape: corruption
+    // that survived the CRC (or a hostile sender). Keep the first story.
+    ++stats_.frames_decode_failed;
+    return;
+  }
+  if (p.have[h.frag_index]) {
+    ++stats_.frames_dup;
+    return;
+  }
+  p.have[h.frag_index] = 1;
+  p.frags[h.frag_index].assign(view.payload.begin(), view.payload.end());
+  ++p.received;
+  p.bytes += view.payload.size();
+  p.end_of_stream = p.end_of_stream || (h.flags & kFlagEndOfStream) != 0;
+  ++stats_.frames_in_flight;
+
+  if (p.bytes > cfg_.max_chunk_bytes)
+    abandon(p);  // keeps a tombstone so late fragments read as stale
+
+  deliver_ready(sink, end);
+}
+
+void Reassembler::deliver_ready(const ChunkSink& sink, const EndSink& end) {
+  while (!window_.empty()) {
+    auto it = window_.begin();
+    if (it->first != next_seq_) break;
+    Partial& p = it->second;
+    if (!p.abandoned && p.received != p.frag_count)
+      break;  // strict in-order delivery: wait for the head to complete
+    if (!p.abandoned) deliver(it->first, p, sink, end);
+    window_.erase(it);
+    ++next_seq_;
+  }
+}
+
+void Reassembler::deliver(std::uint64_t seq, Partial& p, const ChunkSink& sink,
+                          const EndSink& end) {
+  stats_.frames_in_flight -= p.received;
+
+  // Concatenate the fragments into the chunk's wire bytes.
+  std::vector<std::byte> bytes;
+  bytes.reserve(p.bytes);
+  for (const std::vector<std::byte>& f : p.frags)
+    bytes.insert(bytes.end(), f.begin(), f.end());
+
+  if (bytes.empty()) {
+    // Pure control chunk (end-of-stream marker): nothing to deliver.
+    stats_.frames_control += p.received;
+  } else if (bytes.size() % kBytesPerSample != 0) {
+    // Fragments assembled to a non-sample-aligned byte count — a torn or
+    // forged chunk. Typed discard, never an exception.
+    stats_.frames_decode_failed += p.received;
+  } else if (sink && sink(sensor_id_, seq, decode_samples(bytes))) {
+    stats_.frames_delivered += p.received;
+    ++stats_.chunks_delivered;
+    stats_.bytes_delivered += bytes.size();
+  } else {
+    stats_.frames_sink_dropped += p.received;
+    ++stats_.sink_dropped_chunks;
+  }
+
+  if (p.end_of_stream && end) end(sensor_id_);
+}
+
+void Reassembler::abandon(Partial& p) {
+  stats_.frames_in_flight -= p.received;
+  stats_.frames_evicted += p.received;
+  ++stats_.chunks_evicted;
+  p.frags.clear();
+  p.have.clear();
+  p.received = 0;
+  p.bytes = 0;
+  p.abandoned = true;
+}
+
+void Reassembler::flush(const ChunkSink& sink, const EndSink& end) {
+  std::uint64_t cursor = next_seq_;
+  for (auto& [seq, p] : window_) {
+    stats_.chunk_gaps += seq - cursor;
+    cursor = seq + 1;
+    if (p.abandoned) continue;
+    if (p.received == p.frag_count)
+      deliver(seq, p, sink, end);
+    else
+      abandon(p);
+  }
+  window_.clear();
+  next_seq_ = cursor;
+}
+
+Demux::Demux(Reassembler::Config cfg, ChunkSink sink, EndSink end,
+             std::size_t max_sensors)
+    : cfg_(cfg),
+      sink_(std::move(sink)),
+      end_(std::move(end)),
+      max_sensors_(max_sensors) {}
+
+void Demux::feed(const FrameView& view) {
+  const std::uint32_t id = view.header.sensor_id;
+  auto it = sensors_.find(id);
+  if (it == sensors_.end()) {
+    if (sensors_.size() >= max_sensors_) {
+      ++sensors_refused_;  // hostile sensor-id churn: refuse, don't grow
+      return;
+    }
+    it = sensors_.emplace(id, std::make_unique<Reassembler>(id, cfg_)).first;
+  }
+  it->second->feed(view, sink_, end_);
+}
+
+void Demux::flush() {
+  for (auto& [id, r] : sensors_) r->flush(sink_, end_);
+}
+
+Demux::Stats Demux::stats() const {
+  Stats sum;
+  for (const auto& [id, r] : sensors_) {
+    const Stats& s = r->stats();
+    sum.frames_in += s.frames_in;
+    sum.frames_delivered += s.frames_delivered;
+    sum.frames_dup += s.frames_dup;
+    sum.frames_stale += s.frames_stale;
+    sum.frames_evicted += s.frames_evicted;
+    sum.frames_decode_failed += s.frames_decode_failed;
+    sum.frames_sink_dropped += s.frames_sink_dropped;
+    sum.frames_control += s.frames_control;
+    sum.frames_in_flight += s.frames_in_flight;
+    sum.chunks_delivered += s.chunks_delivered;
+    sum.chunks_evicted += s.chunks_evicted;
+    sum.chunk_gaps += s.chunk_gaps;
+    sum.bytes_delivered += s.bytes_delivered;
+    sum.sink_dropped_chunks += s.sink_dropped_chunks;
+  }
+  return sum;
+}
+
+const Reassembler* Demux::sensor(std::uint32_t id) const {
+  auto it = sensors_.find(id);
+  return it == sensors_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace wivi::net

@@ -1,0 +1,177 @@
+/// @file
+/// Per-sensor chunk reassembly: the RxProc/reassembler split of the
+/// ingress layer (DESIGN.md §13).
+///
+/// The transport hands us parsed frames in whatever order the wire
+/// produced — lost, duplicated, reordered, fragmented. One Reassembler
+/// per sensor turns that back into the sensor's in-order chunk stream:
+/// fragments are collected per chunk_seq, completed chunks are delivered
+/// strictly in sequence order, and a bounded out-of-order window decides
+/// how long to wait for stragglers before declaring a gap and moving on.
+/// Loss, reordering and duplication are the wire's *normal* state, so
+/// every outcome is first-class accounting, not an error path: the Stats
+/// fields below are exhaustive — every accepted frame ends in exactly one
+/// of delivered / duplicate / evicted / stale / decode-failed /
+/// sink-dropped / control / in-flight, which is the conservation law the
+/// tests and the `wivi_net_*` metrics pin end to end.
+///
+/// Demux is the layer above: it routes FrameViews to per-sensor
+/// Reassemblers, creates them on first sight, owns the aggregate
+/// accounting, and is the *shared* code path of the live Receiver and the
+/// capture Replayer — the reason a replay is bit-identical to the live
+/// run is that both feed the exact same bytes through this exact class.
+///
+/// Threading: single-threaded, like the parser. The Receiver runs one
+/// Demux on its I/O thread; completed chunks leave through the sink
+/// callback (which typically does a lock-free SpscRing push).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/net/frame.hpp"
+
+namespace wivi::net {
+
+/// @addtogroup wivi_net
+/// @{
+
+/// Where completed chunks go. Return false to refuse the chunk (ring
+/// full): the reassembler counts its frames as sink-dropped and moves on
+/// — the overload drop is explicit and observable, never a stall.
+using ChunkSink = std::function<bool(std::uint32_t sensor_id,
+                                     std::uint64_t chunk_seq, CVec&& chunk)>;
+/// End-of-stream notification (a frame with kFlagEndOfStream completed).
+using EndSink = std::function<void(std::uint32_t sensor_id)>;
+
+/// Reassembles one sensor's frame stream into its in-order chunk stream.
+class Reassembler {
+ public:
+  /// Tuning knobs (shared by every sensor of a Demux).
+  struct Config {
+    /// Out-of-order window in chunk sequence numbers: how far ahead of
+    /// the delivery cursor a frame may land before the cursor is forced
+    /// forward (declaring gaps / evicting stragglers). Must be >= 1.
+    std::uint64_t window_chunks = 8;
+    /// Hard cap on one reassembling chunk's payload bytes; a chunk
+    /// growing past it is abandoned (its frames counted as evicted).
+    std::size_t max_chunk_bytes = 1 << 20;
+  };
+
+  /// Exhaustive frame accounting (see the file comment's conservation
+  /// law). All counts are frames except where named otherwise.
+  struct Stats {
+    std::uint64_t frames_in = 0;        ///< frames accepted into reassembly
+    std::uint64_t frames_delivered = 0; ///< frames of delivered chunks
+    std::uint64_t frames_dup = 0;       ///< duplicate fragment arrivals
+    std::uint64_t frames_stale = 0;     ///< seq already delivered/abandoned
+    std::uint64_t frames_evicted = 0;   ///< dropped with a window eviction
+    std::uint64_t frames_decode_failed = 0; ///< chunk bytes not sample-aligned
+    std::uint64_t frames_sink_dropped = 0;  ///< sink refused (ring full)
+    std::uint64_t frames_control = 0;   ///< zero-payload end-of-stream marks
+    std::uint64_t frames_in_flight = 0; ///< buffered in partial chunks now
+    std::uint64_t chunks_delivered = 0; ///< complete chunks handed out
+    std::uint64_t chunks_evicted = 0;   ///< partial chunks abandoned
+    std::uint64_t chunk_gaps = 0;       ///< sequence numbers never seen
+    std::uint64_t bytes_delivered = 0;  ///< payload bytes handed out
+    std::uint64_t sink_dropped_chunks = 0; ///< complete chunks refused
+  };
+
+  /// One sensor's reassembler with the given window configuration.
+  Reassembler(std::uint32_t sensor_id, Config cfg);
+
+  /// Feed one parsed frame (already validated by parse_frame; `view`'s
+  /// payload is copied into the partial chunk, the only copy between
+  /// socket buffer and the delivered CVec). Completed chunks are
+  /// delivered to `sink` in chunk_seq order; `end` (nullable) fires when
+  /// an end-of-stream chunk completes.
+  void feed(const FrameView& view, const ChunkSink& sink, const EndSink& end);
+
+  /// Deliver everything still deliverable and abandon the rest: called at
+  /// stream teardown so in-flight frames drain to a terminal bucket.
+  void flush(const ChunkSink& sink, const EndSink& end);
+
+  /// The exhaustive accounting so far.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Next chunk_seq the delivery cursor is waiting for.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
+
+ private:
+  /// One chunk being reassembled (or its tombstone once abandoned).
+  struct Partial {
+    std::vector<std::vector<std::byte>> frags;  ///< payloads by frag_index
+    std::vector<char> have;    ///< per-fragment arrival bitmap
+    std::size_t received = 0;  ///< fragments present
+    std::size_t bytes = 0;     ///< payload bytes present
+    std::uint16_t frag_count = 1;
+    bool end_of_stream = false;
+    /// Abandoned chunks keep a tombstone in the window so late fragments
+    /// read as stale instead of resurrecting the chunk.
+    bool abandoned = false;
+  };
+
+  void deliver_ready(const ChunkSink& sink, const EndSink& end);
+  void deliver(std::uint64_t seq, Partial& p, const ChunkSink& sink,
+               const EndSink& end);
+  void abandon(Partial& p);
+
+  std::uint32_t sensor_id_;
+  Config cfg_;
+  Stats stats_;
+  std::uint64_t next_seq_ = 0;  ///< delivery cursor
+  /// Partial (and complete-but-out-of-order) chunks keyed by chunk_seq,
+  /// all in [next_seq_, next_seq_ + window). Ordered map: delivery walks
+  /// it in sequence order; the window bounds its size.
+  std::map<std::uint64_t, Partial> window_;
+};
+
+/// Routes parsed frames to per-sensor Reassemblers — the shared spine of
+/// the live Receiver and the capture Replayer.
+class Demux {
+ public:
+  /// Aggregate view over every sensor (sums of the per-sensor Stats).
+  using Stats = Reassembler::Stats;
+
+  /// A demux delivering to `sink`/`end` with per-sensor windows built
+  /// from `cfg`. `max_sensors` bounds the sensor table against hostile
+  /// sensor-id churn; frames from sensors past the cap are counted as
+  /// refused, not crashed on.
+  Demux(Reassembler::Config cfg, ChunkSink sink, EndSink end = nullptr,
+        std::size_t max_sensors = 1024);
+
+  /// Feed one parsed frame to its sensor's reassembler.
+  void feed(const FrameView& view);
+
+  /// Flush every sensor's reassembler (stream teardown).
+  void flush();
+
+  /// Sum of every sensor's accounting.
+  [[nodiscard]] Stats stats() const;
+  /// Frames refused because the sensor table was full.
+  [[nodiscard]] std::uint64_t sensors_refused() const noexcept {
+    return sensors_refused_;
+  }
+  /// Per-sensor accounting (nullptr for a sensor never seen).
+  [[nodiscard]] const Reassembler* sensor(std::uint32_t id) const;
+  /// Number of distinct sensors seen.
+  [[nodiscard]] std::size_t num_sensors() const noexcept {
+    return sensors_.size();
+  }
+
+ private:
+  Reassembler::Config cfg_;
+  ChunkSink sink_;
+  EndSink end_;
+  std::size_t max_sensors_;
+  std::uint64_t sensors_refused_ = 0;
+  std::map<std::uint32_t, std::unique_ptr<Reassembler>> sensors_;
+};
+
+/// @}
+
+}  // namespace wivi::net

@@ -1,0 +1,107 @@
+#include "src/net/wire_fault.hpp"
+
+#include <utility>
+
+#include "src/common/error.hpp"
+#include "src/fault/fault.hpp"
+
+namespace wivi::net {
+
+namespace {
+// Per-kind salts, disjoint from FaultyFeeder's (those live in fault.cpp;
+// these are frame-layer decisions keyed off the same splitmix64).
+constexpr std::uint64_t kSaltDrop = 0xF0D0;
+constexpr std::uint64_t kSaltDup = 0xF0D1;
+constexpr std::uint64_t kSaltReorder = 0xF0D2;
+constexpr std::uint64_t kSaltTrunc = 0xF0D3;
+constexpr std::uint64_t kSaltTruncLen = 0xF0D4;
+constexpr std::uint64_t kSaltCorrupt = 0xF0D5;
+constexpr std::uint64_t kSaltCorruptPos = 0xF0D6;
+}  // namespace
+
+FaultyWire::FaultyWire(WireFaultSpec spec) : spec_(spec) {
+  const double probs[] = {spec_.drop_prob, spec_.duplicate_prob,
+                          spec_.reorder_prob, spec_.truncate_prob,
+                          spec_.corrupt_prob};
+  for (double p : probs)
+    WIVI_REQUIRE(p >= 0.0 && p <= 1.0, "wire-fault probabilities in [0,1]");
+}
+
+std::uint64_t FaultyWire::key(std::uint64_t salt) const noexcept {
+  return fault::splitmix64(spec_.seed ^
+                           fault::splitmix64(index_ ^ (salt * 0x2545F4914F6CDD1Dull)));
+}
+
+bool FaultyWire::chance(std::uint64_t salt, double prob) const noexcept {
+  if (prob <= 0.0) return false;
+  const double u = static_cast<double>(key(salt) >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+void FaultyWire::transmit(
+    std::vector<std::byte>&& frame,
+    const std::function<void(std::vector<std::byte>&&)>& emit) {
+  ++stats_.delivered;
+  emit(std::move(frame));
+}
+
+void FaultyWire::feed(
+    std::vector<std::byte> frame,
+    const std::function<void(std::vector<std::byte>&&)>& emit) {
+  ++stats_.frames_in;
+
+  if (chance(kSaltDrop, spec_.drop_prob)) {
+    ++stats_.dropped;
+    ++index_;
+    return;
+  }
+  if (chance(kSaltTrunc, spec_.truncate_prob) && frame.size() > 1) {
+    // A random proper prefix — mostly lands inside the payload, so the
+    // CRC (or a datagram-length check) must reject it.
+    const std::size_t len = 1 + key(kSaltTruncLen) % (frame.size() - 1);
+    frame.resize(len);
+    ++stats_.truncated;
+  }
+  if (chance(kSaltCorrupt, spec_.corrupt_prob) && !frame.empty()) {
+    const std::size_t pos = key(kSaltCorruptPos) % frame.size();
+    frame[pos] ^= std::byte{0x20};
+    ++stats_.corrupted;
+  }
+  const bool dup = chance(kSaltDup, spec_.duplicate_prob);
+  const bool swap = chance(kSaltReorder, spec_.reorder_prob);
+  ++index_;
+
+  if (have_held_) {
+    // A previous frame is waiting to be overtaken: send the current one
+    // first, then the held one.
+    std::vector<std::byte> late = std::move(held_);
+    have_held_ = false;
+    if (dup) {
+      ++stats_.duplicated;
+      transmit(std::vector<std::byte>(frame), emit);
+    }
+    transmit(std::move(frame), emit);
+    transmit(std::move(late), emit);
+    return;
+  }
+  if (swap) {
+    ++stats_.reordered;
+    held_ = std::move(frame);
+    have_held_ = true;
+    return;
+  }
+  if (dup) {
+    ++stats_.duplicated;
+    transmit(std::vector<std::byte>(frame), emit);
+  }
+  transmit(std::move(frame), emit);
+}
+
+void FaultyWire::flush(
+    const std::function<void(std::vector<std::byte>&&)>& emit) {
+  if (!have_held_) return;
+  have_held_ = false;
+  transmit(std::move(held_), emit);
+}
+
+}  // namespace wivi::net

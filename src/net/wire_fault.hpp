@@ -1,0 +1,94 @@
+/// @file
+/// Deterministic wire-level fault injection: the frame-layer sibling of
+/// wivi::fault's chunk-layer FaultyFeeder.
+///
+/// FaultyWire sits between a frame producer (net::Sender, a test, the
+/// loopback generator) and the wire, perturbing the encoded-frame stream
+/// with the faults a datagram transport produces: dropped, duplicated,
+/// reordered, truncated and bit-corrupted frames. Every decision is a
+/// pure fault::splitmix64 hash of (seed, frame index, fault kind) —
+/// exactly the FaultyFeeder idiom — so a wire-fault plan is
+/// bit-reproducible per seed regardless of timing or call pattern, and
+/// the chaos CI job can exercise the parser/reassembler recovery paths
+/// deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/net/frame.hpp"
+
+namespace wivi::net {
+
+/// @addtogroup wivi_net
+/// @{
+
+/// Declarative frame-fault plan. Probabilities are per frame in [0, 1],
+/// drawn independently per fault kind.
+struct WireFaultSpec {
+  /// Seed of every decision; equal spec + equal frame stream ⇒ identical
+  /// fault sequence.
+  std::uint64_t seed = 1;
+
+  /// Frame never sent (datagram loss).
+  double drop_prob = 0.0;
+  /// Frame sent twice back to back (duplicate delivery).
+  double duplicate_prob = 0.0;
+  /// Frame swapped with the next surviving frame (late datagram).
+  double reorder_prob = 0.0;
+  /// Frame cut to a random proper prefix (torn write / MTU bug).
+  double truncate_prob = 0.0;
+  /// One random byte of the frame flipped (checksum must catch it).
+  double corrupt_prob = 0.0;
+};
+
+/// Applies a WireFaultSpec to a stream of encoded frames.
+class FaultyWire {
+ public:
+  /// What the plan actually did (ground truth the chaos tests reconcile
+  /// receiver metrics against).
+  struct Stats {
+    std::uint64_t frames_in = 0;    ///< frames offered to the wire
+    std::uint64_t delivered = 0;    ///< frames emitted (faulted or not)
+    std::uint64_t dropped = 0;      ///< frames never emitted
+    std::uint64_t duplicated = 0;   ///< extra copies emitted
+    std::uint64_t reordered = 0;    ///< frames swapped with a successor
+    std::uint64_t truncated = 0;    ///< frames cut to a prefix
+    std::uint64_t corrupted = 0;    ///< frames with a flipped byte
+  };
+
+  /// A wire with the given fault plan (probabilities validated,
+  /// InvalidArgument outside [0, 1]).
+  explicit FaultyWire(WireFaultSpec spec);
+
+  /// Offer one encoded frame; `emit` is called zero, one or two times
+  /// with the frames that actually cross the wire (in wire order).
+  void feed(std::vector<std::byte> frame,
+            const std::function<void(std::vector<std::byte>&&)>& emit);
+
+  /// Release a held reordered frame (call at end of stream).
+  void flush(const std::function<void(std::vector<std::byte>&&)>& emit);
+
+  /// Injection counters so far.
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// The plan.
+  [[nodiscard]] const WireFaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  [[nodiscard]] bool chance(std::uint64_t salt, double prob) const noexcept;
+  [[nodiscard]] std::uint64_t key(std::uint64_t salt) const noexcept;
+  void transmit(std::vector<std::byte>&& frame,
+                const std::function<void(std::vector<std::byte>&&)>& emit);
+
+  WireFaultSpec spec_;
+  Stats stats_;
+  std::uint64_t index_ = 0;  ///< next frame's decision index
+  std::vector<std::byte> held_;
+  bool have_held_ = false;
+};
+
+/// @}
+
+}  // namespace wivi::net

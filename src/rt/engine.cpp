@@ -320,6 +320,20 @@ Engine::EngineStats Engine::stats() const {
   st.plan_resident_bytes = ps.resident_bytes;
   st.ingress_wait = m_.ingress_wait_ns.snapshot();
   st.chunk_latency = m_.chunk_latency_ns.snapshot();
+  // Network-ingress mirror: a net::Receiver constructed with this
+  // engine's registry() interns the wivi_net_* family there; reading it
+  // back by name keeps rt free of a compile-time dependency on net.
+  const obs::Snapshot reg = registry_.snapshot();
+  st.net_frames_in = reg.counter_value("wivi_net_frames_in_total");
+  st.net_frames_accepted = reg.counter_value("wivi_net_frames_accepted_total");
+  st.net_frames_rejected = reg.counter_value("wivi_net_frames_rejected_total");
+  st.net_frames_dup = reg.counter_value("wivi_net_frames_dup_total");
+  st.net_frames_evicted = reg.counter_value("wivi_net_frames_evicted_total");
+  st.net_frames_in_flight = reg.counter_value("wivi_net_frames_in_flight");
+  st.net_chunks_delivered = reg.counter_value("wivi_net_chunks_delivered_total");
+  st.net_chunk_gaps = reg.counter_value("wivi_net_chunk_gaps_total");
+  st.net_ring_full_drops = reg.counter_value("wivi_net_ring_full_drops_total");
+  st.net_bytes_in = reg.counter_value("wivi_net_bytes_in_total");
   return st;
 }
 

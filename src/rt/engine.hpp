@@ -309,6 +309,21 @@ class Engine {
     std::uint64_t plan_ghost_hits = 0;   ///< misses that matched an evicted key
     std::uint64_t plan_resident_plans = 0;  ///< gauge: plans resident now
     std::uint64_t plan_resident_bytes = 0;  ///< gauge: bytes resident now
+    // Network-ingress counters: the `wivi_net_*` family a net::Receiver
+    // registers when constructed with this engine's registry() (all zero
+    // when no receiver is bound). The wire boundary obeys
+    // frames_in == accepted + rejected; accepted frames then follow the
+    // reassembly conservation law (src/net/reassembler.hpp).
+    std::uint64_t net_frames_in = 0;        ///< frames presented to the parser
+    std::uint64_t net_frames_accepted = 0;  ///< frames parsed and routed
+    std::uint64_t net_frames_rejected = 0;  ///< typed parse rejections
+    std::uint64_t net_frames_dup = 0;       ///< duplicate fragment arrivals
+    std::uint64_t net_frames_evicted = 0;   ///< frames lost to window evictions
+    std::uint64_t net_frames_in_flight = 0; ///< gauge: frames in partial chunks
+    std::uint64_t net_chunks_delivered = 0; ///< complete chunks handed to sinks
+    std::uint64_t net_chunk_gaps = 0;       ///< chunk sequence numbers never seen
+    std::uint64_t net_ring_full_drops = 0;  ///< chunks refused by a full ring
+    std::uint64_t net_bytes_in = 0;         ///< wire bytes received
     obs::HistogramSnapshot ingress_wait;  ///< offer→pop ring wait, ns
     obs::HistogramSnapshot chunk_latency; ///< offer→processed latency, ns
   };

@@ -1,0 +1,32 @@
+#include "src/sim/netfeed.hpp"
+
+namespace wivi::sim {
+
+std::size_t NetFeeder::feed(ChunkedTrace& trace, bool end) {
+  std::size_t n = 0;
+  CVec chunk;
+  while (trace.next(chunk)) {
+    sender_.send_chunk(sensor_id_, chunk);
+    ++n;
+  }
+  if (end) sender_.send_end(sensor_id_);
+  sent_ += n;
+  return n;
+}
+
+std::size_t NetFeeder::feed(fault::FaultyFeeder& feeder, bool end) {
+  std::size_t n = 0;
+  CVec chunk;
+  for (;;) {
+    const fault::FaultAction action = feeder.next(chunk);
+    if (action == fault::FaultAction::kEnd) break;
+    if (action == fault::FaultAction::kGap) continue;
+    sender_.send_chunk(sensor_id_, chunk);
+    ++n;
+  }
+  if (end) sender_.send_end(sensor_id_);
+  sent_ += n;
+  return n;
+}
+
+}  // namespace wivi::sim

@@ -1,0 +1,50 @@
+/// @file
+/// Loopback traffic generation: simulated captures pushed over the real
+/// network ingress.
+///
+/// NetFeeder is the driver the loopback tests, bench_net and
+/// tools/wivi_capture use to exercise the full wire path: it walks a
+/// sim::ChunkedTrace (or a fault::FaultyFeeder's perturbed chunk stream)
+/// and sends every chunk through a net::Sender as one sensor's framed
+/// stream, finishing with the end-of-stream mark. Combined with a
+/// net::Receiver bound to an rt::Engine, this closes the loop
+/// scene → chunks → frames → sockets → reassembly → engine sessions
+/// with the exact same chunking an in-process feed would use — which is
+/// what the live-vs-network parity tests pin.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/fault/fault.hpp"
+#include "src/net/sender.hpp"
+#include "src/sim/feeder.hpp"
+
+namespace wivi::sim {
+
+/// Streams chunked traces over a net::Sender as one sensor.
+class NetFeeder {
+ public:
+  /// Feed `sensor_id`'s stream through `sender` (not owned).
+  NetFeeder(net::Sender& sender, std::uint32_t sensor_id)
+      : sender_(sender), sensor_id_(sensor_id) {}
+
+  /// Send every remaining chunk of `trace`, then (when `end`) the
+  /// end-of-stream mark. Returns chunks sent.
+  std::size_t feed(ChunkedTrace& trace, bool end = true);
+
+  /// Send a FaultyFeeder's perturbed chunk stream (silence gaps produce
+  /// nothing on the wire — a gap simply sends no frames), then the
+  /// end-of-stream mark. Returns chunks sent.
+  std::size_t feed(fault::FaultyFeeder& feeder, bool end = true);
+
+  /// Chunks sent over this feeder's lifetime.
+  [[nodiscard]] std::size_t chunks_sent() const noexcept { return sent_; }
+
+ private:
+  net::Sender& sender_;
+  std::uint32_t sensor_id_;
+  std::size_t sent_ = 0;
+};
+
+}  // namespace wivi::sim

@@ -1,0 +1,87 @@
+// Shared helpers for the net test suites: bit-exact serialisation of a
+// session's engine event stream (the "event log" the live-vs-network and
+// capture-vs-replay parity tests byte-compare), plus small trace/chunk
+// builders. Doubles are serialised as their IEEE-754 bit patterns in hex,
+// so two logs compare equal iff every value is bit-identical — an
+// approximate match is a parity failure by design.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/rt/engine.hpp"
+#include "src/sim/feeder.hpp"
+#include "src/sim/synthetic.hpp"
+
+namespace wivi::nettest {
+
+inline void put_f64(std::ostringstream& os, double v) {
+  os << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec << ',';
+}
+
+/// Serialise one session's events (in queue order) to a byte-comparable
+/// log. Only deterministic event kinds appear; timing-driven kinds
+/// (kStats, kStalled) are excluded so wall-clock noise cannot fail a
+/// parity compare.
+inline std::string event_log(const std::vector<rt::Event>& events,
+                             rt::SessionId id) {
+  std::ostringstream os;
+  for (const rt::Event& e : events) {
+    if (e.session != id) continue;
+    switch (e.type) {
+      case rt::Event::Type::kColumn:
+        os << "col:" << e.column_index << ':' << e.model_order << ':';
+        put_f64(os, e.time_sec);
+        for (double v : e.column) put_f64(os, v);
+        break;
+      case rt::Event::Type::kCount:
+        os << "cnt:" << e.columns_seen << ':';
+        put_f64(os, e.spatial_variance);
+        break;
+      case rt::Event::Type::kBits:
+        os << "bit:";
+        for (const auto& b : e.bits) {
+          os << static_cast<int>(b.value) << ':';
+          put_f64(os, b.time_sec);
+          put_f64(os, b.snr_db);
+        }
+        break;
+      case rt::Event::Type::kTracks:
+        os << "trk:" << e.num_confirmed << ':' << e.columns_seen;
+        break;
+      case rt::Event::Type::kFinished:
+        os << "fin:" << e.columns_seen << ':' << e.num_confirmed << ':';
+        put_f64(os, e.spatial_variance);
+        break;
+      case rt::Event::Type::kError:
+        os << "err:" << error_code_name(e.code);
+        break;
+      case rt::Event::Type::kRecovered:
+        os << "rec:" << e.restarts;
+        break;
+      case rt::Event::Type::kOverload:
+        os << "ovl:" << e.degraded << ':' << e.fidelity;
+        break;
+      case rt::Event::Type::kStalled:
+      case rt::Event::Type::kStats:
+        continue;  // wall-clock driven: excluded from parity logs
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+/// A cheap deterministic chunked feed (no room simulation).
+inline sim::ChunkedTrace make_feed(std::size_t samples, std::uint64_t seed,
+                                   std::size_t chunk_len) {
+  sim::TraceResult tr;
+  tr.h = sim::synthetic_mover_trace(samples, seed, 0.4);
+  tr.sample_rate_hz = 312.5;
+  return sim::ChunkedTrace(std::move(tr), chunk_len);
+}
+
+}  // namespace wivi::nettest

@@ -1,0 +1,600 @@
+// wivi::net wire format + reassembly: CRC32C known answers, frame
+// encode/parse round trips, the typed rejection taxonomy (a malformed
+// frame is a classified reject, never an exception), TCP stream
+// re-framing with resynchronisation, per-sensor reassembly under
+// reordering / duplication / loss / fragmentation, the exhaustive frame
+// conservation law, and the deterministic wire-level fault injector.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/fault/fault.hpp"
+#include "src/net/crc32c.hpp"
+#include "src/net/frame.hpp"
+#include "src/net/reassembler.hpp"
+#include "src/net/wire_fault.hpp"
+
+namespace wivi {
+namespace {
+
+using net::FrameHeader;
+using net::FrameView;
+using net::ParseStatus;
+
+std::vector<std::byte> bytes_of(const char* s) {
+  std::vector<std::byte> out(std::strlen(s));
+  std::memcpy(out.data(), s, out.size());
+  return out;
+}
+
+CVec ramp_chunk(std::size_t n, double base = 0.0) {
+  CVec c(n);
+  for (std::size_t i = 0; i < n; ++i)
+    c[i] = cdouble(base + static_cast<double>(i), -static_cast<double>(i));
+  return c;
+}
+
+void expect_chunks_bitwise_equal(const CVec& a, const CVec& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(cdouble)), 0);
+}
+
+/// The exhaustive accounting identity every reassembler state must obey.
+void expect_conservation(const net::Reassembler::Stats& s) {
+  EXPECT_EQ(s.frames_in,
+            s.frames_delivered + s.frames_dup + s.frames_stale +
+                s.frames_evicted + s.frames_decode_failed +
+                s.frames_sink_dropped + s.frames_control + s.frames_in_flight);
+}
+
+/// A sink collecting (sensor, seq, chunk) triples; can be told to refuse.
+struct Collector {
+  struct Item {
+    std::uint32_t sensor;
+    std::uint64_t seq;
+    CVec chunk;
+  };
+  std::vector<Item> items;
+  std::vector<std::uint32_t> ends;
+  bool accept = true;
+
+  net::ChunkSink sink() {
+    return [this](std::uint32_t sensor, std::uint64_t seq, CVec&& chunk) {
+      if (!accept) return false;
+      items.push_back({sensor, seq, std::move(chunk)});
+      return true;
+    };
+  }
+  net::EndSink end_sink() {
+    return [this](std::uint32_t sensor) { ends.push_back(sensor); };
+  }
+};
+
+// ------------------------------------------------------------- crc32c ---
+
+TEST(Crc32c, KnownAnswer) {
+  // The Castagnoli check value: CRC32C("123456789") == 0xE3069283.
+  EXPECT_EQ(net::crc32c(bytes_of("123456789")), 0xE3069283u);
+  EXPECT_EQ(net::crc32c(std::span<const std::byte>{}), 0u);
+}
+
+TEST(Crc32c, ContinuationEqualsOneShot) {
+  const std::vector<std::byte> data = bytes_of("the quick brown fox 0123456789");
+  const std::uint32_t whole = net::crc32c(data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t c = net::crc32c(0, std::span(data).first(split));
+    c = net::crc32c(c, std::span(data).subspan(split));
+    EXPECT_EQ(c, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, SensitiveToEveryByte) {
+  std::vector<std::byte> data = bytes_of("abcdefgh12345678");
+  const std::uint32_t base = net::crc32c(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= std::byte{1};
+    EXPECT_NE(net::crc32c(data), base) << "byte " << i;
+    data[i] ^= std::byte{1};
+  }
+}
+
+// ------------------------------------------------------- frame codec ---
+
+TEST(Frame, SamplesRoundTripBitExact) {
+  const CVec chunk = ramp_chunk(37, 0.25);
+  const std::vector<std::byte> wire = net::encode_samples(chunk);
+  EXPECT_EQ(wire.size(), chunk.size() * net::kBytesPerSample);
+  expect_chunks_bitwise_equal(chunk, net::decode_samples(wire));
+}
+
+TEST(Frame, EncodeParseRoundTrip) {
+  FrameHeader h;
+  h.flags = net::kFlagEndOfStream;
+  h.sensor_id = 0xA1B2C3D4u;
+  h.chunk_seq = 0x1122334455667788ull;
+  h.frag_index = 2;
+  h.frag_count = 5;
+  const std::vector<std::byte> payload = bytes_of("payload-bytes!!!");
+  const std::vector<std::byte> frame = net::encode_frame(h, payload);
+  ASSERT_EQ(frame.size(), net::kHeaderSize + payload.size());
+
+  FrameView v;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::parse_frame(frame, v, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, frame.size());
+  EXPECT_EQ(v.header.flags, h.flags);
+  EXPECT_EQ(v.header.sensor_id, h.sensor_id);
+  EXPECT_EQ(v.header.chunk_seq, h.chunk_seq);
+  EXPECT_EQ(v.header.frag_index, h.frag_index);
+  EXPECT_EQ(v.header.frag_count, h.frag_count);
+  EXPECT_EQ(v.header.payload_len, payload.size());
+  ASSERT_EQ(v.payload.size(), payload.size());
+  EXPECT_EQ(std::memcmp(v.payload.data(), payload.data(), payload.size()), 0);
+  // Zero-copy: the payload view aliases the input buffer.
+  EXPECT_EQ(v.payload.data(), frame.data() + net::kHeaderSize);
+}
+
+TEST(Frame, WireLayoutIsLittleEndianAndStable) {
+  FrameHeader h;
+  h.sensor_id = 7;
+  h.chunk_seq = 9;
+  const std::vector<std::byte> frame = net::encode_frame(h, {});
+  // "WVFR" magic bytes on the wire, version 1 LE at offset 4.
+  EXPECT_EQ(frame[0], std::byte{0x57});
+  EXPECT_EQ(frame[1], std::byte{0x56});
+  EXPECT_EQ(frame[2], std::byte{0x46});
+  EXPECT_EQ(frame[3], std::byte{0x52});
+  EXPECT_EQ(frame[4], std::byte{0x01});
+  EXPECT_EQ(frame[5], std::byte{0x00});
+  EXPECT_EQ(frame[8], std::byte{0x07});   // sensor_id LE
+  EXPECT_EQ(frame[16], std::byte{0x09});  // chunk_seq LE
+}
+
+TEST(Frame, RejectionTaxonomy) {
+  const std::vector<std::byte> payload = bytes_of("0123456789abcdef");
+  FrameHeader h;
+  h.sensor_id = 1;
+  const std::vector<std::byte> good = net::encode_frame(h, payload);
+  FrameView v;
+
+  auto mutate = [&](std::size_t off, std::byte val) {
+    std::vector<std::byte> f = good;
+    f[off] = val;
+    return f;
+  };
+
+  EXPECT_EQ(net::parse_frame(mutate(0, std::byte{0x00}), v),
+            ParseStatus::kBadMagic);
+  EXPECT_EQ(net::parse_frame(mutate(4, std::byte{0x02}), v),
+            ParseStatus::kBadVersion);
+  EXPECT_EQ(net::parse_frame(mutate(6, std::byte{0x02}), v),
+            ParseStatus::kBadFlags);
+  // payload_len blown past kMaxPayloadBytes (offset 12, LE: set byte 2).
+  EXPECT_EQ(net::parse_frame(mutate(14, std::byte{0xFF}), v),
+            ParseStatus::kBadLength);
+  // frag_count == 0 (offset 26).
+  EXPECT_EQ(net::parse_frame(mutate(26, std::byte{0x00}), v),
+            ParseStatus::kBadFragment);
+  // frag_index >= frag_count.
+  EXPECT_EQ(net::parse_frame(mutate(24, std::byte{0x05}), v),
+            ParseStatus::kBadFragment);
+  // Any payload or header bit flip the structural checks miss → CRC.
+  EXPECT_EQ(net::parse_frame(mutate(net::kHeaderSize + 3, std::byte{0xAA}), v),
+            ParseStatus::kBadCrc);
+  EXPECT_EQ(net::parse_frame(mutate(8, std::byte{0xEE}), v),
+            ParseStatus::kBadCrc);
+
+  // Truncations: a header-or-more prefix wants more bytes; a sub-magic
+  // prefix is kNeedMore only while it could still be a magic.
+  EXPECT_EQ(net::parse_frame(std::span(good).first(good.size() - 1), v),
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(net::parse_frame(std::span(good).first(net::kHeaderSize), v),
+            ParseStatus::kNeedMore);
+  EXPECT_EQ(net::parse_frame(std::span(good).first(2), v),
+            ParseStatus::kNeedMore);
+  const std::vector<std::byte> junk = bytes_of("zz");
+  EXPECT_EQ(net::parse_frame(junk, v), ParseStatus::kBadMagic);
+
+  // The untampered frame still parses (the mutations copied).
+  EXPECT_EQ(net::parse_frame(good, v), ParseStatus::kOk);
+}
+
+TEST(Frame, EncodeValidatesPreconditions) {
+  FrameHeader h;
+  h.frag_count = 0;
+  EXPECT_THROW((void)net::encode_frame(h, {}), InvalidArgument);
+  h = FrameHeader{};
+  h.flags = 0x8000;
+  EXPECT_THROW((void)net::encode_frame(h, {}), InvalidArgument);
+}
+
+TEST(Frame, ChunkToFramesFragmentsOnWholeSamples) {
+  const CVec chunk = ramp_chunk(100);
+  // 1600 payload bytes at <=256 per fragment -> 7 fragments.
+  const auto frames = net::chunk_to_frames(9, 42, chunk, 256);
+  ASSERT_EQ(frames.size(), 7u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    FrameView v;
+    ASSERT_EQ(net::parse_frame(frames[i], v), ParseStatus::kOk);
+    EXPECT_EQ(v.header.sensor_id, 9u);
+    EXPECT_EQ(v.header.chunk_seq, 42u);
+    EXPECT_EQ(v.header.frag_index, i);
+    EXPECT_EQ(v.header.frag_count, frames.size());
+    EXPECT_EQ(v.payload.size() % net::kBytesPerSample, 0u);
+    total += v.payload.size();
+  }
+  EXPECT_EQ(total, chunk.size() * net::kBytesPerSample);
+
+  // An empty chunk still produces its (control) frame.
+  const auto empty = net::chunk_to_frames(9, 43, CVec{}, 256,
+                                          net::kFlagEndOfStream);
+  ASSERT_EQ(empty.size(), 1u);
+  FrameView v;
+  ASSERT_EQ(net::parse_frame(empty[0], v), ParseStatus::kOk);
+  EXPECT_EQ(v.header.payload_len, 0u);
+  EXPECT_EQ(v.header.flags, net::kFlagEndOfStream);
+}
+
+// ----------------------------------------------------- stream decoder ---
+
+TEST(StreamDecoder, ReassemblesSplitAndMergedReads) {
+  const CVec c0 = ramp_chunk(20, 1.0), c1 = ramp_chunk(5, 2.0);
+  std::vector<std::byte> stream;
+  for (const auto& f : net::chunk_to_frames(1, 0, c0))
+    stream.insert(stream.end(), f.begin(), f.end());
+  for (const auto& f : net::chunk_to_frames(1, 1, c1))
+    stream.insert(stream.end(), f.begin(), f.end());
+
+  for (std::size_t piece : {1u, 7u, 31u, 4096u}) {
+    net::StreamDecoder dec;
+    std::size_t frames = 0;
+    FrameView v;
+    for (std::size_t off = 0; off < stream.size(); off += piece) {
+      const std::size_t len = std::min(piece, stream.size() - off);
+      dec.push(std::span<const std::byte>(stream.data() + off, len));
+      for (;;) {
+        const auto r = dec.poll(v);
+        if (r == net::StreamDecoder::Result::kFrame)
+          ++frames;
+        else
+          break;
+      }
+    }
+    EXPECT_EQ(frames, 2u) << "piece size " << piece;
+    EXPECT_EQ(dec.bytes_skipped(), 0u);
+  }
+}
+
+TEST(StreamDecoder, ResyncsAfterGarbageWithOneTypedReject) {
+  const auto frames = net::chunk_to_frames(1, 0, ramp_chunk(4));
+  ASSERT_EQ(frames.size(), 1u);
+  std::vector<std::byte> stream = bytes_of("garbage bytes here");
+  stream.insert(stream.end(), frames[0].begin(), frames[0].end());
+
+  net::StreamDecoder dec;
+  dec.push(stream);
+  FrameView v;
+  std::size_t rejects = 0, got = 0;
+  for (;;) {
+    const auto r = dec.poll(v);
+    if (r == net::StreamDecoder::Result::kNeedMore) break;
+    if (r == net::StreamDecoder::Result::kReject) {
+      ++rejects;
+      EXPECT_EQ(dec.last_error(), ParseStatus::kBadMagic);
+    } else {
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, 1u);
+  EXPECT_GE(rejects, 1u);
+  EXPECT_EQ(dec.bytes_skipped(), 18u);
+}
+
+TEST(StreamDecoder, CorruptFrameRejectsThenRecovers) {
+  const auto f0 = net::chunk_to_frames(1, 0, ramp_chunk(8));
+  const auto f1 = net::chunk_to_frames(1, 1, ramp_chunk(8, 5.0));
+  std::vector<std::byte> stream(f0[0].begin(), f0[0].end());
+  stream[net::kHeaderSize + 2] ^= std::byte{0xFF};  // payload corruption
+  stream.insert(stream.end(), f1[0].begin(), f1[0].end());
+
+  net::StreamDecoder dec;
+  dec.push(stream);
+  FrameView v;
+  bool saw_crc_reject = false;
+  std::size_t got = 0;
+  for (;;) {
+    const auto r = dec.poll(v);
+    if (r == net::StreamDecoder::Result::kNeedMore) break;
+    if (r == net::StreamDecoder::Result::kReject) {
+      if (dec.last_error() == ParseStatus::kBadCrc) saw_crc_reject = true;
+    } else {
+      ++got;
+      EXPECT_EQ(v.header.chunk_seq, 1u);  // only the clean frame survives
+    }
+  }
+  EXPECT_TRUE(saw_crc_reject);
+  EXPECT_EQ(got, 1u);
+}
+
+// -------------------------------------------------------- reassembler ---
+
+TEST(Reassembler, InOrderFragmentedChunkRoundTrip) {
+  const CVec chunk = ramp_chunk(100);
+  Collector col;
+  net::Reassembler r(7, {});
+  for (const auto& f : net::chunk_to_frames(7, 0, chunk, 256)) {
+    FrameView v;
+    ASSERT_EQ(net::parse_frame(f, v), ParseStatus::kOk);
+    r.feed(v, col.sink(), col.end_sink());
+  }
+  ASSERT_EQ(col.items.size(), 1u);
+  EXPECT_EQ(col.items[0].sensor, 7u);
+  EXPECT_EQ(col.items[0].seq, 0u);
+  expect_chunks_bitwise_equal(chunk, col.items[0].chunk);
+  EXPECT_EQ(r.stats().chunks_delivered, 1u);
+  EXPECT_EQ(r.stats().frames_in_flight, 0u);
+  expect_conservation(r.stats());
+}
+
+TEST(Reassembler, OutOfOrderWithinWindowDeliversInOrder) {
+  Collector col;
+  net::Reassembler r(1, {});
+  // Three single-fragment chunks fed 2, 0, 1.
+  std::vector<std::vector<std::byte>> frames;
+  for (std::uint64_t seq : {2u, 0u, 1u})
+    frames.push_back(net::chunk_to_frames(1, seq, ramp_chunk(8, seq))[0]);
+  for (const auto& f : frames) {
+    FrameView v;
+    ASSERT_EQ(net::parse_frame(f, v), ParseStatus::kOk);
+    r.feed(v, col.sink(), col.end_sink());
+  }
+  ASSERT_EQ(col.items.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) EXPECT_EQ(col.items[i].seq, i);
+  EXPECT_EQ(r.stats().chunk_gaps, 0u);
+  expect_conservation(r.stats());
+}
+
+TEST(Reassembler, DuplicatesAndStalesAreCounted) {
+  Collector col;
+  net::Reassembler r(1, {});
+  const auto frames = net::chunk_to_frames(1, 0, ramp_chunk(32), 256);
+  ASSERT_GE(frames.size(), 2u);
+  FrameView v;
+  ASSERT_EQ(net::parse_frame(frames[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+  r.feed(v, col.sink(), col.end_sink());  // duplicate while in flight
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    ASSERT_EQ(net::parse_frame(frames[i], v), ParseStatus::kOk);
+    r.feed(v, col.sink(), col.end_sink());
+  }
+  ASSERT_EQ(net::parse_frame(frames[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());  // late dup: chunk already done
+
+  EXPECT_EQ(col.items.size(), 1u);
+  EXPECT_EQ(r.stats().frames_dup, 1u);
+  EXPECT_EQ(r.stats().frames_stale, 1u);
+  expect_conservation(r.stats());
+}
+
+TEST(Reassembler, WindowAdvanceDeclaresGapsAndEvictsStragglers) {
+  net::Reassembler::Config cfg;
+  cfg.window_chunks = 4;
+  Collector col;
+  net::Reassembler r(1, cfg);
+
+  // A straggler: fragment 0 of 7 for seq 0 (incomplete forever).
+  const auto frag = net::chunk_to_frames(1, 0, ramp_chunk(100), 256);
+  FrameView v;
+  ASSERT_EQ(net::parse_frame(frag[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+
+  // A complete chunk at seq 2; seq 1 never arrives.
+  const auto ok2 = net::chunk_to_frames(1, 2, ramp_chunk(8, 2.0));
+  ASSERT_EQ(net::parse_frame(ok2[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+
+  // seq 9 lands 4+ past the cursor: forces the window to [6, 10) —
+  // seq 0 is evicted (partial), seq 2 delivered, 1/3/4/5 become gaps.
+  const auto far = net::chunk_to_frames(1, 9, ramp_chunk(8, 9.0));
+  ASSERT_EQ(net::parse_frame(far[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+
+  ASSERT_EQ(col.items.size(), 1u);
+  EXPECT_EQ(col.items[0].seq, 2u);
+  EXPECT_EQ(r.stats().chunks_evicted, 1u);
+  EXPECT_EQ(r.stats().frames_evicted, 1u);
+  EXPECT_EQ(r.stats().chunk_gaps, 4u);
+  EXPECT_EQ(r.next_seq(), 6u);
+  expect_conservation(r.stats());
+
+  // A late fragment of the evicted chunk reads stale, never resurrects.
+  ASSERT_EQ(net::parse_frame(frag[1], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+  EXPECT_EQ(r.stats().frames_stale, 1u);
+  expect_conservation(r.stats());
+
+  // Flush drains seq 9 and counts the 6..8 gaps.
+  r.flush(col.sink(), col.end_sink());
+  ASSERT_EQ(col.items.size(), 2u);
+  EXPECT_EQ(col.items[1].seq, 9u);
+  EXPECT_EQ(r.stats().chunk_gaps, 7u);
+  EXPECT_EQ(r.stats().frames_in_flight, 0u);
+  expect_conservation(r.stats());
+}
+
+TEST(Reassembler, SinkRefusalIsCountedNotRetried) {
+  Collector col;
+  col.accept = false;
+  net::Reassembler r(1, {});
+  FrameView v;
+  const auto f = net::chunk_to_frames(1, 0, ramp_chunk(8));
+  ASSERT_EQ(net::parse_frame(f[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+  EXPECT_TRUE(col.items.empty());
+  EXPECT_EQ(r.stats().frames_sink_dropped, 1u);
+  EXPECT_EQ(r.stats().sink_dropped_chunks, 1u);
+  expect_conservation(r.stats());
+}
+
+TEST(Reassembler, EndOfStreamMarkerFiresEndSink) {
+  Collector col;
+  net::Reassembler r(5, {});
+  FrameView v;
+  const auto data = net::chunk_to_frames(5, 0, ramp_chunk(8));
+  ASSERT_EQ(net::parse_frame(data[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+  const auto end = net::chunk_to_frames(5, 1, CVec{}, net::kMaxPayloadBytes,
+                                        net::kFlagEndOfStream);
+  ASSERT_EQ(net::parse_frame(end[0], v), ParseStatus::kOk);
+  r.feed(v, col.sink(), col.end_sink());
+
+  EXPECT_EQ(col.items.size(), 1u);
+  ASSERT_EQ(col.ends.size(), 1u);
+  EXPECT_EQ(col.ends[0], 5u);
+  EXPECT_EQ(r.stats().frames_control, 1u);
+  expect_conservation(r.stats());
+}
+
+TEST(Demux, RoutesPerSensorAndBoundsTheTable) {
+  Collector col;
+  net::Demux demux({}, col.sink(), col.end_sink(), /*max_sensors=*/2);
+  FrameView v;
+  for (std::uint32_t sensor : {10u, 20u, 30u}) {
+    const auto f = net::chunk_to_frames(sensor, 0, ramp_chunk(4, sensor));
+    ASSERT_EQ(net::parse_frame(f[0], v), ParseStatus::kOk);
+    demux.feed(v);
+  }
+  EXPECT_EQ(demux.num_sensors(), 2u);
+  EXPECT_EQ(demux.sensors_refused(), 1u);
+  ASSERT_EQ(col.items.size(), 2u);
+  EXPECT_EQ(col.items[0].sensor, 10u);
+  EXPECT_EQ(col.items[1].sensor, 20u);
+  EXPECT_NE(demux.sensor(10), nullptr);
+  EXPECT_EQ(demux.sensor(30), nullptr);
+  expect_conservation(demux.stats());
+}
+
+// --------------------------------------------------------- wire faults ---
+
+TEST(WireFault, SplitMix64KnownAnswer) {
+  // First output of a SplitMix64 stream seeded 0 — pins the shared
+  // primitive net-layer decisions key off.
+  EXPECT_EQ(fault::splitmix64(0), 0xE220A8397B1DCDAFull);
+}
+
+TEST(WireFault, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    net::WireFaultSpec spec;
+    spec.seed = seed;
+    spec.drop_prob = 0.2;
+    spec.duplicate_prob = 0.2;
+    spec.reorder_prob = 0.2;
+    spec.truncate_prob = 0.2;
+    spec.corrupt_prob = 0.2;
+    net::FaultyWire wire(spec);
+    std::vector<std::vector<std::byte>> out;
+    const auto emit = [&](std::vector<std::byte>&& f) {
+      out.push_back(std::move(f));
+    };
+    for (std::uint64_t seq = 0; seq < 50; ++seq)
+      wire.feed(net::chunk_to_frames(1, seq, ramp_chunk(8))[0], emit);
+    wire.flush(emit);
+    return std::pair(out, wire.stats());
+  };
+  const auto [a, sa] = run(42);
+  const auto [b, sb] = run(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_EQ(sa.dropped, sb.dropped);
+  EXPECT_EQ(sa.delivered, sb.delivered);
+
+  const auto [c, sc] = run(43);
+  (void)sc;
+  bool different = c.size() != a.size();
+  for (std::size_t i = 0; !different && i < c.size(); ++i)
+    different = c[i] != a[i];
+  EXPECT_TRUE(different) << "different seeds produced identical fault plans";
+}
+
+TEST(WireFault, StatsReconcileWithEmissions) {
+  net::WireFaultSpec spec;
+  spec.seed = 7;
+  spec.drop_prob = 0.3;
+  spec.duplicate_prob = 0.3;
+  net::FaultyWire wire(spec);
+  std::size_t emitted = 0;
+  const auto emit = [&](std::vector<std::byte>&&) { ++emitted; };
+  for (std::uint64_t seq = 0; seq < 200; ++seq)
+    wire.feed(net::chunk_to_frames(1, seq, ramp_chunk(4))[0], emit);
+  wire.flush(emit);
+  const auto& s = wire.stats();
+  EXPECT_EQ(s.frames_in, 200u);
+  EXPECT_EQ(s.delivered, emitted);
+  EXPECT_EQ(s.delivered, s.frames_in - s.dropped + s.duplicated);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_GT(s.duplicated, 0u);
+}
+
+TEST(WireFault, ReorderHoldsUntilFlush) {
+  net::WireFaultSpec spec;
+  spec.reorder_prob = 1.0;
+  net::FaultyWire wire(spec);
+  std::vector<std::uint64_t> order;
+  const auto emit = [&](std::vector<std::byte>&& f) {
+    FrameView v;
+    ASSERT_EQ(net::parse_frame(f, v), ParseStatus::kOk);
+    order.push_back(v.header.chunk_seq);
+  };
+  for (std::uint64_t seq = 0; seq < 3; ++seq)
+    wire.feed(net::chunk_to_frames(1, seq, ramp_chunk(2))[0], emit);
+  wire.flush(emit);
+  // Every frame swaps with its successor: 0 held, 1 sent then 0, 2 held
+  // until flush.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 2u);
+  EXPECT_EQ(wire.stats().reordered, 2u);
+}
+
+TEST(WireFault, ValidatesProbabilities) {
+  net::WireFaultSpec spec;
+  spec.drop_prob = 1.5;
+  EXPECT_THROW(net::FaultyWire{spec}, InvalidArgument);
+}
+
+TEST(WireFault, FaultedFramesStillResolveTyped) {
+  // Truncated/corrupted frames must parse to typed rejections — and the
+  // survivors must reassemble under the conservation law.
+  net::WireFaultSpec spec;
+  spec.seed = 99;
+  spec.truncate_prob = 0.3;
+  spec.corrupt_prob = 0.3;
+  net::FaultyWire wire(spec);
+  Collector col;
+  net::Demux demux({}, col.sink(), col.end_sink());
+  std::size_t rejects = 0;
+  const auto emit = [&](std::vector<std::byte>&& f) {
+    FrameView v;
+    if (net::parse_frame(f, v) == ParseStatus::kOk)
+      demux.feed(v);
+    else
+      ++rejects;
+  };
+  for (std::uint64_t seq = 0; seq < 100; ++seq)
+    wire.feed(net::chunk_to_frames(1, seq, ramp_chunk(16))[0], emit);
+  wire.flush(emit);
+  demux.flush();
+  EXPECT_GT(rejects, 0u);
+  EXPECT_GT(col.items.size(), 0u);
+  expect_conservation(demux.stats());
+  EXPECT_EQ(demux.stats().frames_in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace wivi
